@@ -1,0 +1,151 @@
+// Command graphgen generates the paper's input graphs and writes them in
+// the binary or text edge-list format.
+//
+// Usage:
+//
+//	graphgen -kind random -n 1000000 -m 4000000 -o graph.pgg
+//	graphgen -kind hybrid -n 1000000 -m 4000000 -weighted -format text -o graph.txt
+//	graphgen -kind rmat -scale 20 -m 4000000 -permute -o rmat.pgg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pgasgraph"
+	"pgasgraph/internal/graph"
+)
+
+func main() {
+	kind := flag.String("kind", "random", "graph kind: random | hybrid | rmat | smallworld | torus3d")
+	n := flag.Int64("n", 1_000_000, "vertex count (random/hybrid)")
+	m := flag.Int64("m", 4_000_000, "edge count")
+	scale := flag.Int("scale", 20, "log2 vertex count (rmat)")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	weighted := flag.Bool("weighted", false, "attach random edge weights")
+	permute := flag.Bool("permute", false, "randomly permute vertex ids (recommended for rmat)")
+	k := flag.Int("k", 6, "ring degree (smallworld)")
+	beta := flag.Float64("beta", 0.1, "rewiring probability (smallworld)")
+	side := flag.Int64("side", 16, "torus side length (torus3d)")
+	stats := flag.Bool("stats", false, "print graph statistics instead of writing it")
+	format := flag.String("format", "binary", "output format: binary | text | dot")
+	out := flag.String("o", "", "output path (default stdout)")
+	flag.Parse()
+
+	var g *pgasgraph.Graph
+	switch *kind {
+	case "random":
+		g = pgasgraph.RandomGraph(*n, *m, *seed)
+	case "hybrid":
+		g = pgasgraph.HybridGraph(*n, *m, *seed)
+	case "rmat":
+		g = pgasgraph.RMATGraph(*scale, *m, 0.57, 0.19, 0.19, 0.05, *seed)
+	case "smallworld":
+		g = graph.SmallWorld(*n, *k, *beta, *seed)
+	case "torus3d":
+		g = graph.Torus3D(*side, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "graphgen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	if *permute {
+		g = pgasgraph.PermuteVertices(g, *seed+1)
+	}
+	if *weighted {
+		g = pgasgraph.WithRandomWeights(g, *seed+2)
+	}
+
+	if *stats {
+		printStats(g)
+		return
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "graphgen: close: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+		w = f
+	}
+
+	var err error
+	switch *format {
+	case "binary":
+		err = graph.WriteBinary(w, g)
+	case "text":
+		err = graph.WriteEdgeList(w, g)
+	case "dot":
+		err = graph.WriteDOT(w, g, *kind)
+	default:
+		fmt.Fprintf(os.Stderr, "graphgen: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %v\n", g)
+}
+
+// printStats summarizes the graph: dimensions, degree distribution, and
+// connectivity.
+func printStats(g *pgasgraph.Graph) {
+	fmt.Printf("%v\n", g)
+	degrees := g.Degrees()
+	var max, sum int64
+	hist := map[int64]int64{}
+	for _, d := range degrees {
+		if d > max {
+			max = d
+		}
+		sum += d
+		hist[d]++
+	}
+	fmt.Printf("self-loops: %d\n", g.SelfLoops())
+	if g.N > 0 {
+		fmt.Printf("degrees: avg %.2f, max %d, isolated %d\n",
+			float64(sum)/float64(g.N), max, hist[0])
+	}
+	labels := pgasgraph.SequentialCC(g)
+	comps := pgasgraph.CountComponents(labels)
+	sizes := map[int64]int64{}
+	for _, l := range labels {
+		sizes[l]++
+	}
+	var giant int64
+	for _, s := range sizes {
+		if s > giant {
+			giant = s
+		}
+	}
+	fmt.Printf("components: %d (largest %d)\n", comps, giant)
+	// Compact degree histogram: powers-of-two buckets.
+	fmt.Println("degree histogram (2^k buckets):")
+	for lo := int64(0); lo <= max; {
+		hi := lo*2 + 1
+		if lo == 0 {
+			hi = 0
+		}
+		var count int64
+		for d := lo; d <= hi && d <= max; d++ {
+			count += hist[d]
+		}
+		if count > 0 {
+			fmt.Printf("  [%d..%d]: %d\n", lo, hi, count)
+		}
+		if lo == 0 {
+			lo = 1
+		} else {
+			lo = hi + 1
+		}
+	}
+}

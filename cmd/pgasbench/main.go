@@ -1,0 +1,132 @@
+// Command pgasbench regenerates the paper's evaluation figures (2-10) and
+// this repository's extension experiments at a configurable scale,
+// printing each as a text table (optionally CSV or markdown).
+//
+// Usage:
+//
+//	pgasbench [flags] fig2..fig10 | listrank | bfs | ccmerge |
+//	                  outofcore | scaling | sensitivity | sssp | hybrid | all
+//
+// Flags:
+//
+//	-scale f     input-size fraction of the paper's graphs (default 0.01)
+//	-nodes n     cluster nodes (default 16)
+//	-seed s      generator seed (default 42)
+//	-csv         emit CSV instead of aligned tables
+//	-markdown    emit GitHub-flavored markdown tables
+//	-check       run the shape assertions and report pass/fail
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pgasgraph/internal/experiments"
+	"pgasgraph/internal/report"
+)
+
+// figure couples a runner with its printable result.
+type figure struct {
+	name string
+	run  func(experiments.Config) result
+}
+
+// result is what every experiment yields.
+type result interface {
+	Table() *report.Table
+	CheckShape() error
+}
+
+func figures() []figure {
+	return []figure{
+		{"fig2", func(c experiments.Config) result { return experiments.RunFig02(c) }},
+		{"fig3", func(c experiments.Config) result { return experiments.RunFig03(c) }},
+		{"fig4", func(c experiments.Config) result { return experiments.RunFig04(c) }},
+		{"fig5", func(c experiments.Config) result { return experiments.RunFig05(c) }},
+		{"fig6", func(c experiments.Config) result { return experiments.RunFig06(c) }},
+		{"fig7", func(c experiments.Config) result { return experiments.RunFig07(c) }},
+		{"fig8", func(c experiments.Config) result { return experiments.RunFig08(c) }},
+		{"fig9", func(c experiments.Config) result { return experiments.RunFig09(c) }},
+		{"fig10", func(c experiments.Config) result { return experiments.RunFig10(c) }},
+		{"listrank", func(c experiments.Config) result { return experiments.RunListRank(c) }},
+		{"bfs", func(c experiments.Config) result { return experiments.RunBFS(c) }},
+		{"ccmerge", func(c experiments.Config) result { return experiments.RunCCMerge(c) }},
+		{"outofcore", func(c experiments.Config) result { return experiments.RunOutOfCore(c) }},
+		{"scaling", func(c experiments.Config) result { return experiments.RunScaling(c) }},
+		{"sensitivity", func(c experiments.Config) result { return experiments.RunSensitivity(c) }},
+		{"sssp", func(c experiments.Config) result { return experiments.RunSSSP(c) }},
+		{"hybrid", func(c experiments.Config) result { return experiments.RunHybrid(c) }},
+	}
+}
+
+func main() {
+	scale := flag.Float64("scale", 0.01, "input-size fraction of the paper's graphs")
+	nodes := flag.Int("nodes", 16, "cluster nodes")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	csv := flag.Bool("csv", false, "emit CSV")
+	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown tables")
+	check := flag.Bool("check", false, "run shape assertions")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: pgasbench [flags] fig2..fig10|listrank|bfs|ccmerge|outofcore|scaling|sensitivity|sssp|hybrid|all")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	cfg := experiments.Config{Scale: *scale, Nodes: *nodes, Seed: *seed}
+
+	want := map[string]bool{}
+	for _, arg := range flag.Args() {
+		if strings.EqualFold(arg, "all") {
+			for _, f := range figures() {
+				want[f.name] = true
+			}
+			continue
+		}
+		want[strings.ToLower(arg)] = true
+	}
+
+	known := map[string]bool{}
+	failures := 0
+	for _, f := range figures() {
+		known[f.name] = true
+		if !want[f.name] {
+			continue
+		}
+		res := f.run(cfg)
+		t := res.Table()
+		var err error
+		switch {
+		case *csv:
+			err = t.CSV(os.Stdout)
+		case *markdown:
+			err = t.Markdown(os.Stdout)
+		default:
+			err = t.Fprint(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pgasbench: writing %s: %v\n", f.name, err)
+			os.Exit(1)
+		}
+		if *check {
+			if err := res.CheckShape(); err != nil {
+				fmt.Printf("SHAPE FAIL: %v\n", err)
+				failures++
+			} else {
+				fmt.Printf("shape ok: %s\n", f.name)
+			}
+		}
+		fmt.Println()
+	}
+	for name := range want {
+		if !known[name] {
+			fmt.Fprintf(os.Stderr, "pgasbench: unknown figure %q\n", name)
+			os.Exit(2)
+		}
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

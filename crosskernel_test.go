@@ -1,0 +1,154 @@
+package pgasgraph
+
+import (
+	"testing"
+)
+
+// TestCrossKernelConsistency runs every public kernel on one shared input
+// and checks the invariants that tie their answers together — a web of
+// mutual evidence stronger than any single sequential comparison:
+//
+//   - BFS reachability from a component's representative covers exactly
+//     that component (CC vs BFS);
+//   - spanning forest edges stay within components and count n - #comps;
+//   - Euler-tour roots agree with CC labels; depths agree with BFS-in-the-
+//     forest distances;
+//   - weighted SSSP distances are bounded below by hop distances (every
+//     weight >= 1) and agree exactly on reachability;
+//   - the MIS is independent and maximal against the same adjacency;
+//   - MSF weight matches Kruskal and its edges span exactly the components.
+func TestCrossKernelConsistency(t *testing.T) {
+	cfg := PaperCluster()
+	cfg.Nodes = 4
+	cfg.ThreadsPerNode = 2
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Disjoint3(t)
+	wg := g.Clone()
+	wg.W = make([]uint32, g.M())
+	for i := range wg.W {
+		wg.W[i] = uint32(1 + (i*2654435761)%1000) // >= 1, deterministic
+	}
+
+	cc := c.CCCoalesced(g, OptimizedCC(2))
+	sf := c.SpanningForest(g, OptimizedCC(2))
+	msf := c.MSFCoalesced(wg, OptimizedMST(2))
+	misRes := c.MaximalIndependentSet(g, OptimizedCollectives(2))
+
+	// CC vs BFS reachability, per component representative.
+	reps := map[int64]bool{}
+	for _, l := range cc.Labels {
+		reps[l] = true
+	}
+	for rep := range reps {
+		dist := c.BFS(g, rep, OptimizedCollectives(2))
+		for v := int64(0); v < g.N; v++ {
+			reached := dist.Dist[v] != BFSUnreached
+			sameComp := cc.Labels[v] == cc.Labels[rep]
+			if reached != sameComp {
+				t.Fatalf("BFS from %d and CC disagree at vertex %d", rep, v)
+			}
+		}
+	}
+
+	// Spanning forest structure.
+	if int64(len(sf.Edges)) != g.N-cc.Components {
+		t.Fatalf("forest edges %d != n - components %d", len(sf.Edges), g.N-cc.Components)
+	}
+	for _, e := range sf.Edges {
+		if cc.Labels[g.U[e]] != cc.Labels[g.V[e]] {
+			t.Fatalf("forest edge %d crosses components", e)
+		}
+	}
+
+	// Euler tour over the forest agrees with CC and with BFS depths in
+	// the forest.
+	forest := &Graph{N: g.N}
+	for _, e := range sf.Edges {
+		forest.U = append(forest.U, g.U[e])
+		forest.V = append(forest.V, g.V[e])
+	}
+	ts := c.EulerTour(forest, OptimizedCollectives(2))
+	if !SamePartition(ts.Root, cc.Labels) {
+		t.Fatal("Euler-tour roots disagree with CC")
+	}
+	for v := int64(0); v < g.N; v++ {
+		if ts.Root[v] == v {
+			fd := SequentialBFS(forest, v)
+			for u := int64(0); u < g.N; u++ {
+				if ts.Root[u] == v && ts.Depth[u] != fd[u] {
+					t.Fatalf("tour depth[%d]=%d, forest BFS says %d", u, ts.Depth[u], fd[u])
+				}
+			}
+		}
+	}
+
+	// SSSP vs BFS: weights >= 1 imply dist_w >= dist_hops, with equal
+	// reachability.
+	rep := cc.Labels[0]
+	hops := c.BFS(g, rep, OptimizedCollectives(2))
+	weighted := c.ShortestPaths(wg, rep, 0, OptimizedCollectives(2))
+	for v := int64(0); v < g.N; v++ {
+		hReached := hops.Dist[v] != BFSUnreached
+		wReached := weighted.Dist[v] != SSSPUnreached
+		if hReached != wReached {
+			t.Fatalf("reachability disagrees at %d", v)
+		}
+		if wReached && weighted.Dist[v] < hops.Dist[v] {
+			t.Fatalf("weighted dist %d below hop count %d at %d",
+				weighted.Dist[v], hops.Dist[v], v)
+		}
+	}
+
+	// MIS against the same adjacency.
+	if err := CheckMIS(g, misRes.InSet); err != nil {
+		t.Fatal(err)
+	}
+
+	// MSF against Kruskal and CC.
+	if msf.Weight != Kruskal(wg).Weight {
+		t.Fatal("MSF weight differs from Kruskal")
+	}
+	if int64(len(msf.Edges)) != g.N-cc.Components {
+		t.Fatal("MSF edge count inconsistent with components")
+	}
+}
+
+// Disjoint3 builds a multi-component test graph: a hybrid blob, a grid,
+// and isolated vertices.
+func Disjoint3(t *testing.T) *Graph {
+	t.Helper()
+	blob := HybridGraph(300, 900, 5)
+	grid := gridGraph(8, 9)
+	out := &Graph{}
+	var base int64
+	for _, g := range []*Graph{blob, grid, {N: 4}} {
+		for i := range g.U {
+			out.U = append(out.U, g.U[i]+int32(base))
+			out.V = append(out.V, g.V[i]+int32(base))
+		}
+		base += g.N
+	}
+	out.N = base
+	return out
+}
+
+func gridGraph(rows, cols int64) *Graph {
+	g := &Graph{N: rows * cols}
+	id := func(r, c int64) int32 { return int32(r*cols + c) }
+	for r := int64(0); r < rows; r++ {
+		for c := int64(0); c < cols; c++ {
+			if c+1 < cols {
+				g.U = append(g.U, id(r, c))
+				g.V = append(g.V, id(r, c+1))
+			}
+			if r+1 < rows {
+				g.U = append(g.U, id(r, c))
+				g.V = append(g.V, id(r+1, c))
+			}
+		}
+	}
+	return g
+}

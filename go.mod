@@ -1,0 +1,3 @@
+module pgasgraph
+
+go 1.22

@@ -1,0 +1,162 @@
+package bcc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pgasgraph/internal/collective"
+	"pgasgraph/internal/graph"
+	"pgasgraph/internal/machine"
+	"pgasgraph/internal/pgas"
+	"pgasgraph/internal/seq"
+)
+
+func newRuntime(t testing.TB, nodes, tpn int) *pgas.Runtime {
+	t.Helper()
+	cfg := machine.PaperCluster()
+	cfg.Nodes = nodes
+	cfg.ThreadsPerNode = tpn
+	rt, err := pgas.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// sameEdgePartition checks two edge labelings induce the same partition,
+// skipping self-loops (labeled -1 by both).
+func sameEdgePartition(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	fwd := map[int64]int64{}
+	rev := map[int64]int64{}
+	for i := range a {
+		if (a[i] < 0) != (b[i] < 0) {
+			return false
+		}
+		if a[i] < 0 {
+			continue
+		}
+		if x, ok := fwd[a[i]]; ok && x != b[i] {
+			return false
+		}
+		if x, ok := rev[b[i]]; ok && x != a[i] {
+			return false
+		}
+		fwd[a[i]] = b[i]
+		rev[b[i]] = a[i]
+	}
+	return true
+}
+
+func checkAgainstHT(t *testing.T, g *graph.Graph, res *Result) {
+	t.Helper()
+	want := seq.BiconnectedComponents(g)
+	if res.Blocks != want.Blocks {
+		t.Fatalf("blocks = %d, want %d", res.Blocks, want.Blocks)
+	}
+	if !sameEdgePartition(want.EdgeBlock, res.EdgeBlock) {
+		t.Fatalf("edge partition differs\n got %v\nwant %v", res.EdgeBlock, want.EdgeBlock)
+	}
+	for v := int64(0); v < g.N; v++ {
+		if res.Articulation[v] != want.Articulation[v] {
+			t.Fatalf("articulation[%d] = %v, want %v", v, res.Articulation[v], want.Articulation[v])
+		}
+	}
+	for e := int64(0); e < g.M(); e++ {
+		if res.Bridge[e] != want.Bridge[e] {
+			t.Fatalf("bridge[%d] = %v, want %v", e, res.Bridge[e], want.Bridge[e])
+		}
+	}
+}
+
+func TestTarjanVishkinKnownShapes(t *testing.T) {
+	shapes := map[string]*graph.Graph{
+		"empty":    graph.Empty(5),
+		"edge":     graph.Path(2),
+		"path":     graph.Path(8),
+		"triangle": graph.Cycle(3),
+		"cycle":    graph.Cycle(7),
+		"star":     graph.Star(6),
+		"complete": graph.Complete(6),
+		"grid":     graph.Grid(4, 5),
+		"two-triangles-bridge": {
+			N: 6,
+			U: []int32{0, 1, 2, 3, 4, 5, 2},
+			V: []int32{1, 2, 0, 4, 5, 3, 3},
+		},
+		"disjoint": graph.Disjoint(graph.Cycle(4), graph.Path(3), graph.Empty(2)),
+		"random":   graph.Random(60, 150, 3),
+		"sparse":   graph.Random(80, 90, 5),
+		"hybrid":   graph.Hybrid(100, 260, 7),
+	}
+	for name, g := range shapes {
+		for _, geo := range []struct{ nodes, tpn int }{{1, 2}, {4, 2}} {
+			t.Run(name, func(t *testing.T) {
+				rt := newRuntime(t, geo.nodes, geo.tpn)
+				res := TarjanVishkin(rt, collective.NewComm(rt), g, collective.Optimized(2))
+				checkAgainstHT(t, g, res)
+			})
+		}
+	}
+}
+
+func TestTarjanVishkinProperty(t *testing.T) {
+	rt := newRuntime(t, 3, 2)
+	comm := collective.NewComm(rt)
+	check := func(seed uint64, nRaw, dRaw uint8) bool {
+		n := int64(nRaw%40) + 2
+		maxM := n * (n - 1) / 2
+		m := int64(dRaw) % (maxM + 1)
+		g := graph.Random(n, m, seed)
+		res := TarjanVishkin(rt, comm, g, collective.Optimized(2))
+		want := seq.BiconnectedComponents(g)
+		if res.Blocks != want.Blocks || !sameEdgePartition(want.EdgeBlock, res.EdgeBlock) {
+			return false
+		}
+		for v := int64(0); v < n; v++ {
+			if res.Articulation[v] != want.Articulation[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTarjanVishkinChargesTime(t *testing.T) {
+	g := graph.Random(500, 1200, 11)
+	rt := newRuntime(t, 4, 2)
+	res := TarjanVishkin(rt, collective.NewComm(rt), g, collective.Optimized(2))
+	if res.Run.SimNS <= 0 || res.Run.Messages == 0 {
+		t.Fatal("distributed phases charged nothing")
+	}
+}
+
+func TestSparseTable(t *testing.T) {
+	vals := []int64{5, 2, 8, 1, 9, 3, 7, 4}
+	minT := newSparseTable(vals, func(a, b int64) bool { return a < b })
+	maxT := newSparseTable(vals, func(a, b int64) bool { return a > b })
+	for lo := int64(0); lo < 8; lo++ {
+		for hi := lo; hi < 8; hi++ {
+			wantMin, wantMax := vals[lo], vals[lo]
+			for i := lo + 1; i <= hi; i++ {
+				if vals[i] < wantMin {
+					wantMin = vals[i]
+				}
+				if vals[i] > wantMax {
+					wantMax = vals[i]
+				}
+			}
+			if got := minT.query(lo, hi); got != wantMin {
+				t.Fatalf("min[%d,%d] = %d, want %d", lo, hi, got, wantMin)
+			}
+			if got := maxT.query(lo, hi); got != wantMax {
+				t.Fatalf("max[%d,%d] = %d, want %d", lo, hi, got, wantMax)
+			}
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package cc
+
+import (
+	"testing"
+
+	"pgasgraph/internal/collective"
+	"pgasgraph/internal/graph"
+	"pgasgraph/internal/seq"
+	"pgasgraph/internal/unionfind"
+)
+
+// checkSpanningForest verifies sf's edges form a spanning forest of g.
+func checkSpanningForest(t *testing.T, g *graph.Graph, sf *SpanningForest) {
+	t.Helper()
+	ds := unionfind.New(g.N)
+	for _, e := range sf.Edges {
+		if e < 0 || e >= g.M() {
+			t.Fatalf("invalid edge id %d", e)
+		}
+		if !ds.Union(g.U[e], g.V[e]) {
+			t.Fatalf("edge %d (%d,%d) creates a cycle", e, g.U[e], g.V[e])
+		}
+	}
+	comps := seq.CountComponents(seq.CC(g))
+	if int64(len(sf.Edges)) != g.N-comps {
+		t.Fatalf("forest has %d edges, want n - #components = %d", len(sf.Edges), g.N-comps)
+	}
+	// The forest must induce exactly g's connectivity.
+	if !seq.SamePartition(seq.Canonical(ds.Labels()), seq.CC(g)) {
+		t.Fatal("forest connectivity differs from the graph's")
+	}
+	// And the CC result that rode along must be correct too.
+	checkAgainstSequential(t, g, sf.CC)
+}
+
+func TestSpanningTree(t *testing.T) {
+	configs := []struct{ nodes, tpn int }{{1, 1}, {1, 4}, {4, 2}, {3, 3}}
+	optVariants := map[string]*Options{
+		"base":      {},
+		"optimized": {Col: collective.Optimized(4), Compact: true},
+	}
+	for name, g := range testGraphs() {
+		for _, cfg := range configs {
+			for optName, opts := range optVariants {
+				t.Run(name+"/"+optName, func(t *testing.T) {
+					rt := newRuntime(t, cfg.nodes, cfg.tpn)
+					sf := SpanningTree(rt, collective.NewComm(rt), g, opts)
+					checkSpanningForest(t, g, sf)
+				})
+			}
+		}
+	}
+}
+
+func TestSpanningTreeDeterministic(t *testing.T) {
+	g := graph.Random(300, 900, 5)
+	opts := &Options{Col: collective.Optimized(2), Compact: true}
+	rt1 := newRuntime(t, 4, 2)
+	rt2 := newRuntime(t, 4, 2)
+	a := SpanningTree(rt1, collective.NewComm(rt1), g, opts)
+	b := SpanningTree(rt2, collective.NewComm(rt2), g, opts)
+	// The (label, edge-id) election is deterministic, so the same
+	// configuration must pick the same forest.
+	if len(a.Edges) != len(b.Edges) {
+		t.Fatalf("forest sizes differ: %d vs %d", len(a.Edges), len(b.Edges))
+	}
+	seen := map[int64]bool{}
+	for _, e := range a.Edges {
+		seen[e] = true
+	}
+	for _, e := range b.Edges {
+		if !seen[e] {
+			t.Fatalf("edge %d only in second run", e)
+		}
+	}
+}

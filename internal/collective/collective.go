@@ -1,0 +1,556 @@
+// Package collective implements the paper's Algorithm 2: the GetD, SetD,
+// and SetDMin collectives that rewrite a PRAM algorithm's irregular shared
+// accesses into bulk-synchronous, coalesced communication.
+//
+// GetD is a coordinated concurrent read, SetD an arbitrary concurrent
+// write, and SetDMin a priority (minimum-wins) concurrent write — the
+// primitive that lets the MST kernel drop its fine-grained locks (§IV.A).
+//
+// Every collective call runs in two phases separated by a barrier:
+//
+//  1. each thread count-sorts its request indices by owner thread and
+//     publishes per-peer counts and offsets into the shared SMatrix and
+//     PMatrix (an all-to-all of small messages — the setup cost that
+//     dominates at high thread counts, §VI);
+//  2. each thread serves every peer: it pulls the peer's request segment
+//     (one coalesced message), gathers/scatters against its own block of
+//     the shared array with Algorithm 1 cache blocking over t' virtual
+//     threads, and for GetD pushes the values back (a second coalesced
+//     message). A final local permute restores request order.
+//
+// The paper's optimizations — circular, localcpy, id, offload — are
+// selectable through Options; compact lives in the algorithms (it changes
+// what is requested, not how).
+package collective
+
+import (
+	"fmt"
+
+	"pgasgraph/internal/pgas"
+	"pgasgraph/internal/psort"
+	"pgasgraph/internal/sched"
+	"pgasgraph/internal/sim"
+)
+
+// SortKind selects the grouping sort used in phase 1. The paper's Figure 3
+// deliberately uses quicksort ("more than 50 times slower than count sort")
+// to show coalescing wins even with a slow sort.
+type SortKind int
+
+const (
+	// CountSort is the linear-time two-pass bucket sort (the default).
+	CountSort SortKind = iota
+	// QuickSort is comparison sorting on packed (owner, position) keys.
+	QuickSort
+)
+
+// Options selects the paper's PGAS-specific optimizations. The zero value
+// is the unoptimized "base" configuration of Figure 5.
+type Options struct {
+	// VirtualThreads is t', the number of virtual blocks each thread's
+	// local array portion is split into during the serve phase (third
+	// recursion level of Algorithm 1). <= 1 disables cache blocking.
+	VirtualThreads int
+	// Circular staggers the peer-service order so each superstep is a
+	// perfect matching (thread i starts with peer i), instead of every
+	// thread hammering peer 0 first.
+	Circular bool
+	// LocalCpy uses private pointer arithmetic for accesses to the local
+	// portion of shared arrays.
+	LocalCpy bool
+	// CachedIDs computes owner ids arithmetically (vectorizable) instead
+	// of via runtime intrinsics, and reuses them across iterations
+	// through the IDCache passed per call.
+	CachedIDs bool
+	// Offload drops requests for OffloadIndex and substitutes
+	// OffloadValue locally: the paper's hotspot fix for D[0], whose
+	// value is pinned at 0 for CC.
+	Offload      bool
+	OffloadIndex int64
+	OffloadValue int64
+	// Sort selects the grouping sort.
+	Sort SortKind
+}
+
+// Optimized returns the paper's fully optimized configuration with the
+// given virtual-thread count (the "id" bar of Figure 5).
+func Optimized(virtualThreads int) *Options {
+	return &Options{
+		VirtualThreads: virtualThreads,
+		Circular:       true,
+		LocalCpy:       true,
+		CachedIDs:      true,
+		Offload:        true,
+		OffloadIndex:   0,
+		OffloadValue:   0,
+	}
+}
+
+// Base returns the unoptimized configuration (Figure 5's "base": two
+// recursion levels of Algorithm 1, i.e. coalescing plus per-thread
+// blocks, but none of the §V optimizations).
+func Base() *Options { return &Options{} }
+
+// IDCache caches owner ids across collective calls for one thread and one
+// index list. Invalidate it whenever the index list changes (e.g. after
+// edge compaction).
+type IDCache struct {
+	keys  []int32
+	valid bool
+}
+
+// Invalidate marks the cache stale.
+func (c *IDCache) Invalidate() { c.valid = false }
+
+// threadState is the per-thread scratch of a Comm.
+type threadState struct {
+	req    []int64 // request indices sorted by owner (read by peers)
+	val    []int64 // values aligned with req (SetD*) / receive buffer (GetD)
+	pos    []int32 // inverse permutation of the grouping sort
+	offs   []int64 // per-owner segment offsets, len s+1
+	keys   []int32
+	outIdx []int32 // positions of offloaded requests
+	local  []int64 // block-local index scratch for serving
+	vals   []int64 // gathered-value scratch for serving
+	inVal  []int64 // pulled value scratch for serving Set*
+	segs   []segment
+	scr    sched.Scratch
+}
+
+// segment records where one peer's request slice sits in the concatenated
+// serve buffers.
+type segment struct {
+	peer int32
+	off  int64 // offset in the peer's req/val buffers
+	pos  int64 // offset in the concatenated serve buffers
+	k    int64
+}
+
+// Tracer observes collective execution for profiling (see internal/trace
+// for the standard implementation). Methods must be safe for concurrent
+// use by all runtime threads.
+type Tracer interface {
+	// Collective reports one thread's participation in one call: the
+	// simulated-time delta by category and the thread's request count.
+	Collective(kind string, thread int, delta sim.Breakdown, elements int64)
+	// Transfer reports one coalesced transfer of elems elements between
+	// server and requester.
+	Transfer(server, requester int, elems int64)
+}
+
+// Comm holds the shared state of the collectives for one runtime: the
+// SMatrix/PMatrix pair and per-thread buffers. Allocate one per runtime
+// and reuse it across calls; buffers grow on demand.
+type Comm struct {
+	rt     *pgas.Runtime
+	s      int
+	smat   []int64 // smat[server*s+requester] = element count
+	pmat   []int64 // pmat[server*s+requester] = segment offset in requester's req
+	ts     []threadState
+	tracer Tracer
+}
+
+// SetTracer attaches a profiling tracer (nil detaches). Set it before
+// running kernels; it must not change while a collective is in flight.
+func (c *Comm) SetTracer(t Tracer) { c.tracer = t }
+
+// traced wraps a collective body with per-call profiling.
+func (c *Comm) traced(kind string, th *pgas.Thread, elements int, body func()) {
+	if c.tracer == nil {
+		body()
+		return
+	}
+	before := th.Clock.ByCategory
+	body()
+	delta := th.Clock.ByCategory.Sub(&before)
+	c.tracer.Collective(kind, th.ID, delta, int64(elements))
+}
+
+// NewComm allocates collective state for rt.
+func NewComm(rt *pgas.Runtime) *Comm {
+	s := rt.NumThreads()
+	c := &Comm{rt: rt, s: s, smat: make([]int64, s*s), pmat: make([]int64, s*s)}
+	c.ts = make([]threadState, s)
+	for i := range c.ts {
+		c.ts[i].offs = make([]int64, s+1)
+	}
+	return c
+}
+
+func grow(buf []int64, k int) []int64 {
+	if cap(buf) < k {
+		return make([]int64, k)
+	}
+	return buf[:k]
+}
+
+func grow32(buf []int32, k int) []int32 {
+	if cap(buf) < k {
+		return make([]int32, k)
+	}
+	return buf[:k]
+}
+
+// ownerKeys fills st.keys with the owner thread of every index, honoring
+// the id optimization and cache.
+func (c *Comm) ownerKeys(th *pgas.Thread, d *pgas.SharedArray, indices []int64, opts *Options, cache *IDCache, st *threadState) {
+	k := len(indices)
+	st.keys = grow32(st.keys, k)
+	if opts.CachedIDs && cache != nil && cache.valid && len(cache.keys) == k {
+		copy(st.keys, cache.keys)
+		th.ChargeSeq(sim.CatWork, int64(k))
+		return
+	}
+	blk := d.BlockSize()
+	for j, ix := range indices {
+		st.keys[j] = int32(ix / blk)
+	}
+	if opts.CachedIDs {
+		// Direct, vectorizable arithmetic.
+		th.ChargeOps(sim.CatWork, int64(k))
+		if cache != nil {
+			cache.keys = grow32(cache.keys, k)
+			copy(cache.keys, st.keys)
+			cache.valid = true
+			th.ChargeSeq(sim.CatWork, int64(k))
+		}
+	} else {
+		// One runtime intrinsic per element, every iteration.
+		th.ChargeIntrinsics(sim.CatWork, int64(k))
+	}
+}
+
+// groupByOwner sorts (indices, optional values) by owner into st.req
+// (and st.val), filling st.pos and st.offs, and charging the sort.
+func (c *Comm) groupByOwner(th *pgas.Thread, indices, values []int64, opts *Options, st *threadState) {
+	k := len(indices)
+	st.req = grow(st.req, k)
+	st.pos = grow32(st.pos, k)
+	switch opts.Sort {
+	case CountSort:
+		psort.BucketByKey(indices, st.keys[:k], c.s, st.req, st.pos, st.offs)
+		// Counting pass (streaming) plus a bucketed distribution pass
+		// (dense permutation into the grouped layout).
+		th.ChargeSeq(sim.CatSort, int64(k))
+		ns, misses := th.Runtime().Model().DensePermute(int64(k))
+		th.Clock.Charge(sim.CatSort, ns)
+		th.Clock.CacheMisses += misses
+		th.ChargeOps(sim.CatSort, 2*int64(k)+int64(c.s))
+	case QuickSort:
+		// Pack (owner, position) and comparison-sort: the slow path of
+		// Figure 3. Positions keep the sort stable and recover the
+		// permutation.
+		packed := make([]int64, k)
+		for j := range indices {
+			packed[j] = int64(st.keys[j])<<40 | int64(j)
+		}
+		psort.Quicksort(packed)
+		for i := range st.offs {
+			st.offs[i] = 0
+		}
+		for p, pk := range packed {
+			j := int32(pk & (1<<40 - 1))
+			st.pos[p] = j
+			st.req[p] = indices[j]
+			st.offs[pk>>40+1]++
+		}
+		for b := 0; b < c.s; b++ {
+			st.offs[b+1] += st.offs[b]
+		}
+		// Quicksort's partition passes stream each segment sequentially:
+		// ~lg k passes over k elements, each element paying a compare,
+		// a branch (frequently mispredicted on random keys), and a
+		// conditional swap — the constant-factor gap to count sort the
+		// paper quotes as "more than 50 times".
+		lg := int64(1)
+		for kk := k; kk > 1; kk >>= 1 {
+			lg++
+		}
+		for pass := int64(0); pass < lg; pass++ {
+			th.ChargeSeq(sim.CatSort, int64(k))
+		}
+		th.ChargeOps(sim.CatSort, 8*int64(k)*lg)
+	default:
+		panic(fmt.Sprintf("collective: unknown sort kind %d", opts.Sort))
+	}
+	st.val = grow(st.val, k)
+	if values != nil {
+		for p, j := range st.pos[:k] {
+			st.val[p] = values[j]
+		}
+		ns, misses := th.Runtime().Model().DensePermute(int64(k))
+		th.Clock.Charge(sim.CatSort, ns)
+		th.Clock.CacheMisses += misses
+	}
+}
+
+// publishMatrices writes this thread's per-peer counts and offsets into
+// the shared matrices — the all-to-all setup of Algorithm 2, step 3.
+func (c *Comm) publishMatrices(th *pgas.Thread, st *threadState) {
+	i := th.ID
+	hier := th.Runtime().Config().HierarchicalA2A
+	tpn := th.Runtime().ThreadsPerNode()
+	for j := 0; j < c.s; j++ {
+		c.smat[j*c.s+i] = st.offs[j+1] - st.offs[j]
+		c.pmat[j*c.s+i] = st.offs[j]
+		if th.SameNode(j) {
+			th.ChargeOps(sim.CatSetup, 2)
+			continue
+		}
+		if hier {
+			// Node-level aggregation: threads stage into node-local
+			// buffers; only node leaders exchange combined matrices.
+			th.ChargeOps(sim.CatSetup, 2)
+			continue
+		}
+		th.ChargeSmallRemoteWrite(sim.CatSetup)
+		th.ChargeSmallRemoteWrite(sim.CatSetup)
+	}
+	if hier && th.Local == 0 {
+		// Leader exchanges one combined matrix block per remote node:
+		// counts and offsets for t local threads x t remote threads.
+		p := th.Runtime().Nodes()
+		blockBytes := int64(2 * 8 * tpn * tpn)
+		for node := 0; node < p-1; node++ {
+			th.ChargeMessage(sim.CatSetup, blockBytes)
+		}
+	}
+}
+
+// peerAt returns the peer served at step r under the selected schedule.
+func peerAt(i, r, s int, circular bool) int {
+	if circular {
+		return (i + r) % s
+	}
+	return r
+}
+
+// transferCost charges a coalesced bulk transfer of k elements between th
+// and peer (in either direction), applying the linear-schedule penalty
+// when circular is off. extraLatency adds a return wire leg for pulls.
+func (c *Comm) transferCost(th *pgas.Thread, peer int, k int64, pull bool, opts *Options) {
+	if k == 0 {
+		return
+	}
+	if c.tracer != nil {
+		c.tracer.Transfer(th.ID, peer, k)
+	}
+	if th.SameNode(peer) {
+		th.ChargeSeq(sim.CatComm, k)
+		return
+	}
+	model := th.Runtime().Model()
+	bytes := k * sim.ElemBytes
+	ns := model.Message(bytes, th.Runtime().ThreadsPerNode())
+	if pull {
+		ns += th.Runtime().Config().NetLatency
+	}
+	if !opts.Circular {
+		ns *= model.LinearPenalty()
+	}
+	th.Clock.Charge(sim.CatComm, ns)
+	th.Clock.Messages++
+	th.Clock.Bytes += bytes
+	th.Clock.RemoteOps++
+}
+
+// GetD gathers out[j] = D[indices[j]] collectively. All threads of the
+// runtime must call it (with possibly different index lists); it contains
+// barriers. cache may be nil.
+func (c *Comm) GetD(th *pgas.Thread, d *pgas.SharedArray, indices, out []int64, opts *Options, cache *IDCache) {
+	if len(out) != len(indices) {
+		panic("collective: GetD output length mismatch")
+	}
+	c.traced("GetD", th, len(indices), func() { c.getDImpl(th, d, indices, out, opts, cache) })
+}
+
+func (c *Comm) getDImpl(th *pgas.Thread, d *pgas.SharedArray, indices, out []int64, opts *Options, cache *IDCache) {
+	st := &c.ts[th.ID]
+
+	work := indices
+	if opts.Offload {
+		work = c.offloadFilter(th, indices, out, opts, st)
+	}
+
+	c.ownerKeys(th, d, work, opts, cache, st)
+	c.groupByOwner(th, work, nil, opts, st)
+	c.publishMatrices(th, st)
+	th.Barrier()
+	c.serve(th, d, opts, serveGet)
+	th.Barrier()
+
+	// Permute received values back to request order (Algorithm 2 step 6):
+	// a dense permutation of the receive buffer.
+	k := len(work)
+	ns, misses := th.Runtime().Model().DensePermute(int64(k))
+	th.Clock.Charge(sim.CatIrregular, ns)
+	th.Clock.CacheMisses += misses
+	if opts.Offload {
+		// st.pos indexes the filtered list; st.outIdx maps it back to
+		// original request positions.
+		for p, j := range st.pos[:k] {
+			out[st.outIdx[j]] = st.val[p]
+		}
+	} else {
+		for p, j := range st.pos[:k] {
+			out[j] = st.val[p]
+		}
+	}
+}
+
+// offloadFilter removes requests for the offloaded index, writing its
+// known value directly, and returns the filtered list. st.outIdx maps
+// filtered positions back to original positions.
+func (c *Comm) offloadFilter(th *pgas.Thread, indices []int64, out []int64, opts *Options, st *threadState) []int64 {
+	st.local = grow(st.local, len(indices))
+	st.outIdx = grow32(st.outIdx, len(indices))
+	w := 0
+	for j, ix := range indices {
+		if ix == opts.OffloadIndex {
+			out[j] = opts.OffloadValue
+			continue
+		}
+		st.local[w] = ix
+		st.outIdx[w] = int32(j)
+		w++
+	}
+	th.ChargeSeq(sim.CatWork, int64(len(indices)))
+	return st.local[:w]
+}
+
+type serveMode int
+
+const (
+	serveGet serveMode = iota
+	serveSet
+	serveMin
+)
+
+// serve is phase 2 of Algorithm 2: this thread answers every peer's
+// request segment against its own block of d. All peers' segments are
+// pulled first (one coalesced message each, in schedule order), the whole
+// concatenated request list is served with one blocked gather/scatter —
+// the local block is loaded at most once per collective, matching
+// equation 5's n*L_M term — and for GetD the per-peer value slices are
+// pushed back.
+func (c *Comm) serve(th *pgas.Thread, d *pgas.SharedArray, opts *Options, mode serveMode) {
+	i := th.ID
+	lo, hi := d.LocalRange(i)
+	local := d.Raw()[lo:hi]
+	st := &c.ts[i]
+
+	// Pull phase: gather segment metadata and request indices.
+	total := int64(0)
+	st.segs = st.segs[:0]
+	for r := 0; r < c.s; r++ {
+		peer := peerAt(i, r, c.s, opts.Circular)
+		k := c.smat[i*c.s+peer]
+		if k == 0 {
+			continue
+		}
+		st.segs = append(st.segs, segment{
+			peer: int32(peer),
+			off:  c.pmat[i*c.s+peer],
+			pos:  total,
+			k:    k,
+		})
+		total += k
+	}
+	st.local = grow(st.local, int(total))
+	st.vals = grow(st.vals, int(total))
+	for _, seg := range st.segs {
+		reqSeg := c.ts[seg.peer].req[seg.off : seg.off+seg.k]
+		c.transferCost(th, int(seg.peer), seg.k, true, opts)
+		for j, gix := range reqSeg {
+			st.local[seg.pos+int64(j)] = gix - lo
+		}
+		th.ChargeOps(sim.CatWork, seg.k)
+		if mode == serveSet || mode == serveMin {
+			// Pull the peer's value segment alongside the indices.
+			c.transferCost(th, int(seg.peer), seg.k, true, opts)
+		}
+	}
+
+	// Serve phase: one blocked access over the concatenated list. The
+	// block stays cache-warm across it, so first-touch tracking resets
+	// once per collective.
+	st.scr.Reset(hi - lo)
+	switch mode {
+	case serveGet:
+		sched.Gather(th, local, st.local[:total], st.vals[:total], opts.VirtualThreads, opts.LocalCpy, &st.scr)
+		// Push phase: return each peer's values.
+		for _, seg := range st.segs {
+			c.transferCost(th, int(seg.peer), seg.k, false, opts)
+			copy(c.ts[seg.peer].val[seg.off:seg.off+seg.k], st.vals[seg.pos:seg.pos+seg.k])
+		}
+	case serveSet, serveMin:
+		st.inVal = grow(st.inVal, int(total))
+		for _, seg := range st.segs {
+			copy(st.inVal[seg.pos:seg.pos+seg.k], c.ts[seg.peer].val[seg.off:seg.off+seg.k])
+		}
+		op := sched.OpSet
+		if mode == serveMin {
+			op = sched.OpMin
+		}
+		sched.Scatter(th, local, st.local[:total], st.inVal[:total], op, opts.VirtualThreads, opts.LocalCpy, &st.scr)
+	}
+}
+
+// SetD scatters D[indices[j]] = values[j] collectively (arbitrary
+// concurrent write: when several requests target one location, the owner
+// applies them in a deterministic order and the last wins).
+func (c *Comm) SetD(th *pgas.Thread, d *pgas.SharedArray, indices, values []int64, opts *Options, cache *IDCache) {
+	c.setImpl(th, d, indices, values, opts, cache, serveSet)
+}
+
+// SetDMin scatters D[indices[j]] = min(D[indices[j]], values[j])
+// collectively (priority concurrent write). It is the lock-free
+// replacement for the MST minimum-edge update.
+func (c *Comm) SetDMin(th *pgas.Thread, d *pgas.SharedArray, indices, values []int64, opts *Options, cache *IDCache) {
+	c.setImpl(th, d, indices, values, opts, cache, serveMin)
+}
+
+func (c *Comm) setImpl(th *pgas.Thread, d *pgas.SharedArray, indices, values []int64, opts *Options, cache *IDCache, mode serveMode) {
+	if len(values) != len(indices) {
+		panic("collective: Set* value length mismatch")
+	}
+	kind := "SetD"
+	if mode == serveMin {
+		kind = "SetDMin"
+	}
+	c.traced(kind, th, len(indices), func() { c.setBody(th, d, indices, values, opts, cache, mode) })
+}
+
+func (c *Comm) setBody(th *pgas.Thread, d *pgas.SharedArray, indices, values []int64, opts *Options, cache *IDCache, mode serveMode) {
+	st := &c.ts[th.ID]
+	work, vals := indices, values
+	if opts.Offload && mode == serveMin {
+		// Requests against the offloaded location are no-ops for a
+		// priority write when its value is pinned at the minimum; drop
+		// them client-side.
+		work, vals = c.offloadFilterSet(th, indices, values, opts, st)
+	}
+	c.ownerKeys(th, d, work, opts, cache, st)
+	c.groupByOwner(th, work, vals, opts, st)
+	c.publishMatrices(th, st)
+	th.Barrier()
+	c.serve(th, d, opts, mode)
+	th.Barrier()
+}
+
+// offloadFilterSet drops writes targeting the offloaded index.
+func (c *Comm) offloadFilterSet(th *pgas.Thread, indices, values []int64, opts *Options, st *threadState) (idx, vals []int64) {
+	st.local = grow(st.local, len(indices))
+	st.vals = grow(st.vals, len(indices))
+	w := 0
+	for j, ix := range indices {
+		if ix == opts.OffloadIndex {
+			continue
+		}
+		st.local[w] = ix
+		st.vals[w] = values[j]
+		w++
+	}
+	th.ChargeSeq(sim.CatWork, int64(len(indices)))
+	return st.local[:w], st.vals[:w]
+}

@@ -1,0 +1,86 @@
+package collective
+
+import (
+	"pgasgraph/internal/pgas"
+	"pgasgraph/internal/sched"
+	"pgasgraph/internal/sim"
+)
+
+// GetDPair gathers from two equally-distributed shared arrays at the same
+// indices in one collective: out1[j] = d1[indices[j]], out2[j] =
+// d2[indices[j]]. Pointer-jumping kernels fetch S[S[i]] and R[S[i]] at
+// identical indices every round; fusing the calls halves the grouping
+// work and the SMatrix/PMatrix setup traffic — the all-to-all burst that
+// dominates at high thread counts (§VI). A beyond-paper optimization,
+// measured by BenchmarkAblationFusedPair.
+//
+// d1 and d2 must have the same length (hence the same distribution).
+func (c *Comm) GetDPair(th *pgas.Thread, d1, d2 *pgas.SharedArray, indices, out1, out2 []int64, opts *Options, cache *IDCache) {
+	if len(out1) != len(indices) || len(out2) != len(indices) {
+		panic("collective: GetDPair output length mismatch")
+	}
+	if d1.Len() != d2.Len() {
+		panic("collective: GetDPair arrays must share a distribution")
+	}
+	c.traced("GetDPair", th, len(indices), func() {
+		c.getDPairImpl(th, d1, d2, indices, out1, out2, opts, cache)
+	})
+}
+
+func (c *Comm) getDPairImpl(th *pgas.Thread, d1, d2 *pgas.SharedArray, indices, out1, out2 []int64, opts *Options, cache *IDCache) {
+	st := &c.ts[th.ID]
+
+	// One grouping and one setup serve both gathers (offload does not
+	// apply: two arrays cannot share one pinned value).
+	c.ownerKeys(th, d1, indices, opts, cache, st)
+	c.groupByOwner(th, indices, nil, opts, st)
+	c.publishMatrices(th, st)
+	// Second receive buffer, aligned with st.val.
+	st.inVal = grow(st.inVal, len(indices))
+	th.Barrier()
+
+	// Serve phase: pull each peer's indices once, gather from both local
+	// blocks, push both value streams back.
+	i := th.ID
+	lo, hi := d1.LocalRange(i)
+	local1 := d1.Raw()[lo:hi]
+	local2 := d2.Raw()[lo:hi]
+	st.scr.Reset(hi - lo)
+	var scr2 sched.Scratch
+	scr2.Reset(hi - lo)
+	for r := 0; r < c.s; r++ {
+		peer := peerAt(i, r, c.s, opts.Circular)
+		k := c.smat[i*c.s+peer]
+		if k == 0 {
+			continue
+		}
+		off := c.pmat[i*c.s+peer]
+		reqSeg := c.ts[peer].req[off : off+k]
+		c.transferCost(th, peer, k, true, opts)
+		st.local = grow(st.local, int(k))
+		for j, gix := range reqSeg {
+			st.local[j] = gix - lo
+		}
+		th.ChargeOps(sim.CatWork, k)
+
+		st.vals = grow(st.vals, int(k))
+		sched.Gather(th, local1, st.local[:k], st.vals, opts.VirtualThreads, opts.LocalCpy, &st.scr)
+		c.transferCost(th, peer, k, false, opts)
+		copy(c.ts[peer].val[off:off+k], st.vals[:k])
+
+		sched.Gather(th, local2, st.local[:k], st.vals, opts.VirtualThreads, opts.LocalCpy, &scr2)
+		c.transferCost(th, peer, k, false, opts)
+		copy(c.ts[peer].inVal[off:off+k], st.vals[:k])
+	}
+	th.Barrier()
+
+	// Permute both receive buffers back to request order.
+	k := len(indices)
+	ns, misses := th.Runtime().Model().DensePermute(int64(k))
+	th.Clock.Charge(sim.CatIrregular, 2*ns)
+	th.Clock.CacheMisses += 2 * misses
+	for p, j := range st.pos[:k] {
+		out1[j] = st.val[p]
+		out2[j] = st.inVal[p]
+	}
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pgasgraph/internal/cc"
+	"pgasgraph/internal/report"
+)
+
+// Fig02 reproduces Figure 2: the naive CC-UPC translation on the full
+// cluster versus CC-SMP on one node, over four random graphs of varying
+// size and density. The paper's finding: the literal translation is
+// orders of magnitude slower (three orders when normalized per
+// processor), motivating every optimization that follows.
+type Fig02 struct {
+	Cfg  Config
+	Rows []Fig02Row
+}
+
+// Fig02Row is one input graph's measurement.
+type Fig02Row struct {
+	Name       string
+	N, M       int64
+	NaiveNS    float64 // CC-UPC on the full cluster
+	SMPNS      float64 // CC-SMP (naive, single node)
+	NaiveIters int
+	SMPIters   int
+}
+
+// PerProcSlowdown is the paper's normalized comparison: per-processor
+// time of CC-UPC over CC-SMP (UPC uses p*t threads, SMP uses t).
+func (r *Fig02Row) PerProcSlowdown(nodes int) float64 {
+	return r.NaiveNS * float64(nodes) / r.SMPNS
+}
+
+// RunFig02 executes the experiment. The four inputs mirror the paper's
+// spread of vertex counts and edge densities (m/n of 4 and 20).
+func RunFig02(cfg Config) *Fig02 {
+	cfg = cfg.WithDefaults()
+	f := &Fig02{Cfg: cfg}
+	inputs := []struct {
+		name   string
+		n, d   int64
+		paperN int64
+	}{
+		{"1M-d4", 0, 4, 1_000_000},
+		{"1M-d20", 0, 20, 1_000_000},
+		{"10M-d4", 0, 4, paper10M},
+		{"10M-d20", 0, 20, paper10M},
+	}
+	for _, in := range inputs {
+		n := cfg.N(in.paperN)
+		g := cfg.RandomGraph(in.paperN, in.paperN*in.d)
+
+		upc := cfg.Runtime(cfg.Nodes, cfg.Base.ThreadsPerNode)
+		naive := cc.Naive(upc, g)
+
+		smpRT := cfg.Runtime(1, cfg.Base.ThreadsPerNode)
+		smp := cc.Naive(smpRT, g)
+
+		f.Rows = append(f.Rows, Fig02Row{
+			Name:       in.name,
+			N:          n,
+			M:          g.M(),
+			NaiveNS:    naive.Run.SimNS,
+			SMPNS:      smp.Run.SimNS,
+			NaiveIters: naive.Iterations,
+			SMPIters:   smp.Iterations,
+		})
+	}
+	return f
+}
+
+// Table renders the figure's series.
+func (f *Fig02) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Figure 2: naive CC-UPC (%d nodes) vs CC-SMP (1 node) — simulated ms", f.Cfg.Nodes),
+		"graph", "n", "m", "CC-UPC", "CC-SMP", "slowdown", "per-proc slowdown")
+	for _, r := range f.Rows {
+		t.AddRow(r.Name, report.Count(r.N), report.Count(r.M),
+			report.MS(r.NaiveNS), report.MS(r.SMPNS),
+			report.Ratio(r.NaiveNS/r.SMPNS),
+			report.Ratio(r.PerProcSlowdown(f.Cfg.Nodes)))
+	}
+	t.AddNote("paper: CC-UPC is ~3 orders of magnitude slower per processor")
+	return t
+}
+
+// CheckShape asserts the paper's qualitative result: the naive translation
+// loses by a wide margin on every input, and by orders of magnitude when
+// normalized per processor.
+func (f *Fig02) CheckShape() error {
+	if len(f.Rows) == 0 {
+		return fmt.Errorf("fig02: no rows")
+	}
+	for _, r := range f.Rows {
+		if ratio := r.NaiveNS / r.SMPNS; ratio < 10 {
+			return fmt.Errorf("fig02 %s: naive/SMP ratio %.1f, want >= 10", r.Name, ratio)
+		}
+		if pp := r.PerProcSlowdown(f.Cfg.Nodes); pp < 100 {
+			return fmt.Errorf("fig02 %s: per-processor slowdown %.0f, want >= 100", r.Name, pp)
+		}
+	}
+	return nil
+}

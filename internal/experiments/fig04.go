@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pgasgraph/internal/cc"
+	"pgasgraph/internal/collective"
+	"pgasgraph/internal/graph"
+	"pgasgraph/internal/report"
+)
+
+// Fig04 reproduces Figure 4: cache blocking on a single SMP node. CC
+// rewritten with (shared-memory) collectives runs with t' virtual threads
+// per physical thread; the paper sweeps t' on three inputs and finds a
+// U-shape with the best t' between 12 and 18, where the blocked code is
+// up to ~2x faster than the prior SMP implementation.
+type Fig04 struct {
+	Cfg     Config
+	TPrimes []int
+	Inputs  []Fig04Input
+}
+
+// Fig04Input is the t' sweep for one input graph.
+type Fig04Input struct {
+	Name  string
+	N, M  int64
+	SMPNS float64   // prior SMP implementation (naive, one node)
+	NS    []float64 // collectives time per t' in Fig04.TPrimes
+}
+
+// Best returns the index of the fastest t'.
+func (in *Fig04Input) Best() int {
+	best := 0
+	for i, v := range in.NS {
+		if v < in.NS[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// RunFig04 executes the sweep.
+func RunFig04(cfg Config) *Fig04 {
+	cfg = cfg.WithDefaults()
+	f := &Fig04{
+		Cfg:     cfg,
+		TPrimes: []int{1, 2, 4, 8, 12, 16, 18, 24, 32, 48, 64},
+	}
+	inputs := []struct {
+		name           string
+		paperN, paperM int64
+	}{
+		{"n=100M m=400M", paper100M, paper400M},
+		{"n=100M m=1G", paper100M, paper1G},
+		{"n=200M m=800M", paper200M, paper800M},
+	}
+	tpn := cfg.Base.ThreadsPerNode
+	for _, in := range inputs {
+		g := graph.Random(cfg.N(in.paperN), cfg.N(in.paperM), cfg.Seed)
+		row := Fig04Input{Name: in.name, N: g.N, M: g.M()}
+
+		smpRT := cfg.Runtime(1, tpn)
+		row.SMPNS = cc.Naive(smpRT, g).Run.SimNS
+
+		for _, tp := range f.TPrimes {
+			rt := cfg.Runtime(1, tpn)
+			opts := &cc.Options{Col: collective.Optimized(tp), Compact: true}
+			res := cc.Coalesced(rt, collective.NewComm(rt), g, opts)
+			row.NS = append(row.NS, res.Run.SimNS)
+		}
+		f.Inputs = append(f.Inputs, row)
+	}
+	return f
+}
+
+// Table renders the figure's series.
+func (f *Fig04) Table() *report.Table {
+	cols := []string{"input", "n", "m", "SMP"}
+	for _, tp := range f.TPrimes {
+		cols = append(cols, fmt.Sprintf("t'=%d", tp))
+	}
+	cols = append(cols, "best t'", "best vs SMP")
+	t := report.NewTable("Figure 4: CC vs virtual-thread count t' (single SMP node) — simulated ms", cols...)
+	for _, in := range f.Inputs {
+		row := []string{in.Name, report.Count(in.N), report.Count(in.M), report.MS(in.SMPNS)}
+		for _, v := range in.NS {
+			row = append(row, report.MS(v))
+		}
+		b := in.Best()
+		row = append(row, fmt.Sprint(f.TPrimes[b]), report.Ratio(in.SMPNS/in.NS[b]))
+		t.AddRow(row...)
+	}
+	t.AddNote("paper: U-shape; best t' in [12,18]; best ~2x faster than the SMP implementation")
+	return t
+}
+
+// CheckShape asserts the U-shape and the win over the SMP baseline.
+func (f *Fig04) CheckShape() error {
+	for _, in := range f.Inputs {
+		b := in.Best()
+		if b == 0 || b == len(in.NS)-1 {
+			return fmt.Errorf("fig04 %s: best t'=%d at sweep boundary, want interior minimum",
+				in.Name, f.TPrimes[b])
+		}
+		if in.NS[b] >= in.SMPNS {
+			return fmt.Errorf("fig04 %s: best collectives time %.0f not faster than SMP %.0f",
+				in.Name, in.NS[b], in.SMPNS)
+		}
+		// The unblocked endpoints must be visibly worse than the best.
+		if in.NS[0] < in.NS[b]*1.05 {
+			return fmt.Errorf("fig04 %s: t'=1 (%.0f) not worse than best (%.0f)",
+				in.Name, in.NS[0], in.NS[b])
+		}
+		if last := in.NS[len(in.NS)-1]; last < in.NS[b]*1.01 {
+			return fmt.Errorf("fig04 %s: largest t' (%.0f) not worse than best (%.0f)",
+				in.Name, last, in.NS[b])
+		}
+	}
+	return nil
+}

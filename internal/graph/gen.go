@@ -1,0 +1,342 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"pgasgraph/internal/xrand"
+)
+
+// Random returns a uniform random graph with n vertices and m unique
+// undirected edges (no self-loops, no duplicates), the paper's primary
+// input class: "a random graph of n vertices and m edges is created by
+// randomly adding m unique edges to the vertex set" (§III).
+//
+// Generation is sequential and depends only on (n, m, seed), so every
+// thread configuration sees the identical graph.
+func Random(n, m int64, seed uint64) *Graph {
+	if n < 2 && m > 0 {
+		panic(fmt.Sprintf("graph: cannot place %d edges on %d vertices", m, n))
+	}
+	maxEdges := n * (n - 1) / 2
+	if m > maxEdges {
+		panic(fmt.Sprintf("graph: m=%d exceeds simple-graph capacity %d for n=%d", m, maxEdges, n))
+	}
+	r := xrand.New(seed).Split(0x9a11d0)
+	g := &Graph{N: n, U: make([]int32, 0, m), V: make([]int32, 0, m)}
+	seen := make(map[uint64]struct{}, m)
+	addRandomEdges(g, seen, m, n, r)
+	return g
+}
+
+// addRandomEdges appends unique random non-loop edges to g until it has
+// target additional edges, consulting and updating seen (keyed by the
+// canonical u<v pair).
+func addRandomEdges(g *Graph, seen map[uint64]struct{}, count, n int64, r *xrand.Rand) {
+	for int64(0) < count {
+		u := r.Int64n(n)
+		v := r.Int64n(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := uint64(u)<<32 | uint64(v)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		g.U = append(g.U, int32(u))
+		g.V = append(g.V, int32(v))
+		count--
+	}
+}
+
+// Hybrid returns the paper's hybrid random/scale-free graph (§III): a
+// preferential-attachment kernel is generated on 2*sqrt(n) randomly chosen
+// vertices — producing hub vertices of degree O(sqrt(n)) that stress load
+// balancing and create potential communication hotspots — and then random
+// edges are added over all n vertices until the graph has m edges total.
+func Hybrid(n, m int64, seed uint64) *Graph {
+	if n < 4 {
+		return Random(n, m, seed)
+	}
+	root := xrand.New(seed)
+	rk := root.Split(0x5ca1eff)
+	k := int64(2 * math.Sqrt(float64(n)))
+	if k < 2 {
+		k = 2
+	}
+	if k > n {
+		k = n
+	}
+	// Choose the kernel vertices: a random sample of k distinct ids.
+	kernel := sampleDistinct(n, k, rk)
+
+	g := &Graph{N: n, U: make([]int32, 0, m), V: make([]int32, 0, m)}
+	seen := make(map[uint64]struct{}, m)
+
+	// Preferential attachment over the kernel: vertex j (in kernel order)
+	// attaches kernelOut edges to earlier kernel vertices chosen
+	// proportionally to degree, via the repeated-endpoints trick.
+	const kernelOut = 4
+	endpoints := make([]int64, 0, 2*k*kernelOut)
+	endpoints = append(endpoints, kernel[0], kernel[1])
+	addEdge(g, seen, kernel[0], kernel[1])
+	for j := int64(2); j < k; j++ {
+		src := kernel[j]
+		for e := 0; e < kernelOut; e++ {
+			if g.M() >= m {
+				break
+			}
+			dst := endpoints[rk.Int64n(int64(len(endpoints)))]
+			if dst == src {
+				continue
+			}
+			if addEdge(g, seen, src, dst) {
+				endpoints = append(endpoints, src, dst)
+			}
+		}
+	}
+	// Fill the remainder with uniform random edges over all n vertices.
+	if g.M() < m {
+		addRandomEdges(g, seen, m-g.M(), n, root.Split(0xf111))
+	}
+	// Kernel generation may overshoot only if m was tiny; trim to m.
+	if g.M() > m {
+		g.U = g.U[:m]
+		g.V = g.V[:m]
+	}
+	return g
+}
+
+// addEdge appends edge (u,v) if it is not a duplicate, reporting success.
+func addEdge(g *Graph, seen map[uint64]struct{}, u, v int64) bool {
+	if u == v {
+		return false
+	}
+	a, b := u, v
+	if a > b {
+		a, b = b, a
+	}
+	key := uint64(a)<<32 | uint64(b)
+	if _, dup := seen[key]; dup {
+		return false
+	}
+	seen[key] = struct{}{}
+	g.U = append(g.U, int32(u))
+	g.V = append(g.V, int32(v))
+	return true
+}
+
+// sampleDistinct returns k distinct values from [0, n) via a partial
+// Fisher-Yates over a sparse map (efficient for k << n).
+func sampleDistinct(n, k int64, r *xrand.Rand) []int64 {
+	moved := make(map[int64]int64, k)
+	out := make([]int64, k)
+	for i := int64(0); i < k; i++ {
+		j := i + r.Int64n(n-i)
+		vj, ok := moved[j]
+		if !ok {
+			vj = j
+		}
+		vi, ok := moved[i]
+		if !ok {
+			vi = i
+		}
+		out[i] = vj
+		moved[j] = vi
+	}
+	return out
+}
+
+// RMAT returns a recursive-matrix (Kronecker) graph with 2^scale vertices
+// and m edges, using partition probabilities (a, b, c, d), a+b+c+d = 1.
+// The paper notes RMAT graphs "contain artificial locality" requiring a
+// random vertex permutation; apply PermuteVertices for that.
+// Duplicate edges and self-loops are regenerated, so the result is simple.
+func RMAT(scale int, m int64, a, b, c, d float64, seed uint64) *Graph {
+	if scale < 1 || scale > 30 {
+		panic(fmt.Sprintf("graph: RMAT scale %d out of range [1,30]", scale))
+	}
+	sum := a + b + c + d
+	if math.Abs(sum-1) > 1e-9 {
+		panic(fmt.Sprintf("graph: RMAT probabilities sum to %g, want 1", sum))
+	}
+	n := int64(1) << scale
+	r := xrand.New(seed).Split(0x12a7)
+	g := &Graph{N: n, U: make([]int32, 0, m), V: make([]int32, 0, m)}
+	seen := make(map[uint64]struct{}, m)
+	for g.M() < m {
+		var u, v int64
+		for bit := scale - 1; bit >= 0; bit-- {
+			p := r.Float64()
+			switch {
+			case p < a:
+				// top-left: neither bit set
+			case p < a+b:
+				v |= 1 << uint(bit)
+			case p < a+b+c:
+				u |= 1 << uint(bit)
+			default:
+				u |= 1 << uint(bit)
+				v |= 1 << uint(bit)
+			}
+		}
+		addEdge(g, seen, u, v)
+		u, v = 0, 0
+	}
+	return g
+}
+
+// PermuteVertices relabels the vertices of g by a uniform random
+// permutation derived from seed, destroying generator-induced locality.
+// The input is not modified.
+func PermuteVertices(g *Graph, seed uint64) *Graph {
+	perm := xrand.New(seed).Split(0x9e12).Perm(int(g.N))
+	out := &Graph{N: g.N, U: make([]int32, g.M()), V: make([]int32, g.M())}
+	if g.Weighted() {
+		out.W = append([]uint32(nil), g.W...)
+	}
+	for i := range g.U {
+		out.U[i] = int32(perm[g.U[i]])
+		out.V[i] = int32(perm[g.V[i]])
+	}
+	return out
+}
+
+// WithRandomWeights returns a copy of g with uniform random edge weights in
+// [0, 2^31): the paper's MST inputs use "edge weights randomly chosen
+// between 0 and the maximum integer number" (§VI). Weights stay below 2^31
+// so that (weight << 32 | edgeID) packing in the MST kernels never
+// overflows a signed 64-bit word.
+func WithRandomWeights(g *Graph, seed uint64) *Graph {
+	out := g.Clone()
+	r := xrand.New(seed).Split(0x3e16)
+	out.W = make([]uint32, g.M())
+	for i := range out.W {
+		out.W[i] = uint32(r.Uint64n(1 << 31))
+	}
+	return out
+}
+
+// SmallWorld returns a Watts-Strogatz small-world graph: a ring lattice
+// where every vertex connects to its k/2 nearest neighbors on each side,
+// with each edge's far endpoint rewired to a random vertex with
+// probability beta. Low diameter with high clustering — a structured
+// contrast to the uniform and scale-free generators.
+func SmallWorld(n int64, k int, beta float64, seed uint64) *Graph {
+	if k < 2 || k%2 != 0 {
+		panic(fmt.Sprintf("graph: SmallWorld degree k=%d must be positive and even", k))
+	}
+	if int64(k) >= n {
+		panic(fmt.Sprintf("graph: SmallWorld k=%d too large for n=%d", k, n))
+	}
+	if beta < 0 || beta > 1 {
+		panic(fmt.Sprintf("graph: SmallWorld beta=%v out of [0,1]", beta))
+	}
+	r := xrand.New(seed).Split(0x5e1f)
+	g := &Graph{N: n}
+	seen := make(map[uint64]struct{}, n*int64(k)/2)
+	for i := int64(0); i < n; i++ {
+		for j := 1; j <= k/2; j++ {
+			target := (i + int64(j)) % n
+			if r.Float64() < beta {
+				// Rewire: keep i, pick a random non-loop target.
+				for tries := 0; tries < 32; tries++ {
+					cand := r.Int64n(n)
+					if cand == i {
+						continue
+					}
+					a, b := i, cand
+					if a > b {
+						a, b = b, a
+					}
+					if _, dup := seen[uint64(a)<<32|uint64(b)]; dup {
+						continue
+					}
+					target = cand
+					break
+				}
+			}
+			addEdge(g, seen, i, target)
+		}
+	}
+	return g
+}
+
+// Torus3D returns the 3-dimensional torus of the given side: each vertex
+// connects to its six axis neighbors with wraparound — the interconnect
+// topology of the BlueGene machines the paper's §I references, and a
+// constant-degree high-diameter stress input.
+func Torus3D(side int64, seed uint64) *Graph {
+	if side < 2 {
+		panic(fmt.Sprintf("graph: Torus3D side %d too small", side))
+	}
+	_ = seed // deterministic topology; parameter kept for interface symmetry
+	n := side * side * side
+	g := &Graph{N: n}
+	id := func(x, y, z int64) int64 { return (x*side+y)*side + z }
+	for x := int64(0); x < side; x++ {
+		for y := int64(0); y < side; y++ {
+			for z := int64(0); z < side; z++ {
+				v := id(x, y, z)
+				// Forward neighbor per axis covers each edge once,
+				// except side=2 where +1 and -1 coincide.
+				g.U = append(g.U, int32(v), int32(v), int32(v))
+				g.V = append(g.V,
+					int32(id((x+1)%side, y, z)),
+					int32(id(x, (y+1)%side, z)),
+					int32(id(x, y, (z+1)%side)))
+			}
+		}
+	}
+	if side == 2 {
+		// Deduplicate the coinciding +1/-1 wrap edges.
+		seen := map[uint64]struct{}{}
+		out := &Graph{N: n}
+		for i := range g.U {
+			a, b := g.U[i], g.V[i]
+			if a > b {
+				a, b = b, a
+			}
+			key := uint64(a)<<32 | uint64(b)
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			out.U = append(out.U, g.U[i])
+			out.V = append(out.V, g.V[i])
+		}
+		return out
+	}
+	return g
+}
+
+// RandomConnected returns a connected random graph: a uniform random
+// spanning tree (random-walk free tree) threads all n vertices, then
+// random edges fill to m. Useful when an experiment needs every vertex
+// reachable (shortest-path demos).
+func RandomConnected(n, m int64, seed uint64) *Graph {
+	if m < n-1 {
+		panic(fmt.Sprintf("graph: m=%d cannot connect n=%d vertices", m, n))
+	}
+	maxEdges := n * (n - 1) / 2
+	if m > maxEdges {
+		panic(fmt.Sprintf("graph: m=%d exceeds simple-graph capacity %d for n=%d", m, maxEdges, n))
+	}
+	root := xrand.New(seed)
+	r := root.Split(0xc0ec7)
+	g := &Graph{N: n, U: make([]int32, 0, m), V: make([]int32, 0, m)}
+	seen := make(map[uint64]struct{}, m)
+	// Random tree: attach each vertex (in random order) to a random
+	// earlier one.
+	perm := r.Perm(int(n))
+	for i := int64(1); i < n; i++ {
+		j := r.Int64n(i)
+		addEdge(g, seen, perm[i], perm[j])
+	}
+	addRandomEdges(g, seen, m-g.M(), n, root.Split(0xf177))
+	return g
+}

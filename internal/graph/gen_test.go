@@ -1,0 +1,350 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pgasgraph/internal/xrand"
+)
+
+// edgeSet returns the canonical undirected edge set.
+func edgeSet(g *Graph) map[uint64]bool {
+	set := make(map[uint64]bool, g.M())
+	for i := range g.U {
+		a, b := g.U[i], g.V[i]
+		if a > b {
+			a, b = b, a
+		}
+		set[uint64(a)<<32|uint64(b)] = true
+	}
+	return set
+}
+
+func TestRandomProperties(t *testing.T) {
+	g := Random(1000, 5000, 42)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 1000 || g.M() != 5000 {
+		t.Fatalf("dimensions wrong: %v", g)
+	}
+	if g.SelfLoops() != 0 {
+		t.Fatal("random graph has self-loops")
+	}
+	if len(edgeSet(g)) != 5000 {
+		t.Fatal("random graph has duplicate edges")
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(500, 2000, 7)
+	b := Random(500, 2000, 7)
+	for i := range a.U {
+		if a.U[i] != b.U[i] || a.V[i] != b.V[i] {
+			t.Fatalf("same-seed graphs differ at edge %d", i)
+		}
+	}
+	c := Random(500, 2000, 8)
+	if len(c.U) == len(a.U) {
+		same := true
+		for i := range a.U {
+			if a.U[i] != c.U[i] || a.V[i] != c.V[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestRandomDense(t *testing.T) {
+	// Nearly complete graph exercises the rejection path hard.
+	g := Random(30, 30*29/2-5, 3)
+	if len(edgeSet(g)) != int(g.M()) {
+		t.Fatal("dense random graph has duplicates")
+	}
+}
+
+func TestRandomPanicsOverCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-capacity Random did not panic")
+		}
+	}()
+	Random(4, 7, 1)
+}
+
+func TestHybridProperties(t *testing.T) {
+	g := Hybrid(2500, 10000, 11)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 10000 {
+		t.Fatalf("m = %d, want 10000", g.M())
+	}
+	if g.SelfLoops() != 0 {
+		t.Fatal("hybrid graph has self-loops")
+	}
+	if len(edgeSet(g)) != 10000 {
+		t.Fatal("hybrid graph has duplicate edges")
+	}
+	// The scale-free kernel must create hub vertices with degree well
+	// above the random-graph expectation (2m/n = 8).
+	if g.MaxDegree() < 20 {
+		t.Fatalf("max degree %d, want >= 20 (hubs missing)", g.MaxDegree())
+	}
+}
+
+func TestHybridDeterministic(t *testing.T) {
+	a, b := Hybrid(1000, 4000, 5), Hybrid(1000, 4000, 5)
+	for i := range a.U {
+		if a.U[i] != b.U[i] || a.V[i] != b.V[i] {
+			t.Fatalf("same-seed hybrid graphs differ at edge %d", i)
+		}
+	}
+}
+
+func TestHybridTiny(t *testing.T) {
+	g := Hybrid(3, 2, 1)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 {
+		t.Fatalf("m = %d, want 2", g.M())
+	}
+}
+
+func TestRMATProperties(t *testing.T) {
+	g := RMAT(10, 4000, 0.57, 0.19, 0.19, 0.05, 9)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 1024 || g.M() != 4000 {
+		t.Fatalf("dimensions wrong: %v", g)
+	}
+	if len(edgeSet(g)) != 4000 {
+		t.Fatal("RMAT graph has duplicates")
+	}
+	// Skewed partition probabilities produce skewed degrees.
+	if g.MaxDegree() < 4*2*4000/1024 {
+		t.Fatalf("max degree %d suspiciously uniform", g.MaxDegree())
+	}
+}
+
+func TestRMATValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { RMAT(0, 10, 0.25, 0.25, 0.25, 0.25, 1) },
+		func() { RMAT(31, 10, 0.25, 0.25, 0.25, 0.25, 1) },
+		func() { RMAT(5, 10, 0.5, 0.5, 0.5, 0.5, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid RMAT parameters did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPermuteVertices(t *testing.T) {
+	g := Path(100)
+	p := PermuteVertices(g, 3)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.M() != g.M() || p.N != g.N {
+		t.Fatal("permutation changed dimensions")
+	}
+	// Degree multiset must be preserved.
+	dg, dp := g.Degrees(), p.Degrees()
+	count := func(d []int64) map[int64]int {
+		c := map[int64]int{}
+		for _, v := range d {
+			c[v]++
+		}
+		return c
+	}
+	cg, cp := count(dg), count(dp)
+	for k, v := range cg {
+		if cp[k] != v {
+			t.Fatalf("degree multiset changed: %v vs %v", cg, cp)
+		}
+	}
+	// The original must be untouched.
+	if g.U[0] != 0 || g.V[0] != 1 {
+		t.Fatal("PermuteVertices mutated input")
+	}
+}
+
+func TestWithRandomWeights(t *testing.T) {
+	g := Random(200, 800, 2)
+	w := WithRandomWeights(g, 3)
+	if !w.Weighted() || g.Weighted() {
+		t.Fatal("weight assignment wrong")
+	}
+	for _, wt := range w.W {
+		if wt >= 1<<31 {
+			t.Fatalf("weight %d overflows the packed-key bound", wt)
+		}
+	}
+	// Deterministic.
+	w2 := WithRandomWeights(g, 3)
+	for i := range w.W {
+		if w.W[i] != w2.W[i] {
+			t.Fatal("same-seed weights differ")
+		}
+	}
+}
+
+func TestSampleDistinctProperty(t *testing.T) {
+	check := func(seed uint64, nRaw, kRaw uint16) bool {
+		n := int64(nRaw%1000) + 1
+		k := int64(kRaw) % (n + 1)
+		r := xrand.New(seed)
+		out := sampleDistinct(n, k, r)
+		seen := map[int64]bool{}
+		for _, v := range out {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return int64(len(out)) == k
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmallWorld(t *testing.T) {
+	g := SmallWorld(500, 6, 0.1, 3)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.SelfLoops() != 0 {
+		t.Fatal("small-world graph has self-loops")
+	}
+	if len(edgeSet(g)) != int(g.M()) {
+		t.Fatal("small-world graph has duplicates")
+	}
+	// m is close to n*k/2 (rewiring may drop a few on collisions).
+	if g.M() < 1400 || g.M() > 1500 {
+		t.Fatalf("m = %d, want ~1500", g.M())
+	}
+	// Determinism.
+	h := SmallWorld(500, 6, 0.1, 3)
+	for i := range g.U {
+		if g.U[i] != h.U[i] || g.V[i] != h.V[i] {
+			t.Fatal("same-seed small worlds differ")
+		}
+	}
+	// beta=0 keeps the pure ring lattice: exactly n*k/2 edges, max
+	// degree k.
+	ring := SmallWorld(100, 4, 0, 1)
+	if ring.M() != 200 || ring.MaxDegree() != 4 {
+		t.Fatalf("ring lattice wrong: m=%d maxdeg=%d", ring.M(), ring.MaxDegree())
+	}
+}
+
+func TestSmallWorldValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { SmallWorld(10, 3, 0.1, 1) }, // odd k
+		func() { SmallWorld(4, 4, 0.1, 1) },  // k >= n
+		func() { SmallWorld(10, 2, 1.5, 1) }, // beta out of range
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid SmallWorld parameters did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTorus3D(t *testing.T) {
+	g := Torus3D(4, 0)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 64 || g.M() != 3*64 {
+		t.Fatalf("4^3 torus: n=%d m=%d, want 64, 192", g.N, g.M())
+	}
+	// Every vertex has degree exactly 6.
+	for v, d := range g.Degrees() {
+		if d != 6 {
+			t.Fatalf("vertex %d degree %d, want 6", v, d)
+		}
+	}
+	// side=2: +1 and -1 wrap coincide, so degree 3 and no duplicates.
+	g2 := Torus3D(2, 0)
+	if len(edgeSet(g2)) != int(g2.M()) {
+		t.Fatal("2^3 torus has duplicate edges")
+	}
+	for v, d := range g2.Degrees() {
+		if d != 3 {
+			t.Fatalf("2^3 torus vertex %d degree %d, want 3", v, d)
+		}
+	}
+}
+
+func TestRandomConnected(t *testing.T) {
+	g := RandomConnected(500, 1200, 5)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 1200 || len(edgeSet(g)) != 1200 {
+		t.Fatalf("m=%d unique=%d", g.M(), len(edgeSet(g)))
+	}
+	// Connectivity via union-find.
+	parent := make([]int, 500)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i := range g.U {
+		a, b := find(int(g.U[i])), find(int(g.V[i]))
+		if a != b {
+			parent[a] = b
+		}
+	}
+	r0 := find(0)
+	for v := 1; v < 500; v++ {
+		if find(v) != r0 {
+			t.Fatalf("vertex %d disconnected", v)
+		}
+	}
+	// Minimum edge count: exactly the tree.
+	tree := RandomConnected(100, 99, 1)
+	if tree.M() != 99 {
+		t.Fatalf("tree m=%d", tree.M())
+	}
+	// Determinism.
+	h := RandomConnected(500, 1200, 5)
+	for i := range g.U {
+		if g.U[i] != h.U[i] || g.V[i] != h.V[i] {
+			t.Fatal("same-seed graphs differ")
+		}
+	}
+}
+
+func TestRandomConnectedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("under-edged RandomConnected did not panic")
+		}
+	}()
+	RandomConnected(10, 5, 1)
+}

@@ -1,0 +1,257 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Binary graph format:
+//
+//	magic "PGG1" (4 bytes)
+//	flags uint32 (bit 0: weighted)
+//	n     int64
+//	m     int64
+//	U     m * int32 (little-endian)
+//	V     m * int32
+//	W     m * uint32 (only when weighted)
+const binaryMagic = "PGG1"
+
+// WriteBinary encodes g in the binary graph format.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	var flags uint32
+	if g.Weighted() {
+		flags |= 1
+	}
+	for _, v := range []any{flags, g.N, g.M()} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.U); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.V); err != nil {
+		return err
+	}
+	if g.Weighted() {
+		if err := binary.Write(bw, binary.LittleEndian, g.W); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes a graph in the binary graph format and validates it.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %q", magic)
+	}
+	var flags uint32
+	var n, m int64
+	if err := binary.Read(br, binary.LittleEndian, &flags); err != nil {
+		return nil, fmt.Errorf("graph: reading flags: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("graph: reading n: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+		return nil, fmt.Errorf("graph: reading m: %w", err)
+	}
+	if n < 0 || m < 0 || m > (1<<40) {
+		return nil, fmt.Errorf("graph: implausible header n=%d m=%d", n, m)
+	}
+	// Read arrays in bounded chunks so a lying header cannot force a
+	// giant allocation before the (short) body is noticed.
+	g := &Graph{N: n}
+	var err2 error
+	if g.U, err2 = readInt32s(br, m, "U"); err2 != nil {
+		return nil, err2
+	}
+	if g.V, err2 = readInt32s(br, m, "V"); err2 != nil {
+		return nil, err2
+	}
+	if flags&1 != 0 {
+		w, err3 := readInt32s(br, m, "W")
+		if err3 != nil {
+			return nil, err3
+		}
+		g.W = make([]uint32, m)
+		for i, v := range w {
+			g.W[i] = uint32(v)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// readInt32s decodes m little-endian int32 values in chunks, so the
+// allocation grows only as data actually arrives.
+func readInt32s(r io.Reader, m int64, name string) ([]int32, error) {
+	const chunk = 1 << 20
+	out := make([]int32, 0, min64(m, chunk))
+	buf := make([]int32, min64(m, chunk))
+	for int64(len(out)) < m {
+		k := min64(m-int64(len(out)), chunk)
+		if err := binary.Read(r, binary.LittleEndian, buf[:k]); err != nil {
+			return nil, fmt.Errorf("graph: reading %s: %w", name, err)
+		}
+		out = append(out, buf[:k]...)
+	}
+	return out, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// WriteEdgeList writes g as a text edge list: a header line "# n <N>"
+// followed by one "u v [w]" line per edge.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "# n %d\n", g.N); err != nil {
+		return err
+	}
+	for i := range g.U {
+		var err error
+		if g.Weighted() {
+			_, err = fmt.Fprintf(bw, "%d %d %d\n", g.U[i], g.V[i], g.W[i])
+		} else {
+			_, err = fmt.Fprintf(bw, "%d %d\n", g.U[i], g.V[i])
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the text edge-list format produced by WriteEdgeList.
+// Lines starting with '#' other than the "# n" header are comments. When no
+// header is present, N is one more than the largest endpoint. Weighted and
+// unweighted lines must not be mixed.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	g := &Graph{N: -1}
+	sawWeight := false
+	var maxV int64 = -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.Fields(text)
+			if len(fields) == 3 && fields[1] == "n" {
+				n, err := strconv.ParseInt(fields[2], 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("graph: line %d: bad header: %v", line, err)
+				}
+				g.N = n
+			}
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 && len(fields) != 3 {
+			return nil, fmt.Errorf("graph: line %d: want 2 or 3 fields, got %d", line, len(fields))
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative vertex id", line)
+		}
+		if len(fields) == 3 {
+			w, err := strconv.ParseUint(fields[2], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", line, err)
+			}
+			if len(g.U) > 0 && !sawWeight {
+				return nil, fmt.Errorf("graph: line %d: mixed weighted/unweighted edges", line)
+			}
+			sawWeight = true
+			g.W = append(g.W, uint32(w))
+		} else if sawWeight {
+			return nil, fmt.Errorf("graph: line %d: mixed weighted/unweighted edges", line)
+		}
+		g.U = append(g.U, int32(u))
+		g.V = append(g.V, int32(v))
+		if u > maxV {
+			maxV = u
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g.N < 0 {
+		g.N = maxV + 1
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// WriteDOT writes g in Graphviz DOT format (strict graph, weights as edge
+// labels) — handy for eyeballing small inputs and results.
+func WriteDOT(w io.Writer, g *Graph, name string) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if name == "" {
+		name = "g"
+	}
+	if _, err := fmt.Fprintf(bw, "strict graph %q {\n", name); err != nil {
+		return err
+	}
+	// Isolated vertices still appear.
+	deg := g.Degrees()
+	for v := int64(0); v < g.N; v++ {
+		if deg[v] == 0 {
+			if _, err := fmt.Fprintf(bw, "  %d;\n", v); err != nil {
+				return err
+			}
+		}
+	}
+	for i := range g.U {
+		var err error
+		if g.Weighted() {
+			_, err = fmt.Fprintf(bw, "  %d -- %d [label=%d];\n", g.U[i], g.V[i], g.W[i])
+		} else {
+			_, err = fmt.Fprintf(bw, "  %d -- %d;\n", g.U[i], g.V[i])
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(bw, "}"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

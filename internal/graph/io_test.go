@@ -1,0 +1,149 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func roundTripBinary(t *testing.T, g *Graph) *Graph {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	out, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	return out
+}
+
+func graphsEqual(a, b *Graph) bool {
+	if a.N != b.N || a.M() != b.M() || a.Weighted() != b.Weighted() {
+		return false
+	}
+	for i := range a.U {
+		if a.U[i] != b.U[i] || a.V[i] != b.V[i] {
+			return false
+		}
+		if a.Weighted() && a.W[i] != b.W[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	cases := map[string]*Graph{
+		"empty":      Empty(0),
+		"vertices":   Empty(10),
+		"unweighted": Random(100, 300, 1),
+		"weighted":   WithRandomWeights(Random(100, 300, 1), 2),
+	}
+	for name, g := range cases {
+		t.Run(name, func(t *testing.T) {
+			if !graphsEqual(g, roundTripBinary(t, g)) {
+				t.Fatal("binary round trip changed the graph")
+			}
+		})
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("XXXX\x00\x00\x00\x00"),
+		"truncated": []byte("PGG1\x00\x00\x00\x00\x05"),
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+				t.Fatal("garbage accepted")
+			}
+		})
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	for name, g := range map[string]*Graph{
+		"unweighted": Random(50, 120, 3),
+		"weighted":   WithRandomWeights(Random(50, 120, 3), 4),
+		"isolated":   Empty(7),
+	} {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := WriteEdgeList(&buf, g); err != nil {
+				t.Fatal(err)
+			}
+			out, err := ReadEdgeList(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !graphsEqual(g, out) {
+				t.Fatal("edge-list round trip changed the graph")
+			}
+		})
+	}
+}
+
+func TestEdgeListNoHeader(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1\n1 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || g.M() != 2 {
+		t.Fatalf("inferred n=%d m=%d, want 3, 2", g.N, g.M())
+	}
+}
+
+func TestEdgeListComments(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("# a comment\n# n 5\n\n0 4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 5 || g.M() != 1 {
+		t.Fatalf("n=%d m=%d, want 5, 1", g.N, g.M())
+	}
+}
+
+func TestEdgeListErrors(t *testing.T) {
+	cases := map[string]string{
+		"too many fields": "0 1 2 3\n",
+		"non-numeric":     "a b\n",
+		"negative":        "-1 0\n",
+		"mixed weighted":  "0 1 5\n1 2\n",
+		"mixed other way": "0 1\n1 2 5\n",
+		"out of range":    "# n 2\n0 5\n",
+	}
+	for name, text := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadEdgeList(strings.NewReader(text)); err == nil {
+				t.Fatal("bad input accepted")
+			}
+		})
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := WithRandomWeights(Path(3), 1)
+	g2 := Disjoint(g, Empty(1)) // one isolated vertex
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g2, "demo"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`strict graph "demo" {`, "0 -- 1", "label=", "  3;", "}"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	// Unweighted path.
+	buf.Reset()
+	if err := WriteDOT(&buf, Path(2), ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `strict graph "g" {`) {
+		t.Fatal("default name missing")
+	}
+}

@@ -1,0 +1,118 @@
+package graph
+
+import "fmt"
+
+// Test-graph constructors with known structure, used throughout the test
+// suites to pin down algorithm behaviour on degenerate and adversarial
+// topologies.
+
+// Path returns the path graph 0-1-2-...-(n-1).
+func Path(n int64) *Graph {
+	g := &Graph{N: n}
+	for i := int64(0); i+1 < n; i++ {
+		g.U = append(g.U, int32(i))
+		g.V = append(g.V, int32(i+1))
+	}
+	return g
+}
+
+// Cycle returns the cycle graph on n >= 3 vertices.
+func Cycle(n int64) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graph: cycle needs n >= 3, got %d", n))
+	}
+	g := Path(n)
+	g.U = append(g.U, int32(n-1))
+	g.V = append(g.V, 0)
+	return g
+}
+
+// Star returns the star graph with center 0 and n-1 leaves — the worst
+// case for the paper's offload optimization analysis (every query targets
+// one vertex's label).
+func Star(n int64) *Graph {
+	g := &Graph{N: n}
+	for i := int64(1); i < n; i++ {
+		g.U = append(g.U, 0)
+		g.V = append(g.V, int32(i))
+	}
+	return g
+}
+
+// Complete returns the complete graph on n vertices.
+func Complete(n int64) *Graph {
+	g := &Graph{N: n}
+	for i := int64(0); i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.U = append(g.U, int32(i))
+			g.V = append(g.V, int32(j))
+		}
+	}
+	return g
+}
+
+// Grid returns the rows x cols 2D mesh.
+func Grid(rows, cols int64) *Graph {
+	g := &Graph{N: rows * cols}
+	id := func(r, c int64) int32 { return int32(r*cols + c) }
+	for r := int64(0); r < rows; r++ {
+		for c := int64(0); c < cols; c++ {
+			if c+1 < cols {
+				g.U = append(g.U, id(r, c))
+				g.V = append(g.V, id(r, c+1))
+			}
+			if r+1 < rows {
+				g.U = append(g.U, id(r, c))
+				g.V = append(g.V, id(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// Empty returns n isolated vertices.
+func Empty(n int64) *Graph { return &Graph{N: n} }
+
+// Disjoint returns the disjoint union of the given graphs, with vertex ids
+// shifted so components never overlap.
+func Disjoint(gs ...*Graph) *Graph {
+	out := &Graph{}
+	weighted := false
+	for _, g := range gs {
+		if g.Weighted() {
+			weighted = true
+		}
+	}
+	if weighted {
+		out.W = []uint32{}
+	}
+	var base int64
+	for _, g := range gs {
+		for i := range g.U {
+			out.U = append(out.U, g.U[i]+int32(base))
+			out.V = append(out.V, g.V[i]+int32(base))
+			if weighted {
+				w := uint32(0)
+				if g.Weighted() {
+					w = g.W[i]
+				}
+				out.W = append(out.W, w)
+			}
+		}
+		base += g.N
+	}
+	out.N = base
+	return out
+}
+
+// ReverseIdentity returns the path graph relabelled so that labels strictly
+// decrease along the path: n-1 - ... - 1 - 0. Pointer-jumping algorithms
+// take their worst-case iteration counts on it.
+func ReverseIdentity(n int64) *Graph {
+	g := &Graph{N: n}
+	for i := n - 1; i > 0; i-- {
+		g.U = append(g.U, int32(i))
+		g.V = append(g.V, int32(i-1))
+	}
+	return g
+}

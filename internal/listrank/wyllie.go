@@ -1,0 +1,240 @@
+package listrank
+
+import (
+	"fmt"
+
+	"pgasgraph/internal/collective"
+	"pgasgraph/internal/pgas"
+	"pgasgraph/internal/sim"
+)
+
+// maxRounds bounds pointer-jumping levels; Wyllie converges in
+// ceil(log2 n) rounds, so hitting this means a bug.
+const maxRounds = 128
+
+// Wyllie runs the classic pointer-jumping list ranking on the PGAS
+// runtime with coalesced collectives: per round, every active node fetches
+// its successor's successor and rank contribution through two GetD calls,
+// then doubles locally. The invariant R[i] = distance(i -> S[i]) holds
+// throughout; a node retires once its successor is a tail.
+//
+// The offload optimization does not apply (no list location is constant),
+// so it is force-disabled.
+func Wyllie(rt *pgas.Runtime, comm *collective.Comm, l *List, colOpts *collective.Options) *Result {
+	col := sanitize(colOpts)
+	s := rt.NewSharedArray("S", l.N)
+	r := rt.NewSharedArray("R", l.N)
+	for i := int64(0); i < l.N; i++ {
+		s.StoreRaw(i, int64(l.Succ[i]))
+		if int64(l.Succ[i]) != i {
+			r.StoreRaw(i, 1)
+		}
+	}
+	red := pgas.NewOrReducer(rt)
+	rounds := 0
+
+	run := rt.Run(func(th *pgas.Thread) {
+		lo, hi := s.LocalRange(th.ID)
+		span := hi - lo
+		th.ChargeSeq(sim.CatWork, 2*span) // local init of S and R
+
+		active := make([]int64, 0, span)
+		for i := lo; i < hi; i++ {
+			if s.LoadRaw(i) != i {
+				active = append(active, i)
+			}
+		}
+		th.ChargeSeq(sim.CatWork, span)
+
+		idx := make([]int64, span)
+		ss := make([]int64, span)
+		rs := make([]int64, span)
+		th.Barrier()
+
+		for round := 0; ; round++ {
+			if round >= maxRounds {
+				panic(fmt.Sprintf("listrank: Wyllie exceeded %d rounds", maxRounds))
+			}
+			k := len(active)
+			for j, i := range active {
+				idx[j] = s.LoadRaw(i)
+			}
+			th.ChargeSeq(sim.CatCopy, int64(k))
+
+			// Fetch S[S[i]] and R[S[i]] for every active node.
+			comm.GetD(th, s, idx[:k], ss[:k], col, nil)
+			comm.GetD(th, r, idx[:k], rs[:k], col, nil)
+
+			// Double: R[i] += R[S[i]]; S[i] = S[S[i]]. Retire nodes whose
+			// successor was already a tail (no change).
+			w := 0
+			for j, i := range active {
+				if ss[j] == idx[j] {
+					continue // S[i] is a tail: i is finished
+				}
+				r.StoreRaw(i, r.LoadRaw(i)+rs[j])
+				s.StoreRaw(i, ss[j])
+				active[w] = i
+				w++
+			}
+			active = active[:w]
+			th.ChargeSeq(sim.CatCopy, 3*int64(k))
+
+			if !red.Reduce(th, w > 0) {
+				if th.ID == 0 {
+					rounds = round + 1
+				}
+				return
+			}
+		}
+	})
+
+	return &Result{Ranks: append([]int64(nil), r.Raw()...), Rounds: rounds, Run: run}
+}
+
+// WyllieNaive is the literal translation: per-element one-sided reads and
+// writes, no coalescing — the list-ranking analogue of Figure 2's CC-UPC.
+func WyllieNaive(rt *pgas.Runtime, l *List) *Result {
+	s := rt.NewSharedArray("S", l.N)
+	r := rt.NewSharedArray("R", l.N)
+	for i := int64(0); i < l.N; i++ {
+		s.StoreRaw(i, int64(l.Succ[i]))
+		if int64(l.Succ[i]) != i {
+			r.StoreRaw(i, 1)
+		}
+	}
+	red := pgas.NewOrReducer(rt)
+	rounds := 0
+
+	run := rt.Run(func(th *pgas.Thread) {
+		lo, hi := s.LocalRange(th.ID)
+		span := hi - lo
+		th.ChargeSeq(sim.CatWork, 2*span)
+		active := make([]int64, 0, span)
+		for i := lo; i < hi; i++ {
+			if s.LoadRaw(i) != i {
+				active = append(active, i)
+			}
+		}
+		ss := make([]int64, span)
+		rs := make([]int64, span)
+		th.Barrier()
+
+		for round := 0; ; round++ {
+			if round >= maxRounds {
+				panic(fmt.Sprintf("listrank: WyllieNaive exceeded %d rounds", maxRounds))
+			}
+			// Read phase: fetch every active node's S[S[i]] and R[S[i]]
+			// with individual one-sided reads — a synchronous PRAM step,
+			// so no writes may interleave.
+			for j, i := range active {
+				si := th.Get(s, i, sim.CatComm) // local portion, charged
+				ss[j] = th.Get(s, si, sim.CatComm)
+				rs[j] = th.Get(r, si, sim.CatComm)
+			}
+			th.Barrier()
+			// Write phase: double pointers and ranks.
+			w := 0
+			for j, i := range active {
+				si := s.LoadRaw(i)
+				if ss[j] == si {
+					continue // successor is a tail: finished
+				}
+				th.Put(r, i, r.LoadRaw(i)+rs[j], sim.CatComm)
+				th.Put(s, i, ss[j], sim.CatComm)
+				active[w] = i
+				w++
+			}
+			active = active[:w]
+			if !red.Reduce(th, w > 0) {
+				if th.ID == 0 {
+					rounds = round + 1
+				}
+				return
+			}
+		}
+	})
+
+	return &Result{Ranks: append([]int64(nil), r.Raw()...), Rounds: rounds, Run: run}
+}
+
+// sanitize copies opts and disables offload (inapplicable to list ranking).
+func sanitize(opts *collective.Options) *collective.Options {
+	base := collective.Base()
+	if opts != nil {
+		c := *opts
+		base = &c
+	}
+	base.Offload = false
+	return base
+}
+
+// WyllieFused is Wyllie with the fused GetDPair collective: each round
+// fetches S[S[i]] and R[S[i]] through one grouping and one setup exchange
+// instead of two — the beyond-paper optimization measured by
+// BenchmarkAblationFusedPair, applied to a full kernel.
+func WyllieFused(rt *pgas.Runtime, comm *collective.Comm, l *List, colOpts *collective.Options) *Result {
+	col := sanitize(colOpts)
+	s := rt.NewSharedArray("S", l.N)
+	r := rt.NewSharedArray("R", l.N)
+	for i := int64(0); i < l.N; i++ {
+		s.StoreRaw(i, int64(l.Succ[i]))
+		if int64(l.Succ[i]) != i {
+			r.StoreRaw(i, 1)
+		}
+	}
+	red := pgas.NewOrReducer(rt)
+	rounds := 0
+
+	run := rt.Run(func(th *pgas.Thread) {
+		lo, hi := s.LocalRange(th.ID)
+		span := hi - lo
+		th.ChargeSeq(sim.CatWork, 2*span)
+		active := make([]int64, 0, span)
+		for i := lo; i < hi; i++ {
+			if s.LoadRaw(i) != i {
+				active = append(active, i)
+			}
+		}
+		th.ChargeSeq(sim.CatWork, span)
+		idx := make([]int64, span)
+		ss := make([]int64, span)
+		rs := make([]int64, span)
+		th.Barrier()
+
+		for round := 0; ; round++ {
+			if round >= maxRounds {
+				panic(fmt.Sprintf("listrank: WyllieFused exceeded %d rounds", maxRounds))
+			}
+			k := len(active)
+			for j, i := range active {
+				idx[j] = s.LoadRaw(i)
+			}
+			th.ChargeSeq(sim.CatCopy, int64(k))
+
+			comm.GetDPair(th, s, r, idx[:k], ss[:k], rs[:k], col, nil)
+
+			w := 0
+			for j, i := range active {
+				if ss[j] == idx[j] {
+					continue
+				}
+				r.StoreRaw(i, r.LoadRaw(i)+rs[j])
+				s.StoreRaw(i, ss[j])
+				active[w] = i
+				w++
+			}
+			active = active[:w]
+			th.ChargeSeq(sim.CatCopy, 3*int64(k))
+
+			if !red.Reduce(th, w > 0) {
+				if th.ID == 0 {
+					rounds = round + 1
+				}
+				return
+			}
+		}
+	})
+
+	return &Result{Ranks: append([]int64(nil), r.Raw()...), Rounds: rounds, Run: run}
+}

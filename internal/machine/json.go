@@ -1,0 +1,53 @@
+package machine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteJSON encodes cfg as indented JSON.
+func WriteJSON(w io.Writer, cfg *Config) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cfg)
+}
+
+// ReadJSON decodes a configuration, applying fields over the paper-cluster
+// preset so partial files only override what they name, then validates.
+func ReadJSON(r io.Reader) (Config, error) {
+	cfg := PaperCluster()
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return Config{}, fmt.Errorf("machine: decoding config: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// LoadFile reads a configuration from a JSON file.
+func LoadFile(path string) (Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Config{}, err
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}
+
+// SaveFile writes cfg to a JSON file.
+func SaveFile(path string, cfg *Config) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteJSON(f, cfg); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,184 @@
+package mst
+
+import (
+	"sort"
+	"testing"
+
+	"pgasgraph/internal/collective"
+	"pgasgraph/internal/graph"
+	"pgasgraph/internal/machine"
+	"pgasgraph/internal/pgas"
+	"pgasgraph/internal/seq"
+)
+
+func newRuntime(t *testing.T, nodes, tpn int) *pgas.Runtime {
+	t.Helper()
+	cfg := machine.PaperCluster()
+	cfg.Nodes = nodes
+	cfg.ThreadsPerNode = tpn
+	rt, err := pgas.New(cfg)
+	if err != nil {
+		t.Fatalf("pgas.New: %v", err)
+	}
+	return rt
+}
+
+func weightedGraphs() map[string]*graph.Graph {
+	w := func(g *graph.Graph, seed uint64) *graph.Graph {
+		return graph.WithRandomWeights(g, seed)
+	}
+	dup := graph.Path(30)
+	dupW := dup.Clone()
+	dupW.W = make([]uint32, dup.M())
+	for i := range dupW.W {
+		dupW.W[i] = 7 // all weights equal: pure tie-breaking
+	}
+	return map[string]*graph.Graph{
+		"empty":        w(graph.Empty(10), 1),
+		"path":         w(graph.Path(40), 2),
+		"reverse-path": w(graph.ReverseIdentity(40), 3),
+		"cycle":        w(graph.Cycle(25), 4),
+		"star":         w(graph.Star(30), 5),
+		"complete":     w(graph.Complete(11), 6),
+		"grid":         w(graph.Grid(6, 8), 7),
+		"disjoint":     w(graph.Disjoint(graph.Path(12), graph.Cycle(6), graph.Empty(5)), 8),
+		"random":       w(graph.Random(150, 400, 9), 10),
+		"hybrid":       w(graph.Hybrid(200, 600, 11), 12),
+		"ties":         dupW,
+	}
+}
+
+func checkForest(t *testing.T, g *graph.Graph, res *Result) {
+	t.Helper()
+	want := seq.Kruskal(g)
+	if res.Weight != want.Weight {
+		t.Fatalf("forest weight %d, want Kruskal's %d", res.Weight, want.Weight)
+	}
+	msf := &seq.MSF{Edges: res.Edges, Weight: res.Weight}
+	if err := seq.CheckForest(g, msf); err != nil {
+		t.Fatalf("invalid forest: %v", err)
+	}
+	// With the strict (weight, id) total order the MSF is unique, so the
+	// edge sets must match exactly.
+	got := append([]int64(nil), res.Edges...)
+	exp := append([]int64(nil), want.Edges...)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	sort.Slice(exp, func(i, j int) bool { return exp[i] < exp[j] })
+	if len(got) != len(exp) {
+		t.Fatalf("forest has %d edges, want %d", len(got), len(exp))
+	}
+	for i := range got {
+		if got[i] != exp[i] {
+			t.Fatalf("forest edge set differs at %d: got %d want %d", i, got[i], exp[i])
+		}
+	}
+}
+
+func TestKernelsMatchKruskal(t *testing.T) {
+	configs := []struct{ nodes, tpn int }{
+		{1, 1}, {1, 4}, {4, 1}, {4, 2}, {3, 3},
+	}
+	optVariants := map[string]*Options{
+		"base":      {},
+		"optimized": {Col: collective.Optimized(4), Compact: true},
+	}
+	for name, g := range weightedGraphs() {
+		for _, cfg := range configs {
+			t.Run(name+"/naive", func(t *testing.T) {
+				rt := newRuntime(t, cfg.nodes, cfg.tpn)
+				checkForest(t, g, Naive(rt, g))
+			})
+			for optName, opts := range optVariants {
+				t.Run(name+"/coalesced/"+optName, func(t *testing.T) {
+					rt := newRuntime(t, cfg.nodes, cfg.tpn)
+					checkForest(t, g, Coalesced(rt, collective.NewComm(rt), g, opts))
+				})
+			}
+		}
+	}
+}
+
+func TestOffloadForceDisabled(t *testing.T) {
+	opts := &Options{Col: collective.Optimized(2)}
+	if opts.col().Offload {
+		t.Fatal("MST options must force-disable the CC-specific offload optimization")
+	}
+	// The caller's options must not be mutated.
+	if !opts.Col.Offload {
+		t.Fatal("caller's collective options were mutated")
+	}
+}
+
+func TestIterationsLogarithmic(t *testing.T) {
+	// Borůvka at least halves the component count per round.
+	g := graph.WithRandomWeights(graph.Random(1024, 4096, 3), 4)
+	rt := newRuntime(t, 4, 2)
+	res := Coalesced(rt, collective.NewComm(rt), g, &Options{Col: collective.Optimized(2), Compact: true})
+	if res.Iterations > 12 {
+		t.Fatalf("%d Borůvka rounds for n=1024, want <= ~log2(n)+slack", res.Iterations)
+	}
+}
+
+func TestUnweightedPanics(t *testing.T) {
+	rt := newRuntime(t, 1, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unweighted input did not panic")
+		}
+	}()
+	Naive(rt, graph.Path(4))
+}
+
+func TestOverweightPanics(t *testing.T) {
+	g := graph.Path(3).Clone()
+	g.W = []uint32{1 << 31, 5}
+	rt := newRuntime(t, 1, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overflowing weight did not panic")
+		}
+	}()
+	Naive(rt, g)
+}
+
+func TestPackUnpack(t *testing.T) {
+	for _, c := range []struct {
+		w uint32
+		e int64
+	}{{0, 0}, {1, 1}, {1<<31 - 1, 1<<32 - 2}, {12345, 678}} {
+		key := pack(c.w, c.e)
+		if unpack(key) != c.e {
+			t.Fatalf("unpack(pack(%d,%d)) = %d", c.w, c.e, unpack(key))
+		}
+		if key < 0 || key >= noEdge {
+			t.Fatalf("packed key %d out of range", key)
+		}
+	}
+	// Ordering: weight dominates, edge id breaks ties.
+	if pack(2, 0) <= pack(1, 1<<32-1) {
+		t.Fatal("weight does not dominate packed ordering")
+	}
+	if pack(5, 3) <= pack(5, 2) {
+		t.Fatal("edge id does not break ties")
+	}
+}
+
+func TestRMATWeighted(t *testing.T) {
+	g := graph.WithRandomWeights(graph.PermuteVertices(graph.RMAT(9, 1500, 0.57, 0.19, 0.19, 0.05, 4), 5), 6)
+	rt := newRuntime(t, 3, 3)
+	checkForest(t, g, Coalesced(rt, collective.NewComm(rt), g, &Options{Col: collective.Optimized(4), Compact: true}))
+}
+
+func TestMSTSimStats(t *testing.T) {
+	g := graph.WithRandomWeights(graph.Random(500, 1500, 7), 8)
+	rt := newRuntime(t, 4, 2)
+	naive := Naive(rt, g)
+	rt2 := newRuntime(t, 4, 2)
+	coal := Coalesced(rt2, collective.NewComm(rt2), g, &Options{Col: collective.Optimized(2), Compact: true})
+	// The naive translation must be far slower in simulated time — the
+	// MST analogue of Figure 2 ("we had to abort most of the runs").
+	if naive.Run.SimNS < 5*coal.Run.SimNS {
+		t.Fatalf("naive MST (%.0f) not clearly slower than coalesced (%.0f)",
+			naive.Run.SimNS, coal.Run.SimNS)
+	}
+}

@@ -1,0 +1,529 @@
+// Package pgas implements the PGAS (Partitioned Global Address Space)
+// runtime the paper's UPC codes execute on.
+//
+// The runtime presents the UPC surface the paper's Figure 1 and Algorithm 2
+// rely on: a fixed set of threads spread over nodes, shared arrays with a
+// blocked distribution and an owner thread per element, one-sided Get/Put
+// (upc_memget/upc_memput) in single-element and bulk forms, and full
+// barriers (upc_barrier).
+//
+// Threads are real goroutines and data movement is real (algorithms compute
+// real, verifiable answers). Execution *time* is simulated: every operation
+// charges modeled nanoseconds to the issuing thread's clock (package sim)
+// and barriers synchronize clocks to the maximum, so a run's simulated
+// makespan reproduces the bulk-synchronous timing structure of the paper's
+// cluster. See DESIGN.md §2 for the substitution argument.
+package pgas
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pgasgraph/internal/machine"
+	"pgasgraph/internal/sim"
+)
+
+// Runtime is a PGAS machine instance: a set of threads over nodes plus the
+// cost model they charge against. Create one with New, then execute SPMD
+// regions with Run.
+type Runtime struct {
+	cfg     machine.Config
+	model   sim.Model
+	s       int
+	threads []*Thread
+	bar     *barrier
+}
+
+// New validates cfg and returns a runtime with cfg.TotalThreads() threads.
+func New(cfg machine.Config) (*Runtime, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := cfg.TotalThreads()
+	rt := &Runtime{
+		cfg:   cfg,
+		model: sim.NewModel(cfg),
+		s:     s,
+		bar:   newBarrier(s),
+	}
+	rt.threads = make([]*Thread, s)
+	for i := 0; i < s; i++ {
+		rt.threads[i] = &Thread{
+			rt:    rt,
+			ID:    i,
+			Node:  i / cfg.ThreadsPerNode,
+			Local: i % cfg.ThreadsPerNode,
+		}
+	}
+	return rt, nil
+}
+
+// Config returns the machine configuration.
+func (rt *Runtime) Config() machine.Config { return rt.cfg }
+
+// Model returns the cost model.
+func (rt *Runtime) Model() sim.Model { return rt.model }
+
+// NumThreads returns the total thread count s = p*t.
+func (rt *Runtime) NumThreads() int { return rt.s }
+
+// Nodes returns the node count p.
+func (rt *Runtime) Nodes() int { return rt.cfg.Nodes }
+
+// ThreadsPerNode returns t.
+func (rt *Runtime) ThreadsPerNode() int { return rt.cfg.ThreadsPerNode }
+
+// Thread is one PGAS execution context. Each Thread is driven by exactly
+// one goroutine during Run; its clock and scratch state are unsynchronized
+// by design.
+type Thread struct {
+	rt    *Runtime
+	ID    int // global thread id in [0, s)
+	Node  int // node id in [0, p)
+	Local int // thread id within the node, in [0, t)
+	Clock sim.Clock
+}
+
+// Runtime returns the owning runtime.
+func (th *Thread) Runtime() *Runtime { return th.rt }
+
+// Result summarizes one SPMD region execution.
+type Result struct {
+	// SimNS is the simulated makespan: the maximum thread clock.
+	SimNS float64
+	// Wall is the real elapsed time of the region (informational only).
+	Wall time.Duration
+	// SumByCategory is the per-category simulated time summed over all
+	// threads. Divide by Threads for a per-thread average.
+	SumByCategory sim.Breakdown
+	// Threads is the thread count the region ran with.
+	Threads int
+	// Messages, Bytes, RemoteOps, CacheMisses aggregate thread counters.
+	Messages    int64
+	Bytes       int64
+	RemoteOps   int64
+	CacheMisses float64
+}
+
+// AvgByCategory returns the per-thread average category breakdown.
+func (r *Result) AvgByCategory() sim.Breakdown {
+	b := r.SumByCategory
+	if r.Threads > 0 {
+		b.Scale(1 / float64(r.Threads))
+	}
+	return b
+}
+
+// SimMS returns the simulated makespan in milliseconds.
+func (r *Result) SimMS() float64 { return r.SimNS / 1e6 }
+
+// Run executes fn on every thread concurrently (one goroutine per thread),
+// waits for all of them, and returns the aggregated result. Clocks and
+// counters are reset at region entry. Run must not be called reentrantly.
+func (rt *Runtime) Run(fn func(th *Thread)) *Result {
+	var wg sync.WaitGroup
+	wg.Add(rt.s)
+	start := time.Now()
+	for _, th := range rt.threads {
+		th.Clock.Reset()
+		go func(th *Thread) {
+			defer wg.Done()
+			fn(th)
+		}(th)
+	}
+	wg.Wait()
+	res := &Result{Wall: time.Since(start), Threads: rt.s}
+	for _, th := range rt.threads {
+		if th.Clock.NS > res.SimNS {
+			res.SimNS = th.Clock.NS
+		}
+		res.SumByCategory.Add(&th.Clock.ByCategory)
+		res.Messages += th.Clock.Messages
+		res.Bytes += th.Clock.Bytes
+		res.RemoteOps += th.Clock.RemoteOps
+		res.CacheMisses += th.Clock.CacheMisses
+	}
+	return res
+}
+
+// Barrier performs a full barrier: all threads rendezvous, clocks advance
+// to the global maximum, and each thread is charged the barrier cost
+// (attributed to the comm category, as barriers ride the interconnect).
+func (th *Thread) Barrier() {
+	release := th.rt.bar.await(th.Clock.NS)
+	th.Clock.AdvanceTo(release)
+	th.Clock.Charge(sim.CatComm, th.rt.model.Barrier(th.rt.s))
+}
+
+// barrier is a reusable rendezvous for n goroutines that also computes the
+// maximum simulated clock among arrivers.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	arrived int
+	gen     uint64
+	max     float64
+	release float64
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// await blocks until all n goroutines have called it, then returns the
+// maximum clock value passed by any of them for this generation.
+func (b *barrier) await(clock float64) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if clock > b.max {
+		b.max = clock
+	}
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.release = b.max
+		b.max = 0
+		b.gen++
+		b.cond.Broadcast()
+		return b.release
+	}
+	gen := b.gen
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	return b.release
+}
+
+// Span divides total items into parts blocks and returns the half-open
+// range of block idx. Blocks differ in size by at most one and earlier
+// blocks are larger; idx must be in [0, parts).
+func Span(total int64, parts, idx int) (lo, hi int64) {
+	p := int64(parts)
+	i := int64(idx)
+	base := total / p
+	rem := total % p
+	lo = i*base + min64(i, rem)
+	hi = lo + base
+	if i < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Span returns this thread's block of a total-item iteration space divided
+// evenly over all threads — the runtime's upc_forall with blocked affinity.
+func (th *Thread) Span(total int64) (lo, hi int64) {
+	return Span(total, th.rt.s, th.ID)
+}
+
+// SharedArray is a one-dimensional shared array of 64-bit words with a
+// blocked distribution: thread i owns elements [i*blk, (i+1)*blk) where
+// blk = ceil(n/s). This is the layout the paper's codes declare so that
+// Algorithm 1's top-level partition matches the data distribution.
+type SharedArray struct {
+	rt   *Runtime
+	n    int64
+	blk  int64
+	data []int64
+	name string
+}
+
+// NewSharedArray allocates a shared array of n elements (zero-initialized)
+// and charges nothing; allocation cost is the caller's to model (the
+// collectives charge it to the work category). name is used in diagnostics.
+func (rt *Runtime) NewSharedArray(name string, n int64) *SharedArray {
+	if n < 0 {
+		panic(fmt.Sprintf("pgas: negative shared array size %d", n))
+	}
+	blk := int64(1)
+	if n > 0 {
+		blk = (n + int64(rt.s) - 1) / int64(rt.s)
+	}
+	return &SharedArray{rt: rt, n: n, blk: blk, data: make([]int64, n), name: name}
+}
+
+// Len returns the element count.
+func (a *SharedArray) Len() int64 { return a.n }
+
+// BlockSize returns the per-thread block size.
+func (a *SharedArray) BlockSize() int64 { return a.blk }
+
+// Owner returns the thread id owning element i.
+func (a *SharedArray) Owner(i int64) int {
+	if i < 0 || i >= a.n {
+		panic(fmt.Sprintf("pgas: index %d out of range [0,%d) in %s", i, a.n, a.name))
+	}
+	return int(i / a.blk)
+}
+
+// OwnerNode returns the node id owning element i.
+func (a *SharedArray) OwnerNode(i int64) int {
+	return a.Owner(i) / a.rt.cfg.ThreadsPerNode
+}
+
+// LocalRange returns the half-open element range owned by thread id.
+func (a *SharedArray) LocalRange(id int) (lo, hi int64) {
+	lo = int64(id) * a.blk
+	hi = lo + a.blk
+	if lo > a.n {
+		lo = a.n
+	}
+	if hi > a.n {
+		hi = a.n
+	}
+	return lo, hi
+}
+
+// NodeSpan returns the number of elements resident on one node — the
+// working-set size the cache model uses for intra-node irregular access.
+func (a *SharedArray) NodeSpan() int64 {
+	span := a.blk * int64(a.rt.cfg.ThreadsPerNode)
+	if span > a.n {
+		span = a.n
+	}
+	if span < 1 {
+		span = 1
+	}
+	return span
+}
+
+// Raw returns the backing slice for *uncharged* access. Use it only for
+// initialization, verification, and inside collectives that charge costs
+// explicitly. Concurrent mutation must go through the atomic helpers.
+func (a *SharedArray) Raw() []int64 { return a.data }
+
+// LoadRaw atomically reads element i without charging.
+func (a *SharedArray) LoadRaw(i int64) int64 { return atomic.LoadInt64(&a.data[i]) }
+
+// StoreRaw atomically writes element i without charging.
+func (a *SharedArray) StoreRaw(i int64, v int64) { atomic.StoreInt64(&a.data[i], v) }
+
+// MinRaw atomically lowers element i to v if v is smaller, returning
+// whether it stored and whether the CAS contended. Uncharged.
+func (a *SharedArray) MinRaw(i int64, v int64) (stored, contended bool) {
+	for {
+		cur := atomic.LoadInt64(&a.data[i])
+		if v >= cur {
+			return false, contended
+		}
+		if atomic.CompareAndSwapInt64(&a.data[i], cur, v) {
+			return true, contended
+		}
+		contended = true
+	}
+}
+
+// Fill sets every element to v without charging.
+func (a *SharedArray) Fill(v int64) {
+	for i := range a.data {
+		a.data[i] = v
+	}
+}
+
+// FillIdentity sets element i to i without charging (the D[i] = i init).
+func (a *SharedArray) FillIdentity() {
+	for i := range a.data {
+		a.data[i] = int64(i)
+	}
+}
+
+// remote reports whether element i of a lives on a different node than th.
+func (th *Thread) remote(a *SharedArray, i int64) bool {
+	return a.OwnerNode(i) != th.Node
+}
+
+// Get performs a single-element one-sided read, charging either an
+// intra-node irregular access or a small-message round trip. This is the
+// access the paper's naive (literally translated) codes issue per edge.
+func (th *Thread) Get(a *SharedArray, i int64, cat sim.Category) int64 {
+	m := th.rt.model
+	if th.remote(a, i) {
+		// Blocking read: request plus response.
+		th.Clock.Charge(cat, m.SmallOp(th.rt.cfg.ThreadsPerNode, th.rt.s, 2))
+		th.Clock.Messages++
+		th.Clock.Bytes += sim.ElemBytes
+		th.Clock.RemoteOps++
+	} else {
+		ns, misses := m.IrregularAccess(1, a.NodeSpan())
+		th.Clock.Charge(cat, ns)
+		th.Clock.CacheMisses += misses
+	}
+	return a.LoadRaw(i)
+}
+
+// Put performs a single-element one-sided write with the same cost
+// structure as Get (one-way, so no return leg).
+func (th *Thread) Put(a *SharedArray, i int64, v int64, cat sim.Category) {
+	m := th.rt.model
+	if th.remote(a, i) {
+		th.Clock.Charge(cat, m.SmallOp(th.rt.cfg.ThreadsPerNode, th.rt.s, 1))
+		th.Clock.Messages++
+		th.Clock.Bytes += sim.ElemBytes
+		th.Clock.RemoteOps++
+	} else {
+		ns, misses := m.IrregularAccess(1, a.NodeSpan())
+		th.Clock.Charge(cat, ns)
+		th.Clock.CacheMisses += misses
+	}
+	a.StoreRaw(i, v)
+}
+
+// PutMin lowers element i to v if smaller, with Put's cost structure (no
+// lock term: CC's grafting races are benign arbitrary-CRCW writes, which
+// the monotone min makes deterministic in outcome). Reports whether the
+// element was updated.
+func (th *Thread) PutMin(a *SharedArray, i int64, v int64, cat sim.Category) bool {
+	m := th.rt.model
+	stored, _ := a.MinRaw(i, v)
+	if th.remote(a, i) {
+		th.Clock.Charge(cat, m.SmallOp(th.rt.cfg.ThreadsPerNode, th.rt.s, 1))
+		th.Clock.Messages++
+		th.Clock.Bytes += sim.ElemBytes
+		th.Clock.RemoteOps++
+	} else {
+		ns, misses := m.IrregularAccess(1, a.NodeSpan())
+		th.Clock.Charge(cat, ns)
+		th.Clock.CacheMisses += misses
+	}
+	return stored
+}
+
+// AtomicMin lowers element i to v if smaller, charging a Get-like access
+// plus a lock acquire (the paper's MST guards min-edge updates with
+// fine-grained locks; contended attempts cost extra). Reports whether the
+// element was updated.
+func (th *Thread) AtomicMin(a *SharedArray, i int64, v int64, cat sim.Category) bool {
+	m := th.rt.model
+	stored, contended := a.MinRaw(i, v)
+	if th.remote(a, i) {
+		// Remote lock + read + conditional write: two round trips.
+		th.Clock.Charge(cat, m.SmallOp(th.rt.cfg.ThreadsPerNode, th.rt.s, 2)+
+			m.SmallOp(th.rt.cfg.ThreadsPerNode, th.rt.s, 2))
+		th.Clock.Messages += 2
+		th.Clock.Bytes += 2 * sim.ElemBytes
+		th.Clock.RemoteOps++
+	} else {
+		ns, misses := m.IrregularAccess(1, a.NodeSpan())
+		th.Clock.Charge(cat, ns)
+		th.Clock.CacheMisses += misses
+	}
+	th.Clock.Charge(cat, m.Lock(contended))
+	return stored
+}
+
+// GetBulk reads len(dst) contiguous elements starting at start into dst,
+// coalesced into one message when the range is remote. Ranges must not
+// span node boundaries for remote access (callers align transfers to the
+// block distribution, as Algorithm 2 does).
+func (th *Thread) GetBulk(a *SharedArray, start int64, dst []int64, cat sim.Category) {
+	k := int64(len(dst))
+	if k == 0 {
+		return
+	}
+	th.checkRange(a, start, k)
+	m := th.rt.model
+	if th.remote(a, start) {
+		bytes := k * sim.ElemBytes
+		th.Clock.Charge(cat, m.Message(bytes, th.rt.cfg.ThreadsPerNode)+th.rt.cfg.NetLatency)
+		th.Clock.Messages++
+		th.Clock.Bytes += bytes
+		th.Clock.RemoteOps++
+	} else {
+		th.Clock.Charge(cat, m.SeqScan(k))
+	}
+	for j := int64(0); j < k; j++ {
+		dst[j] = a.LoadRaw(start + j)
+	}
+}
+
+// PutBulk writes src to the contiguous range starting at start, coalesced
+// into one message when remote.
+func (th *Thread) PutBulk(a *SharedArray, start int64, src []int64, cat sim.Category) {
+	k := int64(len(src))
+	if k == 0 {
+		return
+	}
+	th.checkRange(a, start, k)
+	m := th.rt.model
+	if th.remote(a, start) {
+		bytes := k * sim.ElemBytes
+		th.Clock.Charge(cat, m.Message(bytes, th.rt.cfg.ThreadsPerNode))
+		th.Clock.Messages++
+		th.Clock.Bytes += bytes
+		th.Clock.RemoteOps++
+	} else {
+		th.Clock.Charge(cat, m.SeqScan(k))
+	}
+	for j := int64(0); j < k; j++ {
+		a.StoreRaw(start+j, src[j])
+	}
+}
+
+func (th *Thread) checkRange(a *SharedArray, start, k int64) {
+	if start < 0 || start+k > a.n {
+		panic(fmt.Sprintf("pgas: range [%d,%d) out of bounds [0,%d) in %s",
+			start, start+k, a.n, a.name))
+	}
+}
+
+// Charge helpers: collectives and algorithm kernels perform raw data
+// movement themselves and account for it explicitly through these.
+
+// ChargeSeq charges a sequential scan over k elements.
+func (th *Thread) ChargeSeq(cat sim.Category, k int64) {
+	th.Clock.Charge(cat, th.rt.model.SeqScan(k))
+}
+
+// ChargeIrregular charges k random accesses into a block of blockElems.
+func (th *Thread) ChargeIrregular(cat sim.Category, k, blockElems int64) {
+	ns, misses := th.rt.model.IrregularAccess(k, blockElems)
+	th.Clock.Charge(cat, ns)
+	th.Clock.CacheMisses += misses
+}
+
+// ChargeOps charges k simple operations.
+func (th *Thread) ChargeOps(cat sim.Category, k int64) {
+	th.Clock.Charge(cat, th.rt.model.Ops(k))
+}
+
+// ChargeIntrinsics charges k owner-id intrinsic invocations.
+func (th *Thread) ChargeIntrinsics(cat sim.Category, k int64) {
+	th.Clock.Charge(cat, th.rt.model.Intrinsics(k))
+}
+
+// ChargeSharedPtr charges k shared-pointer accesses to local data.
+func (th *Thread) ChargeSharedPtr(cat sim.Category, k int64) {
+	th.Clock.Charge(cat, th.rt.model.SharedPtrAccess(k))
+}
+
+// ChargeMessage charges one explicit network message of the given size.
+func (th *Thread) ChargeMessage(cat sim.Category, bytes int64) {
+	th.Clock.Charge(cat, th.rt.model.Message(bytes, th.rt.cfg.ThreadsPerNode))
+	th.Clock.Messages++
+	th.Clock.Bytes += bytes
+}
+
+// ChargeSmallRemoteWrite charges one single-word remote store within an
+// all-to-all burst (SMatrix/PMatrix setup).
+func (th *Thread) ChargeSmallRemoteWrite(cat sim.Category) {
+	th.Clock.Charge(cat, th.rt.model.SmallRemoteWrite(th.rt.cfg.ThreadsPerNode, th.rt.s))
+	th.Clock.Messages++
+	th.Clock.Bytes += sim.ElemBytes
+}
+
+// SameNode reports whether the peer thread id lives on this thread's node.
+func (th *Thread) SameNode(peer int) bool {
+	return peer/th.rt.cfg.ThreadsPerNode == th.Node
+}

@@ -1,0 +1,116 @@
+package pgas
+
+import "pgasgraph/internal/sim"
+
+// OrReducer is a barrier-based global boolean OR over all threads, the
+// runtime's equivalent of the "did any thread graft?" convergence test the
+// paper's kernels run each iteration. Each thread publishes its local flag,
+// everyone rendezvous at a barrier, and all threads read the disjunction.
+//
+// Flag vectors are double-buffered by round parity so one barrier per
+// reduction suffices: a thread racing ahead into round r+1 writes the
+// other buffer, never the one its peers are still scanning.
+type OrReducer struct {
+	flags [2][]int64
+	round []int64 // per-thread round counter (each slot written by one thread)
+}
+
+// NewOrReducer returns a reducer for rt's thread count.
+func NewOrReducer(rt *Runtime) *OrReducer {
+	s := rt.NumThreads()
+	return &OrReducer{
+		flags: [2][]int64{make([]int64, s), make([]int64, s)},
+		round: make([]int64, s),
+	}
+}
+
+// SumReducer is a barrier-based global sum over all threads, used for
+// global size tracking (e.g. how many list nodes remain active during
+// contraction). Double-buffered like OrReducer.
+type SumReducer struct {
+	vals  [2][]int64
+	round []int64
+}
+
+// NewSumReducer returns a reducer for rt's thread count.
+func NewSumReducer(rt *Runtime) *SumReducer {
+	s := rt.NumThreads()
+	return &SumReducer{
+		vals:  [2][]int64{make([]int64, s), make([]int64, s)},
+		round: make([]int64, s),
+	}
+}
+
+// Reduce publishes local and returns the sum over all threads. All
+// threads must call it the same number of times (it contains a barrier).
+func (r *SumReducer) Reduce(th *Thread, local int64) int64 {
+	buf := r.vals[r.round[th.ID]&1]
+	r.round[th.ID]++
+	buf[th.ID] = local
+	th.Barrier()
+	var sum int64
+	for _, v := range buf {
+		sum += v
+	}
+	th.ChargeOps(sim.CatWork, int64(len(buf)))
+	return sum
+}
+
+// Reduce publishes local and returns the OR over all threads. All threads
+// must call it the same number of times (it contains a barrier). The scan
+// over the flag vector is charged as local work.
+func (r *OrReducer) Reduce(th *Thread, local bool) bool {
+	buf := r.flags[r.round[th.ID]&1]
+	r.round[th.ID]++
+	v := int64(0)
+	if local {
+		v = 1
+	}
+	// Disjoint plain writes; the barrier's lock provides the
+	// happens-before edge to the readers below.
+	buf[th.ID] = v
+	th.Barrier()
+	any := false
+	for _, f := range buf {
+		if f != 0 {
+			any = true
+			break
+		}
+	}
+	th.ChargeOps(sim.CatWork, int64(len(buf)))
+	return any
+}
+
+// MinReducer is a barrier-based global minimum over all threads, used to
+// agree on the next non-empty bucket in delta-stepping-style algorithms.
+// Double-buffered like OrReducer.
+type MinReducer struct {
+	vals  [2][]int64
+	round []int64
+}
+
+// NewMinReducer returns a reducer for rt's thread count.
+func NewMinReducer(rt *Runtime) *MinReducer {
+	s := rt.NumThreads()
+	return &MinReducer{
+		vals:  [2][]int64{make([]int64, s), make([]int64, s)},
+		round: make([]int64, s),
+	}
+}
+
+// Reduce publishes local and returns the minimum over all threads. All
+// threads must call it the same number of times (it contains a barrier).
+func (r *MinReducer) Reduce(th *Thread, local int64) int64 {
+	buf := r.vals[r.round[th.ID]&1]
+	r.round[th.ID]++
+	buf[th.ID] = local
+	th.Barrier()
+	min := buf[0]
+	for _, v := range buf[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	th.ChargeOps(sim.CatWork, int64(len(buf)))
+	return min
+}

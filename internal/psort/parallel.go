@@ -1,0 +1,68 @@
+package psort
+
+import "sync"
+
+// ParallelMergeSort sorts s using up to p goroutines: the array splits
+// into p runs, each sorted with the cache-friendly bottom-up MergeSort,
+// then runs merge pairwise in a balanced reduction. It is the in-node
+// parallel sort a multi-threaded Kruskal would use; determinism is
+// unaffected by scheduling (merging is order-stable).
+func ParallelMergeSort(s []int64, p int) {
+	n := len(s)
+	if p < 1 {
+		p = 1
+	}
+	if p > n/1024 {
+		p = n / 1024 // below ~1k elements per run, goroutines cost more than they save
+	}
+	if p <= 1 || n < 2 {
+		MergeSort(s)
+		return
+	}
+
+	// Sort p runs concurrently.
+	bounds := make([]int, p+1)
+	for i := 0; i <= p; i++ {
+		bounds[i] = i * n / p
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			MergeSort(s[lo:hi])
+		}(bounds[i], bounds[i+1])
+	}
+	wg.Wait()
+
+	// Pairwise merge reduction: each round halves the run count.
+	buf := make([]int64, n)
+	src, dst := s, buf
+	runs := bounds
+	for len(runs) > 2 {
+		next := []int{0}
+		var mw sync.WaitGroup
+		for i := 0; i+2 < len(runs); i += 2 {
+			mw.Add(1)
+			go func(lo, mid, hi int) {
+				defer mw.Done()
+				merge(src[lo:mid], src[mid:hi], dst[lo:hi])
+			}(runs[i], runs[i+1], runs[i+2])
+			next = append(next, runs[i+2])
+		}
+		if (len(runs)-1)%2 == 1 {
+			// Odd run out: copy through.
+			lo, hi := runs[len(runs)-2], runs[len(runs)-1]
+			copy(dst[lo:hi], src[lo:hi])
+			if next[len(next)-1] != hi {
+				next = append(next, hi)
+			}
+		}
+		mw.Wait()
+		src, dst = dst, src
+		runs = next
+	}
+	if &src[0] != &s[0] {
+		copy(s, src)
+	}
+}

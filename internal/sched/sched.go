@@ -1,0 +1,288 @@
+// Package sched implements the paper's Algorithm 1: recursive scheduling
+// of the irregular parallel access C[i] = D[R[i]].
+//
+// The four phases — partition, group (count-sort requests by target
+// block), access (serve one block at a time), permute (restore request
+// order) — trade extra sequential passes for a working set reduced from
+// |D| to |D|/W, converting cache misses into streaming traffic (§IV,
+// equations 4-5).
+//
+// Two forms are provided:
+//
+//   - Reference: a pure, uncharged, literally-recursive implementation of
+//     Algorithm 1 used by tests as executable specification.
+//   - Gather/Scatter: the production form used inside the collectives —
+//     one recursion level over t' virtual blocks (the paper's "each thread
+//     simulates t' virtual threads", §IV.B), with simulated-time charging.
+package sched
+
+import (
+	"fmt"
+
+	"pgasgraph/internal/pgas"
+	"pgasgraph/internal/psort"
+	"pgasgraph/internal/sim"
+)
+
+// Reference computes C[i] = D[R[i]] by literal recursive application of
+// Algorithm 1 with fan-out w per level and the given maximum recursion
+// depth (the paper limits depth to three). It performs the partition,
+// group, access, and permute phases with real data movement and no cost
+// accounting. R values must lie in [0, len(D)).
+func Reference(d, r []int64, w, depth int) []int64 {
+	c := make([]int64, len(r))
+	referenceInto(d, r, w, depth, c)
+	return c
+}
+
+func referenceInto(d, r []int64, w, depth int, c []int64) {
+	n := int64(len(d))
+	m := int64(len(r))
+	if n == 0 {
+		if m != 0 {
+			panic("sched: requests into empty array")
+		}
+		return
+	}
+	if n == 1 {
+		for i := range c {
+			c[i] = d[0]
+		}
+		return
+	}
+	if depth <= 0 || w <= 1 || m == 0 {
+		for i, idx := range r {
+			c[i] = d[idx]
+		}
+		return
+	}
+	if int64(w) > n {
+		w = int(n)
+	}
+	blk := (n + int64(w) - 1) / int64(w)
+
+	// group: count-sort requests by target block, remembering positions.
+	keys := make([]int32, m)
+	for i, idx := range r {
+		if idx < 0 || idx >= n {
+			panic(fmt.Sprintf("sched: request %d out of range [0,%d)", idx, n))
+		}
+		keys[i] = int32(idx / blk)
+	}
+	sorted := make([]int64, m)
+	pos := make([]int32, m)
+	offs := make([]int64, w+1)
+	psort.BucketByKey(r, keys, w, sorted, pos, offs)
+
+	// access: serve each block with a recursive call on block-local
+	// indices.
+	vals := make([]int64, m)
+	for b := 0; b < w; b++ {
+		lo, hi := offs[b], offs[b+1]
+		if lo == hi {
+			continue
+		}
+		dLo := int64(b) * blk
+		dHi := dLo + blk
+		if dHi > n {
+			dHi = n
+		}
+		localReq := make([]int64, hi-lo)
+		for i, idx := range sorted[lo:hi] {
+			localReq[i] = idx - dLo
+		}
+		referenceInto(d[dLo:dHi], localReq, w, depth-1, vals[lo:hi])
+	}
+
+	// permute: route values back to request order.
+	for j, p := range pos {
+		c[p] = vals[j]
+	}
+}
+
+// Op selects the combining rule of Scatter.
+type Op int
+
+const (
+	// OpSet stores the value (arbitrary concurrent write; the paper's
+	// SetD semantics — among competing writers one wins).
+	OpSet Op = iota
+	// OpMin stores the value only if it is smaller (priority concurrent
+	// write; the paper's SetDMin semantics).
+	OpMin
+)
+
+// Scratch is reusable first-touch tracking state for Gather/Scatter. The
+// bitmap records which block locations have already been touched while the
+// block is cache-warm, so the cost model charges misses for *distinct*
+// locations only — repeated requests for a hot label (the paper's D[0])
+// are cache hits, and a block read by several consecutive peer serves
+// within one collective is loaded once, not once per peer (equation 5's
+// n·L_M term). Callers that serve many requests against one warm block
+// call Reset once, then pass the Scratch to every Gather/Scatter in the
+// phase. A nil *Scratch is allowed; the routines then track first touches
+// for that single call only.
+type Scratch struct {
+	bitmap []uint64
+	warmNB int64
+}
+
+// Reset sizes and clears the bitmap for a block of nb locations, marking
+// the block cold.
+func (s *Scratch) Reset(nb int64) {
+	words := int((nb + 63) / 64)
+	if cap(s.bitmap) < words {
+		s.bitmap = make([]uint64, words)
+	} else {
+		s.bitmap = s.bitmap[:words]
+		for i := range s.bitmap {
+			s.bitmap[i] = 0
+		}
+	}
+	s.warmNB = nb
+}
+
+// ensure prepares the bitmap for a block of nb locations, preserving warm
+// state when the block size is unchanged.
+func (s *Scratch) ensure(nb int64) {
+	if s.warmNB == nb && s.bitmap != nil {
+		return
+	}
+	s.Reset(nb)
+}
+
+// touch marks location ix, reporting whether it was a first touch.
+func (s *Scratch) touch(ix int64) bool {
+	w, b := ix>>6, uint(ix&63)
+	if s.bitmap[w]&(1<<b) != 0 {
+		return false
+	}
+	s.bitmap[w] |= 1 << b
+	return true
+}
+
+func orNew(scr *Scratch) *Scratch {
+	if scr == nil {
+		return &Scratch{}
+	}
+	return scr
+}
+
+// chargeDistinct charges k accesses with distinct first touches into a
+// blockElems-sized block.
+func chargeDistinct(th *pgas.Thread, cat sim.Category, k, distinct, blockElems int64) {
+	ns, misses := th.Runtime().Model().IrregularAccessDistinct(k, distinct, blockElems)
+	th.Clock.Charge(cat, ns)
+	th.Clock.CacheMisses += misses
+}
+
+// Gather reads out[j] = local[idx[j]] for block-local indices idx, charging
+// simulated time to th. vt is the virtual-thread count t'.
+//
+// With vt <= 1 the access is direct: scattered reads over the whole block
+// (distinct first touches pay compulsory misses, revisits pay the block's
+// steady-state miss rate) plus a sequential write of out.
+//
+// With vt > 1 the cost follows the paper's virtual-thread simulation
+// (§IV.B): each of the vt virtual blocks makes one selection pass over the
+// request segment (the group phase — linear in vt, the rising arm of
+// Figure 4's U), the access phase touches each distinct location once with
+// revisit misses at the *sub-block* rate (the falling arm), and the output
+// is written as a dense permutation with write-combining. The data result
+// is identical to the direct loop, so the real movement is performed
+// directly while the charges model the blocked schedule.
+//
+// localcpy selects private-pointer access to the shared array's local
+// portion; without it every touch pays the shared-pointer overhead.
+// Category attribution follows Figure 5: grouping is sort time, block
+// access and value movement are copy time.
+func Gather(th *pgas.Thread, local []int64, idx []int64, out []int64, vt int, localcpy bool, scr *Scratch) {
+	k := int64(len(idx))
+	if int64(len(out)) != k {
+		panic("sched: Gather output length mismatch")
+	}
+	if k == 0 {
+		return
+	}
+	nb := int64(len(local))
+	scr = orNew(scr)
+	scr.ensure(nb)
+	distinct := int64(0)
+	for j, ix := range idx {
+		if scr.touch(ix) {
+			distinct++
+		}
+		out[j] = local[ix]
+	}
+	chargeBlocked(th, k, distinct, nb, vt, localcpy)
+}
+
+// Scatter applies local[idx[j]] op= vals[j], the write-side counterpart of
+// Gather with the same scheduling and charging. With OpSet, later entries
+// in idx order win ties (the serving thread is the sole writer of its
+// block, so this is deterministic given the request order). With OpMin,
+// the minimum value wins regardless of order.
+func Scatter(th *pgas.Thread, local []int64, idx []int64, vals []int64, op Op, vt int, localcpy bool, scr *Scratch) {
+	k := int64(len(idx))
+	if int64(len(vals)) != k {
+		panic("sched: Scatter value length mismatch")
+	}
+	if k == 0 {
+		return
+	}
+	nb := int64(len(local))
+	scr = orNew(scr)
+	scr.ensure(nb)
+	distinct := int64(0)
+	switch op {
+	case OpSet:
+		for j, ix := range idx {
+			if scr.touch(ix) {
+				distinct++
+			}
+			local[ix] = vals[j]
+		}
+	case OpMin:
+		for j, ix := range idx {
+			if scr.touch(ix) {
+				distinct++
+			}
+			if vals[j] < local[ix] {
+				local[ix] = vals[j]
+			}
+		}
+	default:
+		panic(fmt.Sprintf("sched: unknown op %d", op))
+	}
+	chargeBlocked(th, k, distinct, nb, vt, localcpy)
+}
+
+// chargeBlocked charges one blocked (or direct, vt <= 1) irregular access
+// phase of k requests with the given distinct first-touch count against a
+// block of nb elements split into vt virtual blocks.
+func chargeBlocked(th *pgas.Thread, k, distinct, nb int64, vt int, localcpy bool) {
+	m := th.Runtime().Model()
+	if !localcpy {
+		th.ChargeSharedPtr(sim.CatCopy, k)
+	}
+	if vt <= 1 || nb <= 1 || int64(vt) > nb {
+		ns, misses := m.IrregularAccessDistinct(k, distinct, nb)
+		th.Clock.Charge(sim.CatCopy, ns)
+		th.Clock.CacheMisses += misses
+		th.ChargeSeq(sim.CatCopy, k) // sequential side of the transfer
+		return
+	}
+	blk := (nb + int64(vt) - 1) / int64(vt)
+	// Group: one selection pass over the request keys per virtual block
+	// (the paper's t'-virtual-processor simulation).
+	th.Clock.Charge(sim.CatSort, m.SelectionPasses(k, vt))
+	// Access: compulsory misses once per distinct location; revisits at
+	// the sub-block miss rate (zero once blk*8 fits the cache).
+	ns, misses := m.IrregularAccessDistinct(k, distinct, blk)
+	th.Clock.Charge(sim.CatCopy, ns)
+	th.Clock.CacheMisses += misses
+	// Output movement: a dense permutation with write-combining.
+	ns, misses = m.DensePermute(k)
+	th.Clock.Charge(sim.CatCopy, ns)
+	th.Clock.CacheMisses += misses
+}

@@ -1,0 +1,250 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pgasgraph/internal/machine"
+	"pgasgraph/internal/pgas"
+	"pgasgraph/internal/sim"
+	"pgasgraph/internal/xrand"
+)
+
+// direct computes the specification result of the access step.
+func direct(d, r []int64) []int64 {
+	c := make([]int64, len(r))
+	for i, idx := range r {
+		c[i] = d[idx]
+	}
+	return c
+}
+
+func randomRequests(nd, nr int, seed uint64) (d, r []int64) {
+	rng := xrand.New(seed)
+	d = make([]int64, nd)
+	for i := range d {
+		d[i] = rng.Int63()
+	}
+	r = make([]int64, nr)
+	for i := range r {
+		r[i] = rng.Int64n(int64(nd))
+	}
+	return d, r
+}
+
+func TestReferenceMatchesDirect(t *testing.T) {
+	for _, tc := range []struct{ nd, nr, w, depth int }{
+		{1, 10, 4, 2},
+		{16, 0, 4, 2},
+		{100, 500, 1, 3},   // w=1: degenerate, direct
+		{100, 500, 2, 1},   // single level, binary split
+		{100, 500, 2, 10},  // deep recursion down to singletons
+		{100, 500, 10, 2},  // the paper's two-level shape
+		{97, 313, 7, 3},    // non-dividing sizes
+		{1000, 100, 32, 3}, // more data than requests
+	} {
+		d, r := randomRequests(tc.nd, tc.nr, uint64(tc.nd*tc.nr+tc.w))
+		got := Reference(d, r, tc.w, tc.depth)
+		want := direct(d, r)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("nd=%d nr=%d w=%d depth=%d: mismatch at %d",
+					tc.nd, tc.nr, tc.w, tc.depth, i)
+			}
+		}
+	}
+}
+
+func TestReferenceProperty(t *testing.T) {
+	check := func(seed uint64, ndRaw, nrRaw uint8, wRaw, depthRaw uint8) bool {
+		nd := int(ndRaw)%200 + 1
+		nr := int(nrRaw) % 300
+		w := int(wRaw)%16 + 1
+		depth := int(depthRaw)%4 + 1
+		d, r := randomRequests(nd, nr, seed)
+		got := Reference(d, r, w, depth)
+		want := direct(d, r)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReferencePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range request did not panic")
+		}
+	}()
+	Reference([]int64{1, 2}, []int64{5}, 2, 2)
+}
+
+// withThread runs fn on a single-thread runtime and returns the thread's
+// final clock.
+func withThread(t *testing.T, fn func(th *pgas.Thread)) sim.Clock {
+	t.Helper()
+	cfg := machine.SingleSMP()
+	cfg.ThreadsPerNode = 1
+	rt, err := pgas.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clock sim.Clock
+	rt.Run(func(th *pgas.Thread) {
+		fn(th)
+		clock = th.Clock
+	})
+	return clock
+}
+
+func TestGatherCorrectAllVT(t *testing.T) {
+	d, r := randomRequests(1000, 5000, 7)
+	want := direct(d, r)
+	for _, vt := range []int{0, 1, 2, 3, 8, 16, 999, 1000, 2000} {
+		withThread(t, func(th *pgas.Thread) {
+			out := make([]int64, len(r))
+			Gather(th, d, r, out, vt, true, nil)
+			for i := range want {
+				if out[i] != want[i] {
+					t.Errorf("vt=%d: mismatch at %d", vt, i)
+					return
+				}
+			}
+		})
+	}
+}
+
+func TestGatherChargesTime(t *testing.T) {
+	d, r := randomRequests(1000, 5000, 9)
+	out := make([]int64, len(r))
+	clock := withThread(t, func(th *pgas.Thread) {
+		Gather(th, d, r, out, 4, true, nil)
+	})
+	if clock.NS <= 0 {
+		t.Fatal("Gather charged nothing")
+	}
+	if clock.ByCategory[sim.CatSort] <= 0 || clock.ByCategory[sim.CatCopy] <= 0 {
+		t.Fatalf("blocked gather should charge sort and copy: %v", clock.ByCategory)
+	}
+}
+
+func TestGatherSharedPtrPenalty(t *testing.T) {
+	d, r := randomRequests(500, 2000, 11)
+	out := make([]int64, len(r))
+	with := withThread(t, func(th *pgas.Thread) { Gather(th, d, r, out, 1, true, nil) })
+	without := withThread(t, func(th *pgas.Thread) { Gather(th, d, r, out, 1, false, nil) })
+	if without.NS <= with.NS {
+		t.Fatal("disabling localcpy must cost more")
+	}
+}
+
+func TestScatterSet(t *testing.T) {
+	local := make([]int64, 100)
+	idx := []int64{5, 10, 5, 99}
+	vals := []int64{1, 2, 3, 4}
+	withThread(t, func(th *pgas.Thread) {
+		Scatter(th, local, idx, vals, OpSet, 4, true, nil)
+	})
+	// Later entries win for OpSet.
+	if local[5] != 3 || local[10] != 2 || local[99] != 4 {
+		t.Fatalf("OpSet results wrong: %v %v %v", local[5], local[10], local[99])
+	}
+}
+
+func TestScatterMin(t *testing.T) {
+	local := make([]int64, 10)
+	for i := range local {
+		local[i] = 100
+	}
+	idx := []int64{3, 3, 3, 7, 8}
+	vals := []int64{50, 20, 80, 200, 0}
+	withThread(t, func(th *pgas.Thread) {
+		Scatter(th, local, idx, vals, OpMin, 2, true, nil)
+	})
+	if local[3] != 20 {
+		t.Fatalf("OpMin did not keep the minimum: %d", local[3])
+	}
+	if local[7] != 100 {
+		t.Fatal("OpMin raised a value")
+	}
+	if local[8] != 0 {
+		t.Fatal("OpMin missed a lower value")
+	}
+}
+
+func TestScatterMinMatchesSequentialMin(t *testing.T) {
+	check := func(seed uint64, vt uint8) bool {
+		rng := xrand.New(seed)
+		local := make([]int64, 50)
+		want := make([]int64, 50)
+		for i := range local {
+			v := rng.Int63()
+			local[i], want[i] = v, v
+		}
+		k := int(rng.Int64n(200))
+		idx := make([]int64, k)
+		vals := make([]int64, k)
+		for i := range idx {
+			idx[i] = rng.Int64n(50)
+			vals[i] = rng.Int63()
+			if vals[i] < want[idx[i]] {
+				want[idx[i]] = vals[i]
+			}
+		}
+		ok := true
+		withThread(t, func(th *pgas.Thread) {
+			Scatter(th, local, idx, vals, OpMin, int(vt%20), true, nil)
+		})
+		for i := range want {
+			if local[i] != want[i] {
+				ok = false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScratchWarmReuseCheapens(t *testing.T) {
+	// Serving the same requests twice against a warm scratch must charge
+	// fewer misses the second time (the block is already resident).
+	d, r := randomRequests(4000, 4000, 13)
+	out := make([]int64, len(r))
+	scr := &Scratch{}
+	var first, second float64
+	withThread(t, func(th *pgas.Thread) {
+		scr.Reset(int64(len(d)))
+		before := th.Clock.CacheMisses
+		Gather(th, d, r, out, 1, true, scr)
+		first = th.Clock.CacheMisses - before
+		before = th.Clock.CacheMisses
+		Gather(th, d, r, out, 1, true, scr)
+		second = th.Clock.CacheMisses - before
+	})
+	if second >= first {
+		t.Fatalf("warm gather missed as much as cold: %v vs %v", second, first)
+	}
+}
+
+func TestGatherPanicsOnLengthMismatch(t *testing.T) {
+	// The panic fires on the runtime's worker goroutine, so it must be
+	// recovered there.
+	panicked := false
+	withThread(t, func(th *pgas.Thread) {
+		defer func() {
+			panicked = recover() != nil
+		}()
+		Gather(th, []int64{1}, []int64{0}, make([]int64, 2), 1, true, nil)
+	})
+	if !panicked {
+		t.Fatal("length mismatch did not panic")
+	}
+}

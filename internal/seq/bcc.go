@@ -1,0 +1,149 @@
+package seq
+
+import (
+	"pgasgraph/internal/graph"
+)
+
+// BCC is a biconnected-components decomposition: a block label per edge
+// (edges sharing a label lie on a common simple cycle or form a bridge
+// block of size one), plus the derived articulation vertices and bridges.
+type BCC struct {
+	// EdgeBlock[e] labels edge e's biconnected component; labels are
+	// arbitrary but consistent. -1 for self-loops.
+	EdgeBlock []int64
+	// Articulation[v] reports whether removing v disconnects its
+	// component.
+	Articulation []bool
+	// Bridge[e] reports whether edge e is a bridge.
+	Bridge []bool
+	// Blocks is the number of biconnected components.
+	Blocks int64
+}
+
+// BiconnectedComponents computes the decomposition with the iterative
+// Hopcroft-Tarjan algorithm (DFS discovery/low-point values and an edge
+// stack). It is the sequential verifier for the distributed Tarjan-Vishkin
+// kernel in internal/bcc.
+func BiconnectedComponents(g *graph.Graph) *BCC {
+	n := g.N
+	csr := graph.BuildCSR(g)
+	res := &BCC{
+		EdgeBlock:    make([]int64, g.M()),
+		Articulation: make([]bool, n),
+		Bridge:       make([]bool, g.M()),
+	}
+	for e := range res.EdgeBlock {
+		res.EdgeBlock[e] = -1
+	}
+
+	disc := make([]int64, n)
+	low := make([]int64, n)
+	for i := range disc {
+		disc[i] = -1
+	}
+	parentEdge := make([]int64, n)
+	edgeStack := make([]int64, 0, g.M())
+	edgeSeen := make([]bool, g.M())
+	timer := int64(0)
+
+	// Iterative DFS frame: vertex plus its adjacency cursor.
+	type frame struct {
+		v   int64
+		ptr int64
+	}
+
+	popBlock := func(until int64) {
+		// Pop edges up to and including `until` into a fresh block.
+		label := res.Blocks
+		res.Blocks++
+		size := 0
+		for len(edgeStack) > 0 {
+			e := edgeStack[len(edgeStack)-1]
+			edgeStack = edgeStack[:len(edgeStack)-1]
+			res.EdgeBlock[e] = label
+			size++
+			if e == until {
+				break
+			}
+		}
+		if size == 1 {
+			res.Bridge[until] = true
+		}
+	}
+
+	for s := int64(0); s < n; s++ {
+		if disc[s] != -1 {
+			continue
+		}
+		stack := []frame{{v: s}}
+		disc[s] = timer
+		low[s] = timer
+		timer++
+		parentEdge[s] = -1
+		rootChildren := 0
+
+		for len(stack) > 0 {
+			fr := &stack[len(stack)-1]
+			v := fr.v
+			advanced := false
+			for fr.ptr < csr.Offs[v+1]-csr.Offs[v] {
+				p := csr.Offs[v] + fr.ptr
+				fr.ptr++
+				w := int64(csr.Adj[p])
+				e := csr.EdgeID[p]
+				if w == v {
+					continue // self-loop: no block membership
+				}
+				if e == parentEdge[v] {
+					continue
+				}
+				if disc[w] == -1 {
+					// Tree edge: descend.
+					edgeStack = append(edgeStack, e)
+					edgeSeen[e] = true
+					disc[w] = timer
+					low[w] = timer
+					timer++
+					parentEdge[w] = e
+					if v == s {
+						rootChildren++
+					}
+					stack = append(stack, frame{v: w})
+					advanced = true
+					break
+				}
+				if disc[w] < disc[v] && !edgeSeen[e] {
+					// Back edge to an ancestor.
+					edgeStack = append(edgeStack, e)
+					edgeSeen[e] = true
+					if disc[w] < low[v] {
+						low[v] = disc[w]
+					}
+				}
+			}
+			if advanced {
+				continue
+			}
+			// Retreat from v.
+			stack = stack[:len(stack)-1]
+			if len(stack) == 0 {
+				continue
+			}
+			u := stack[len(stack)-1].v
+			if low[v] < low[u] {
+				low[u] = low[v]
+			}
+			if low[v] >= disc[u] {
+				// u separates v's subtree: close a block.
+				popBlock(parentEdge[v])
+				if u != s {
+					res.Articulation[u] = true
+				}
+			}
+		}
+		if rootChildren >= 2 {
+			res.Articulation[s] = true
+		}
+	}
+	return res
+}

@@ -1,0 +1,153 @@
+package seq
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pgasgraph/internal/graph"
+)
+
+// bruteArticulation decides articulation by definition: removing v
+// increases the component count.
+func bruteArticulation(g *graph.Graph, v int64) bool {
+	base := CountComponents(CC(g))
+	stripped := &graph.Graph{N: g.N}
+	for i := range g.U {
+		if int64(g.U[i]) == v || int64(g.V[i]) == v {
+			continue
+		}
+		stripped.U = append(stripped.U, g.U[i])
+		stripped.V = append(stripped.V, g.V[i])
+	}
+	// stripped keeps v as an isolated vertex (one extra component). A
+	// leaf or cycle-internal vertex yields base+1 components; only a true
+	// articulation point splits its old component further.
+	after := CountComponents(CC(stripped))
+	return after >= base+2
+}
+
+// bruteBridge decides bridges by definition: removing e increases the
+// component count.
+func bruteBridge(g *graph.Graph, e int64) bool {
+	base := CountComponents(CC(g))
+	stripped := &graph.Graph{N: g.N}
+	for i := range g.U {
+		if int64(i) == e {
+			continue
+		}
+		stripped.U = append(stripped.U, g.U[i])
+		stripped.V = append(stripped.V, g.V[i])
+	}
+	return CountComponents(CC(stripped)) > base
+}
+
+func TestBCCKnownShapes(t *testing.T) {
+	cases := []struct {
+		name   string
+		g      *graph.Graph
+		blocks int64
+		artics []int64
+	}{
+		{"triangle", graph.Cycle(3), 1, nil},
+		{"path3", graph.Path(3), 2, []int64{1}},
+		{"path5", graph.Path(5), 4, []int64{1, 2, 3}},
+		{"star", graph.Star(5), 4, []int64{0}},
+		{"cycle6", graph.Cycle(6), 1, nil},
+		{"two-triangles-sharing-vertex", &graph.Graph{
+			N: 5,
+			U: []int32{0, 1, 2, 2, 3, 4},
+			V: []int32{1, 2, 0, 3, 4, 2},
+		}, 2, []int64{2}},
+		{"empty", graph.Empty(4), 0, nil},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res := BiconnectedComponents(c.g)
+			if res.Blocks != c.blocks {
+				t.Fatalf("blocks = %d, want %d", res.Blocks, c.blocks)
+			}
+			wantArtic := map[int64]bool{}
+			for _, v := range c.artics {
+				wantArtic[v] = true
+			}
+			for v := int64(0); v < c.g.N; v++ {
+				if res.Articulation[v] != wantArtic[v] {
+					t.Fatalf("articulation[%d] = %v, want %v", v, res.Articulation[v], wantArtic[v])
+				}
+			}
+		})
+	}
+}
+
+func TestBCCBridges(t *testing.T) {
+	// Two triangles joined by a bridge: 0-1-2-0, 3-4-5-3, bridge 2-3.
+	g := &graph.Graph{
+		N: 6,
+		U: []int32{0, 1, 2, 3, 4, 5, 2},
+		V: []int32{1, 2, 0, 4, 5, 3, 3},
+	}
+	res := BiconnectedComponents(g)
+	if res.Blocks != 3 {
+		t.Fatalf("blocks = %d, want 3", res.Blocks)
+	}
+	for e := int64(0); e < g.M(); e++ {
+		want := e == 6 // only the 2-3 edge
+		if res.Bridge[e] != want {
+			t.Fatalf("bridge[%d] = %v, want %v", e, res.Bridge[e], want)
+		}
+	}
+	if !res.Articulation[2] || !res.Articulation[3] {
+		t.Fatal("bridge endpoints with degree > 1 must be articulation points")
+	}
+}
+
+func TestBCCAgainstBruteForce(t *testing.T) {
+	check := func(seed uint64, nRaw, dRaw uint8) bool {
+		n := int64(nRaw%24) + 2
+		maxM := n * (n - 1) / 2
+		m := int64(dRaw) % (maxM + 1)
+		g := graph.Random(n, m, seed)
+		res := BiconnectedComponents(g)
+		for v := int64(0); v < n; v++ {
+			if res.Articulation[v] != bruteArticulation(g, v) {
+				return false
+			}
+		}
+		for e := int64(0); e < m; e++ {
+			if res.Bridge[e] != bruteBridge(g, e) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBCCBlockConsistency(t *testing.T) {
+	// Every edge gets a block; bridges are singleton blocks; edges of one
+	// block lie in one component.
+	g := graph.Random(60, 140, 9)
+	res := BiconnectedComponents(g)
+	labels := CC(g)
+	blockComp := map[int64]int64{}
+	blockSize := map[int64]int64{}
+	for e := int64(0); e < g.M(); e++ {
+		b := res.EdgeBlock[e]
+		if b < 0 || b >= res.Blocks {
+			t.Fatalf("edge %d has invalid block %d", e, b)
+		}
+		blockSize[b]++
+		comp := labels[g.U[e]]
+		if prev, ok := blockComp[b]; ok && prev != comp {
+			t.Fatalf("block %d spans components", b)
+		}
+		blockComp[b] = comp
+	}
+	for e := int64(0); e < g.M(); e++ {
+		if res.Bridge[e] != (blockSize[res.EdgeBlock[e]] == 1) {
+			t.Fatalf("bridge flag inconsistent with block size for edge %d", e)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package seq
+
+import (
+	"container/heap"
+	"fmt"
+
+	"pgasgraph/internal/graph"
+	"pgasgraph/internal/psort"
+	"pgasgraph/internal/sim"
+	"pgasgraph/internal/unionfind"
+)
+
+// MSF is a minimum spanning forest: the chosen edge ids and total weight.
+type MSF struct {
+	Edges  []int64
+	Weight uint64
+}
+
+// Kruskal computes the minimum spanning forest with the paper's best
+// sequential MST baseline: sort all edges by weight with a cache-friendly
+// bottom-up merge sort, then grow the forest with union-find (§VI: "we use
+// the cache-friendly merge sort in implementing Kruskal's algorithm").
+func Kruskal(g *graph.Graph) *MSF {
+	msf, _, _ := kruskalCounted(g)
+	return msf
+}
+
+// KruskalTimed runs Kruskal and charges its actual work against the model,
+// returning the forest and the simulated nanoseconds.
+func KruskalTimed(g *graph.Graph, model sim.Model) (*MSF, float64) {
+	msf, passes, touches := kruskalCounted(g)
+	var clk sim.Clock
+	m := g.M()
+	// Key packing: streaming read of weights+ids, streaming write of keys.
+	clk.Charge(sim.CatWork, 2*model.SeqScan(m))
+	// Merge sort: each pass streams the array once in and once out.
+	clk.Charge(sim.CatSort, float64(passes)*2*model.SeqScan(m))
+	clk.Charge(sim.CatSort, model.Ops(m*int64(passes))) // comparisons
+	// Union-find growth: irregular accesses into the parent array.
+	ns, misses := model.IrregularAccess(touches, g.N)
+	clk.Charge(sim.CatIrregular, ns)
+	clk.CacheMisses += misses
+	return msf, clk.NS
+}
+
+func kruskalCounted(g *graph.Graph) (msf *MSF, passes int, touches int64) {
+	if !g.Weighted() {
+		panic("seq: Kruskal requires a weighted graph")
+	}
+	m := g.M()
+	keys := make([]int64, m)
+	for i := int64(0); i < m; i++ {
+		keys[i] = int64(g.W[i])<<32 | i
+	}
+	passes = psort.MergeSort(keys)
+
+	parent := make([]int32, g.N)
+	rank := make([]int8, g.N)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	find := func(x int32) int32 {
+		for parent[x] != x {
+			touches += 2
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		touches++
+		return x
+	}
+	msf = &MSF{}
+	for _, key := range keys {
+		e := key & 0xffffffff
+		ru, rv := find(g.U[e]), find(g.V[e])
+		if ru == rv {
+			continue
+		}
+		if rank[ru] < rank[rv] {
+			ru, rv = rv, ru
+		}
+		parent[rv] = ru
+		if rank[ru] == rank[rv] {
+			rank[ru]++
+		}
+		touches += 2
+		msf.Edges = append(msf.Edges, e)
+		msf.Weight += uint64(g.W[e])
+	}
+	return msf, passes, touches
+}
+
+// Prim computes the minimum spanning forest with Prim's algorithm and a
+// binary heap, run from every unvisited vertex so disconnected graphs
+// yield a forest. Used as an independent cross-check of Kruskal.
+func Prim(g *graph.Graph) *MSF {
+	if !g.Weighted() {
+		panic("seq: Prim requires a weighted graph")
+	}
+	csr := graph.BuildCSR(g)
+	visited := make([]bool, g.N)
+	msf := &MSF{}
+	pq := &edgeHeap{}
+	for s := int64(0); s < g.N; s++ {
+		if visited[s] {
+			continue
+		}
+		visited[s] = true
+		pq.items = pq.items[:0]
+		pushNeighbors(csr, s, pq)
+		for pq.Len() > 0 {
+			it := heap.Pop(pq).(heapItem)
+			if visited[it.to] {
+				continue
+			}
+			visited[it.to] = true
+			msf.Edges = append(msf.Edges, it.edge)
+			msf.Weight += uint64(it.w)
+			pushNeighbors(csr, int64(it.to), pq)
+		}
+	}
+	return msf
+}
+
+func pushNeighbors(csr *graph.CSR, v int64, pq *edgeHeap) {
+	lo, hi := csr.Offs[v], csr.Offs[v+1]
+	for p := lo; p < hi; p++ {
+		heap.Push(pq, heapItem{w: csr.WAdj[p], to: csr.Adj[p], edge: csr.EdgeID[p]})
+	}
+}
+
+type heapItem struct {
+	w    uint32
+	to   int32
+	edge int64
+}
+
+type edgeHeap struct{ items []heapItem }
+
+func (h *edgeHeap) Len() int { return len(h.items) }
+func (h *edgeHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.w != b.w {
+		return a.w < b.w
+	}
+	return a.edge < b.edge
+}
+func (h *edgeHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *edgeHeap) Push(x interface{}) { h.items = append(h.items, x.(heapItem)) }
+func (h *edgeHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// Boruvka computes the minimum spanning forest with the classic sequential
+// Borůvka algorithm (the parallel MST kernel is its PRAM variant), used as
+// a third independent verifier.
+func Boruvka(g *graph.Graph) *MSF {
+	if !g.Weighted() {
+		panic("seq: Boruvka requires a weighted graph")
+	}
+	ds := unionfind.New(g.N)
+	msf := &MSF{}
+	const none = int64(-1)
+	for {
+		best := make(map[int32]int64) // component root -> best edge id
+		for e := int64(0); e < g.M(); e++ {
+			ru, rv := ds.Find(g.U[e]), ds.Find(g.V[e])
+			if ru == rv {
+				continue
+			}
+			for _, r := range [2]int32{ru, rv} {
+				cur, ok := best[r]
+				if !ok || less(g, e, cur) {
+					best[r] = e
+				}
+			}
+		}
+		if len(best) == 0 {
+			break
+		}
+		merged := false
+		for _, e := range best {
+			if e == none {
+				continue
+			}
+			if ds.Union(g.U[e], g.V[e]) {
+				msf.Edges = append(msf.Edges, e)
+				msf.Weight += uint64(g.W[e])
+				merged = true
+			}
+		}
+		if !merged {
+			break
+		}
+	}
+	return msf
+}
+
+// less orders edges by (weight, id) — the deterministic tie-break every
+// MST kernel in this repository uses.
+func less(g *graph.Graph, a, b int64) bool {
+	if g.W[a] != g.W[b] {
+		return g.W[a] < g.W[b]
+	}
+	return a < b
+}
+
+// CheckForest verifies that the edge ids in msf form a spanning forest of
+// g: acyclic, and connecting exactly g's connected components. Returns an
+// error describing the first violation.
+func CheckForest(g *graph.Graph, msf *MSF) error {
+	ds := unionfind.New(g.N)
+	var weight uint64
+	for _, e := range msf.Edges {
+		if e < 0 || e >= g.M() {
+			return fmt.Errorf("seq: forest references invalid edge id %d", e)
+		}
+		if !ds.Union(g.U[e], g.V[e]) {
+			return fmt.Errorf("seq: forest edge %d (%d,%d) creates a cycle", e, g.U[e], g.V[e])
+		}
+		weight += uint64(g.W[e])
+	}
+	if weight != msf.Weight {
+		return fmt.Errorf("seq: forest weight mismatch: recomputed %d, recorded %d", weight, msf.Weight)
+	}
+	comps := CountComponents(CC(g))
+	forestEdges := int64(len(msf.Edges))
+	if forestEdges != g.N-comps {
+		return fmt.Errorf("seq: forest has %d edges, want n-#components = %d-%d = %d",
+			forestEdges, g.N, comps, g.N-comps)
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package triangle
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pgasgraph/internal/collective"
+	"pgasgraph/internal/graph"
+	"pgasgraph/internal/machine"
+	"pgasgraph/internal/pgas"
+)
+
+func newRuntime(t testing.TB, nodes, tpn int) *pgas.Runtime {
+	t.Helper()
+	cfg := machine.PaperCluster()
+	cfg.Nodes = nodes
+	cfg.ThreadsPerNode = tpn
+	rt, err := pgas.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func choose3(n int64) int64 { return n * (n - 1) * (n - 2) / 6 }
+
+func TestSeqCountKnownShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int64
+	}{
+		{"triangle", graph.Cycle(3), 1},
+		{"square", graph.Cycle(4), 0},
+		{"path", graph.Path(10), 0},
+		{"star", graph.Star(10), 0},
+		{"K4", graph.Complete(4), choose3(4)},
+		{"K7", graph.Complete(7), choose3(7)},
+		{"grid", graph.Grid(4, 4), 0},
+		{"empty", graph.Empty(5), 0},
+		{"two-triangles", graph.Disjoint(graph.Cycle(3), graph.Cycle(3)), 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := SeqCount(c.g); got != c.want {
+				t.Fatalf("SeqCount = %d, want %d", got, c.want)
+			}
+		})
+	}
+}
+
+func TestSeqCountAgainstBruteForce(t *testing.T) {
+	check := func(seed uint64, nRaw, dRaw uint8) bool {
+		n := int64(nRaw%20) + 3
+		maxM := n * (n - 1) / 2
+		m := int64(dRaw) % (maxM + 1)
+		g := graph.Random(n, m, seed)
+		// Brute force over all vertex triples.
+		has := map[uint64]bool{}
+		for i := range g.U {
+			a, b := g.U[i], g.V[i]
+			if a > b {
+				a, b = b, a
+			}
+			has[uint64(a)<<32|uint64(b)] = true
+		}
+		edge := func(a, b int64) bool {
+			if a > b {
+				a, b = b, a
+			}
+			return has[uint64(a)<<32|uint64(b)]
+		}
+		var brute int64
+		for x := int64(0); x < n; x++ {
+			for y := x + 1; y < n; y++ {
+				for z := y + 1; z < n; z++ {
+					if edge(x, y) && edge(y, z) && edge(x, z) {
+						brute++
+					}
+				}
+			}
+		}
+		return SeqCount(g) == brute
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributedMatchesSequential(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"K8":        graph.Complete(8),
+		"random":    graph.Random(200, 1500, 5),
+		"hybrid":    graph.Hybrid(150, 900, 7),
+		"sparse":    graph.Random(300, 400, 9),
+		"rmat":      graph.PermuteVertices(graph.RMAT(8, 700, 0.57, 0.19, 0.19, 0.05, 11), 12),
+		"triangles": graph.Disjoint(graph.Cycle(3), graph.Cycle(3), graph.Complete(5)),
+		"empty":     graph.Empty(6),
+	}
+	for name, g := range graphs {
+		want := SeqCount(g)
+		for _, geo := range []struct{ nodes, tpn int }{{1, 2}, {4, 2}, {3, 3}} {
+			t.Run(name, func(t *testing.T) {
+				rt := newRuntime(t, geo.nodes, geo.tpn)
+				res := Count(rt, collective.NewComm(rt), g, collective.Optimized(2))
+				if res.Triangles != want {
+					t.Fatalf("triangles = %d, want %d", res.Triangles, want)
+				}
+			})
+		}
+	}
+}
+
+func TestDistributedBatching(t *testing.T) {
+	// A hub-heavy graph generates far more wedges than one batch holds,
+	// exercising the lock-step flush loop.
+	g := graph.Hybrid(400, 4000, 13)
+	want := SeqCount(g)
+	rt := newRuntime(t, 4, 2)
+	res := Count(rt, collective.NewComm(rt), g, collective.Optimized(2))
+	if res.Triangles != want {
+		t.Fatalf("triangles = %d, want %d", res.Triangles, want)
+	}
+	if res.Wedges <= 0 || res.Run.SimNS <= 0 {
+		t.Fatal("stats missing")
+	}
+}
+
+func TestDistributedProperty(t *testing.T) {
+	rt := newRuntime(t, 3, 2)
+	comm := collective.NewComm(rt)
+	check := func(seed uint64, nRaw, dRaw uint8) bool {
+		n := int64(nRaw%50) + 3
+		maxM := n * (n - 1) / 2
+		m := int64(dRaw) % (maxM + 1)
+		g := graph.Random(n, m, seed)
+		res := Count(rt, comm, g, collective.Optimized(2))
+		return res.Triangles == SeqCount(g)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

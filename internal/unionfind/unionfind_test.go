@@ -1,0 +1,137 @@
+package unionfind
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pgasgraph/internal/xrand"
+)
+
+func TestSingletons(t *testing.T) {
+	d := New(5)
+	if d.Sets() != 5 {
+		t.Fatalf("Sets = %d, want 5", d.Sets())
+	}
+	for i := int32(0); i < 5; i++ {
+		if d.Find(i) != i {
+			t.Fatalf("Find(%d) = %d before any union", i, d.Find(i))
+		}
+	}
+}
+
+func TestUnionBasics(t *testing.T) {
+	d := New(4)
+	if !d.Union(0, 1) {
+		t.Fatal("first union reported no merge")
+	}
+	if d.Union(0, 1) || d.Union(1, 0) {
+		t.Fatal("repeated union reported a merge")
+	}
+	if !d.Same(0, 1) || d.Same(0, 2) {
+		t.Fatal("Same gave wrong answer")
+	}
+	if d.Sets() != 3 {
+		t.Fatalf("Sets = %d, want 3", d.Sets())
+	}
+}
+
+func TestTransitivity(t *testing.T) {
+	d := New(10)
+	d.Union(0, 1)
+	d.Union(1, 2)
+	d.Union(3, 4)
+	if !d.Same(0, 2) {
+		t.Fatal("transitivity broken")
+	}
+	if d.Same(2, 3) {
+		t.Fatal("separate sets merged")
+	}
+	d.Union(2, 3)
+	if !d.Same(0, 4) {
+		t.Fatal("chain union broken")
+	}
+}
+
+func TestLabelsConsistent(t *testing.T) {
+	d := New(8)
+	d.Union(0, 7)
+	d.Union(1, 6)
+	d.Union(7, 6)
+	labels := d.Labels()
+	if labels[0] != labels[1] || labels[0] != labels[6] || labels[0] != labels[7] {
+		t.Fatalf("merged set labels differ: %v", labels)
+	}
+	if labels[2] == labels[0] {
+		t.Fatalf("unmerged element shares label: %v", labels)
+	}
+}
+
+// TestAgainstNaive cross-checks random union sequences against a quadratic
+// reference implementation.
+func TestAgainstNaive(t *testing.T) {
+	check := func(seed uint64, nRaw, opsRaw uint8) bool {
+		n := int64(nRaw%50) + 2
+		ops := int(opsRaw % 100)
+		r := xrand.New(seed)
+		d := New(n)
+		naive := make([]int, n) // naive label array
+		for i := range naive {
+			naive[i] = i
+		}
+		for o := 0; o < ops; o++ {
+			a := int32(r.Int64n(n))
+			b := int32(r.Int64n(n))
+			d.Union(a, b)
+			la, lb := naive[a], naive[b]
+			if la != lb {
+				for i := range naive {
+					if naive[i] == lb {
+						naive[i] = la
+					}
+				}
+			}
+		}
+		for i := int64(0); i < n; i++ {
+			for j := int64(0); j < n; j++ {
+				if d.Same(int32(i), int32(j)) != (naive[i] == naive[j]) {
+					return false
+				}
+			}
+		}
+		// Set count must also agree.
+		distinct := map[int]bool{}
+		for _, l := range naive {
+			distinct[l] = true
+		}
+		return d.Sets() == int64(len(distinct))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetsMonotone(t *testing.T) {
+	d := New(100)
+	r := xrand.New(17)
+	prev := d.Sets()
+	for i := 0; i < 500; i++ {
+		merged := d.Union(int32(r.Int64n(100)), int32(r.Int64n(100)))
+		cur := d.Sets()
+		if merged && cur != prev-1 {
+			t.Fatalf("merge did not decrement sets: %d -> %d", prev, cur)
+		}
+		if !merged && cur != prev {
+			t.Fatalf("no-op union changed sets: %d -> %d", prev, cur)
+		}
+		prev = cur
+	}
+	if prev < 1 {
+		t.Fatalf("sets fell below 1: %d", prev)
+	}
+}
+
+func TestLen(t *testing.T) {
+	if New(42).Len() != 42 {
+		t.Fatal("Len mismatch")
+	}
+}

@@ -1,0 +1,332 @@
+// Package pgasgraph is a Go reproduction of "Fast PGAS Implementation of
+// Distributed Graph Algorithms" (Cong, Almasi, Saraswat — SC 2010): PRAM
+// connected-components and minimum-spanning-forest kernels mapped onto a
+// PGAS runtime, rewritten with locality-optimized collectives (GetD, SetD,
+// SetDMin) and the paper's full optimization suite (access scheduling with
+// virtual threads, communication coalescing, compact, offload, circular,
+// localcpy, id, RDMA).
+//
+// The paper's UPC runtime and 16-node SMP cluster are substituted by an
+// in-process PGAS runtime whose threads are goroutines and whose execution
+// time is simulated through a calibrated machine model — data movement and
+// results are real and verified; timings reproduce the paper's relative
+// shapes, not its absolute numbers. See DESIGN.md.
+//
+// Basic use:
+//
+//	cluster, err := pgasgraph.NewCluster(pgasgraph.PaperCluster())
+//	g := pgasgraph.RandomGraph(1_000_000, 4_000_000, 42)
+//	res := cluster.CCCoalesced(g, pgasgraph.OptimizedCC(8))
+//	fmt.Println(res.Components, res.Run.SimMS())
+package pgasgraph
+
+import (
+	"pgasgraph/internal/bcc"
+	"pgasgraph/internal/bfs"
+	"pgasgraph/internal/cc"
+	"pgasgraph/internal/collective"
+	"pgasgraph/internal/euler"
+	"pgasgraph/internal/graph"
+	"pgasgraph/internal/listrank"
+	"pgasgraph/internal/machine"
+	"pgasgraph/internal/mis"
+	"pgasgraph/internal/mst"
+	"pgasgraph/internal/pgas"
+	"pgasgraph/internal/seq"
+	"pgasgraph/internal/sim"
+	"pgasgraph/internal/sssp"
+	"pgasgraph/internal/triangle"
+)
+
+// Core re-exported types. The aliases make the internal packages' types
+// part of the public surface without duplicating them.
+type (
+	// Graph is an undirected graph in edge-list form.
+	Graph = graph.Graph
+	// CSR is a compressed-sparse-row adjacency view.
+	CSR = graph.CSR
+	// MachineConfig describes the modeled cluster hardware.
+	MachineConfig = machine.Config
+	// CollectiveOptions selects the paper's collective optimizations.
+	CollectiveOptions = collective.Options
+	// CCOptions configures the connected-components kernels.
+	CCOptions = cc.Options
+	// CCResult is a connected-components outcome.
+	CCResult = cc.Result
+	// MSTOptions configures the minimum-spanning-forest kernels.
+	MSTOptions = mst.Options
+	// MSFResult is a minimum-spanning-forest outcome.
+	MSFResult = mst.Result
+	// MSF is a sequential minimum-spanning-forest result.
+	MSF = seq.MSF
+	// RunStats carries a run's simulated-time accounting.
+	RunStats = pgas.Result
+	// Breakdown is simulated time per execution category.
+	Breakdown = sim.Breakdown
+)
+
+// Machine presets.
+
+// PaperCluster models the paper's platform: 16 IBM P575+ nodes (16 CPUs
+// each) on a 2 GB/s switch.
+func PaperCluster() MachineConfig { return machine.PaperCluster() }
+
+// SingleSMP models one 16-processor node (the paper's SMP baselines).
+func SingleSMP() MachineConfig { return machine.SingleSMP() }
+
+// SequentialMachine models a single thread (the sequential baselines).
+func SequentialMachine() MachineConfig { return machine.Sequential() }
+
+// ModernCluster is a present-day calibration of the same model.
+func ModernCluster() MachineConfig { return machine.ModernCluster() }
+
+// Graph constructors.
+
+// RandomGraph returns a uniform random simple graph (n vertices, m edges).
+func RandomGraph(n, m int64, seed uint64) *Graph { return graph.Random(n, m, seed) }
+
+// HybridGraph returns the paper's hybrid random/scale-free graph: a
+// preferential-attachment kernel on 2*sqrt(n) vertices plus random fill.
+func HybridGraph(n, m int64, seed uint64) *Graph { return graph.Hybrid(n, m, seed) }
+
+// RMATGraph returns an RMAT (Kronecker) graph on 2^scale vertices.
+func RMATGraph(scale int, m int64, a, b, c, d float64, seed uint64) *Graph {
+	return graph.RMAT(scale, m, a, b, c, d, seed)
+}
+
+// WithRandomWeights returns a copy of g with uniform random edge weights.
+func WithRandomWeights(g *Graph, seed uint64) *Graph { return graph.WithRandomWeights(g, seed) }
+
+// PermuteVertices relabels g's vertices by a random permutation.
+func PermuteVertices(g *Graph, seed uint64) *Graph { return graph.PermuteVertices(g, seed) }
+
+// Collective option presets.
+
+// OptimizedCollectives returns the paper's fully optimized collective
+// configuration with t' virtual threads.
+func OptimizedCollectives(virtualThreads int) *CollectiveOptions {
+	return collective.Optimized(virtualThreads)
+}
+
+// BaseCollectives returns the unoptimized (coalescing-only) configuration.
+func BaseCollectives() *CollectiveOptions { return collective.Base() }
+
+// OptimizedCC returns fully optimized CC options (all collective
+// optimizations plus compact) with t' virtual threads.
+func OptimizedCC(virtualThreads int) *CCOptions {
+	return &CCOptions{Col: collective.Optimized(virtualThreads), Compact: true}
+}
+
+// OptimizedMST returns fully optimized MST options with t' virtual
+// threads (offload is CC-specific and disabled internally).
+func OptimizedMST(virtualThreads int) *MSTOptions {
+	return &MSTOptions{Col: collective.Optimized(virtualThreads), Compact: true}
+}
+
+// Cluster is a handle to one simulated PGAS machine. It owns the runtime
+// and the collective communication state; create it once and run any
+// number of kernels on it.
+type Cluster struct {
+	rt   *pgas.Runtime
+	comm *collective.Comm
+}
+
+// NewCluster validates cfg and builds a cluster.
+func NewCluster(cfg MachineConfig) (*Cluster, error) {
+	rt, err := pgas.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{rt: rt, comm: collective.NewComm(rt)}, nil
+}
+
+// Config returns the cluster's machine configuration.
+func (c *Cluster) Config() MachineConfig { return c.rt.Config() }
+
+// Threads returns the total thread count.
+func (c *Cluster) Threads() int { return c.rt.NumThreads() }
+
+// Runtime exposes the underlying PGAS runtime for advanced use (custom
+// kernels over shared arrays and collectives).
+func (c *Cluster) Runtime() *pgas.Runtime { return c.rt }
+
+// Comm exposes the underlying collective state for advanced use.
+func (c *Cluster) Comm() *collective.Comm { return c.comm }
+
+// CCNaive runs the literal PGAS translation of shared-memory CC (CC-UPC of
+// Figure 2; with a single-node cluster it is the paper's CC-SMP baseline).
+func (c *Cluster) CCNaive(g *Graph) *CCResult { return cc.Naive(c.rt, g) }
+
+// CCCoalesced runs CC rewritten with the GetD/SetDMin collectives, the
+// paper's optimized implementation. opts may be nil for defaults.
+func (c *Cluster) CCCoalesced(g *Graph, opts *CCOptions) *CCResult {
+	return cc.Coalesced(c.rt, c.comm, g, opts)
+}
+
+// CCSV runs the Shiloach-Vishkin algorithm rewritten with collectives.
+func (c *Cluster) CCSV(g *Graph, opts *CCOptions) *CCResult {
+	return cc.SV(c.rt, c.comm, g, opts)
+}
+
+// MSFNaive runs the literal lock-based parallel Borůvka translation.
+func (c *Cluster) MSFNaive(g *Graph) *MSFResult { return mst.Naive(c.rt, g) }
+
+// MSFCoalesced runs the lock-free Borůvka rewritten with SetDMin.
+func (c *Cluster) MSFCoalesced(g *Graph, opts *MSTOptions) *MSFResult {
+	return mst.Coalesced(c.rt, c.comm, g, opts)
+}
+
+// SpanningForest runs the spanning-forest variant of coalesced CC (the
+// paper's "closely related spanning tree problem", §V): the SetDMin
+// election records which edge won each hook, so the forest falls out of
+// the same collective traffic.
+func (c *Cluster) SpanningForest(g *Graph, opts *CCOptions) *SpanningForestResult {
+	return cc.SpanningTree(c.rt, c.comm, g, opts)
+}
+
+// RankList runs Wyllie pointer-jumping list ranking with coalesced
+// collectives (see the listrank experiment for the §I-§II context).
+func (c *Cluster) RankList(l *List, opts *CollectiveOptions) *ListRankResult {
+	return listrank.Wyllie(c.rt, c.comm, l, opts)
+}
+
+// RankListCGM runs the communication-efficient (contraction-based) list
+// ranking the paper's §II surveys.
+func (c *Cluster) RankListCGM(l *List, opts *CollectiveOptions) *ListRankResult {
+	return listrank.CGM(c.rt, c.comm, l, opts)
+}
+
+// BFS runs coalesced level-synchronous breadth-first search from src.
+func (c *Cluster) BFS(g *Graph, src int64, opts *CollectiveOptions) *BFSResult {
+	return bfs.Coalesced(c.rt, c.comm, g, src, opts)
+}
+
+// BFSNaive runs the per-edge one-sided translation of BFS.
+func (c *Cluster) BFSNaive(g *Graph, src int64) *BFSResult {
+	return bfs.Naive(c.rt, g, src)
+}
+
+// ShortestPaths runs distributed delta-stepping single-source shortest
+// paths from src. delta <= 0 selects the classic default bucket width.
+func (c *Cluster) ShortestPaths(g *Graph, src, delta int64, opts *CollectiveOptions) *SSSPResult {
+	return sssp.DeltaStepping(c.rt, c.comm, g, src, delta, opts)
+}
+
+// SequentialDijkstra returns weighted distances via binary-heap Dijkstra.
+func SequentialDijkstra(g *Graph, src int64) []int64 { return sssp.SeqDijkstra(g, src) }
+
+// MaximalIndependentSet runs distributed Luby's algorithm.
+func (c *Cluster) MaximalIndependentSet(g *Graph, opts *CollectiveOptions) *MISResult {
+	return mis.Luby(c.rt, c.comm, g, opts)
+}
+
+// CheckMIS verifies a maximal-independent-set certificate directly against
+// the definition (independence and maximality).
+func CheckMIS(g *Graph, inSet []bool) error { return mis.Check(g, inSet) }
+
+// Bipartite tests every component for two-colorability via the bipartite
+// double cover (one distributed CC over 2n vertices).
+func (c *Cluster) Bipartite(g *Graph, opts *CCOptions) *BipartiteResult {
+	return cc.Bipartite(c.rt, c.comm, g, opts)
+}
+
+// CountTriangles counts the graph's triangles with the distributed
+// degree-ordered wedge kernel.
+func (c *Cluster) CountTriangles(g *Graph, opts *CollectiveOptions) *TriangleResult {
+	return triangle.Count(c.rt, c.comm, g, opts)
+}
+
+// SequentialTriangles counts triangles sequentially (exact).
+func SequentialTriangles(g *Graph) int64 { return triangle.SeqCount(g) }
+
+// EulerTour computes rooted-forest statistics (parent, depth, preorder,
+// subtree size) for a spanning forest via the Euler tour technique:
+// distributed list ranking over the tour's arc chain. Composes with
+// SpanningForest.
+func (c *Cluster) EulerTour(forest *Graph, opts *CollectiveOptions) *TreeStats {
+	return euler.Tour(c.rt, c.comm, forest, opts)
+}
+
+// CCMerge runs the communication-efficient forest-merging CC (the
+// round-minimizing approach the paper's conclusion argues against).
+func (c *Cluster) CCMerge(g *Graph) *CCResult { return cc.MergeCGM(c.rt, g) }
+
+// BiconnectedComponents runs distributed Tarjan-Vishkin: spanning forest,
+// Euler tour, priority-write extrema, and CC on the auxiliary graph — the
+// full PRAM pipeline over this library's collectives.
+func (c *Cluster) BiconnectedComponents(g *Graph, opts *CollectiveOptions) *BCCResult {
+	return bcc.TarjanVishkin(c.rt, c.comm, g, opts)
+}
+
+// SequentialBCC computes the decomposition with Hopcroft-Tarjan.
+func SequentialBCC(g *Graph) *SeqBCC { return seq.BiconnectedComponents(g) }
+
+// Extension types.
+type (
+	// TreeStats are per-vertex rooted-forest statistics.
+	TreeStats = euler.TreeStats
+	// BCCResult is a distributed biconnected-components outcome.
+	BCCResult = bcc.Result
+	// SSSPResult is a shortest-paths outcome.
+	SSSPResult = sssp.Result
+	// MISResult is a maximal-independent-set outcome.
+	MISResult = mis.Result
+	// BipartiteResult is a two-colorability outcome.
+	BipartiteResult = cc.BipartiteResult
+	// TriangleResult is a triangle-counting outcome.
+	TriangleResult = triangle.Result
+	// SeqBCC is a sequential biconnected-components outcome.
+	SeqBCC = seq.BCC
+	// SpanningForestResult is a spanning-forest outcome.
+	SpanningForestResult = cc.SpanningForest
+	// List is a collection of disjoint linked chains.
+	List = listrank.List
+	// ListRankResult is a list-ranking outcome.
+	ListRankResult = listrank.Result
+	// BFSResult is a breadth-first-search outcome.
+	BFSResult = bfs.Result
+)
+
+// BFSUnreached marks vertices a BFS did not reach.
+const BFSUnreached = bfs.Unreached
+
+// SSSPUnreached marks vertices with no path from the source.
+const SSSPUnreached = sssp.Unreached
+
+// RandomChainList builds one random chain over n nodes.
+func RandomChainList(n int64, seed uint64) *List { return listrank.RandomList(n, seed) }
+
+// ChainsList builds k disjoint random chains over n nodes.
+func ChainsList(n, k int64, seed uint64) *List { return listrank.Chains(n, k, seed) }
+
+// SequentialListRank ranks a list with the sequential baseline.
+func SequentialListRank(l *List) []int64 { return listrank.SeqRank(l) }
+
+// SequentialBFS returns hop distances from src via textbook queue BFS.
+func SequentialBFS(g *Graph, src int64) []int64 { return bfs.SeqDistances(g, src) }
+
+// Sequential baselines.
+
+// SequentialCC returns canonical component labels via union-find.
+func SequentialCC(g *Graph) []int64 { return seq.CC(g) }
+
+// SequentialCCTime returns labels plus the simulated time of the best
+// sequential implementation on the given machine.
+func SequentialCCTime(g *Graph, cfg MachineConfig) ([]int64, float64) {
+	return seq.CCTimed(g, sim.NewModel(cfg))
+}
+
+// Kruskal returns the minimum spanning forest via sequential Kruskal with
+// the cache-friendly merge sort (the paper's best sequential MST).
+func Kruskal(g *Graph) *MSF { return seq.Kruskal(g) }
+
+// KruskalTime returns the forest plus the simulated sequential time.
+func KruskalTime(g *Graph, cfg MachineConfig) (*MSF, float64) {
+	return seq.KruskalTimed(g, sim.NewModel(cfg))
+}
+
+// CountComponents returns the number of distinct labels in a labeling.
+func CountComponents(labels []int64) int64 { return seq.CountComponents(labels) }
+
+// SamePartition reports whether two labelings induce the same partition.
+func SamePartition(a, b []int64) bool { return seq.SamePartition(a, b) }

@@ -1,0 +1,160 @@
+package pgasgraph
+
+import (
+	"testing"
+)
+
+func smallCluster(t *testing.T) *Cluster {
+	t.Helper()
+	cfg := PaperCluster()
+	cfg.Nodes = 4
+	cfg.ThreadsPerNode = 2
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewClusterRejectsInvalid(t *testing.T) {
+	cfg := PaperCluster()
+	cfg.Nodes = -1
+	if _, err := NewCluster(cfg); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestClusterAccessors(t *testing.T) {
+	c := smallCluster(t)
+	if c.Threads() != 8 {
+		t.Fatalf("Threads = %d", c.Threads())
+	}
+	if c.Config().Nodes != 4 {
+		t.Fatal("Config lost")
+	}
+	if c.Runtime() == nil || c.Comm() == nil {
+		t.Fatal("internals not exposed")
+	}
+}
+
+func TestEndToEndCC(t *testing.T) {
+	c := smallCluster(t)
+	g := HybridGraph(1000, 3000, 7)
+	want := SequentialCC(g)
+
+	naive := c.CCNaive(g)
+	if !SamePartition(want, naive.Labels) {
+		t.Fatal("CCNaive wrong")
+	}
+	opt := c.CCCoalesced(g, OptimizedCC(4))
+	if !SamePartition(want, opt.Labels) {
+		t.Fatal("CCCoalesced wrong")
+	}
+	sv := c.CCSV(g, OptimizedCC(4))
+	if !SamePartition(want, sv.Labels) {
+		t.Fatal("CCSV wrong")
+	}
+	if opt.Components != CountComponents(want) {
+		t.Fatal("component count wrong")
+	}
+	if opt.Run.SimNS <= 0 || opt.Run.Wall <= 0 {
+		t.Fatal("run stats missing")
+	}
+}
+
+func TestEndToEndCCNilOptions(t *testing.T) {
+	c := smallCluster(t)
+	g := RandomGraph(300, 900, 3)
+	res := c.CCCoalesced(g, nil)
+	if !SamePartition(SequentialCC(g), res.Labels) {
+		t.Fatal("nil-options CC wrong")
+	}
+}
+
+func TestEndToEndMSF(t *testing.T) {
+	c := smallCluster(t)
+	g := WithRandomWeights(RandomGraph(500, 1500, 11), 12)
+	want := Kruskal(g)
+
+	naive := c.MSFNaive(g)
+	if naive.Weight != want.Weight {
+		t.Fatalf("MSFNaive weight %d, want %d", naive.Weight, want.Weight)
+	}
+	opt := c.MSFCoalesced(g, OptimizedMST(4))
+	if opt.Weight != want.Weight {
+		t.Fatalf("MSFCoalesced weight %d, want %d", opt.Weight, want.Weight)
+	}
+	if len(opt.Edges) != len(want.Edges) {
+		t.Fatal("forest size differs")
+	}
+}
+
+func TestTimedBaselines(t *testing.T) {
+	g := RandomGraph(400, 1200, 5)
+	labels, ns := SequentialCCTime(g, SequentialMachine())
+	if ns <= 0 {
+		t.Fatal("no sequential time")
+	}
+	if !SamePartition(labels, SequentialCC(g)) {
+		t.Fatal("timed labels differ")
+	}
+	wg := WithRandomWeights(g, 6)
+	msf, ns2 := KruskalTime(wg, SequentialMachine())
+	if ns2 <= 0 || msf.Weight != Kruskal(wg).Weight {
+		t.Fatal("timed Kruskal wrong")
+	}
+}
+
+func TestGraphConstructors(t *testing.T) {
+	if g := RandomGraph(100, 200, 1); g.N != 100 || g.M() != 200 {
+		t.Fatal("RandomGraph dims")
+	}
+	if g := HybridGraph(100, 300, 1); g.M() != 300 {
+		t.Fatal("HybridGraph dims")
+	}
+	if g := RMATGraph(7, 200, 0.45, 0.22, 0.22, 0.11, 1); g.N != 128 || g.M() != 200 {
+		t.Fatal("RMATGraph dims")
+	}
+	g := PermuteVertices(PathGraphForTest(), 1)
+	if g.N != 4 {
+		t.Fatal("PermuteVertices dims")
+	}
+}
+
+// PathGraphForTest builds a tiny fixed graph through the public Graph type.
+func PathGraphForTest() *Graph {
+	return &Graph{N: 4, U: []int32{0, 1, 2}, V: []int32{1, 2, 3}}
+}
+
+func TestOptionPresets(t *testing.T) {
+	if o := OptimizedCollectives(8); !o.Circular || !o.LocalCpy || !o.CachedIDs || !o.Offload || o.VirtualThreads != 8 {
+		t.Fatalf("OptimizedCollectives wrong: %+v", o)
+	}
+	if o := BaseCollectives(); o.Circular || o.VirtualThreads != 0 {
+		t.Fatalf("BaseCollectives wrong: %+v", o)
+	}
+	if o := OptimizedCC(4); !o.Compact || o.Col.VirtualThreads != 4 {
+		t.Fatalf("OptimizedCC wrong: %+v", o)
+	}
+	if o := OptimizedMST(4); !o.Compact {
+		t.Fatalf("OptimizedMST wrong: %+v", o)
+	}
+}
+
+// TestReusedCluster verifies a single Cluster can run many kernels
+// back to back (buffer reuse in Comm must not leak state).
+func TestReusedCluster(t *testing.T) {
+	c := smallCluster(t)
+	for i := 0; i < 3; i++ {
+		g := RandomGraph(200+int64(i)*50, 600, uint64(i)+1)
+		res := c.CCCoalesced(g, OptimizedCC(2))
+		if !SamePartition(SequentialCC(g), res.Labels) {
+			t.Fatalf("run %d wrong", i)
+		}
+		wg := WithRandomWeights(g, uint64(i)+10)
+		msf := c.MSFCoalesced(wg, OptimizedMST(2))
+		if msf.Weight != Kruskal(wg).Weight {
+			t.Fatalf("MST run %d wrong", i)
+		}
+	}
+}
