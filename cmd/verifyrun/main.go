@@ -1,0 +1,96 @@
+// Command verifyrun drives the differential verification harness: it
+// samples a randomized matrix of (machine config, collective options,
+// graph family) trials, runs every kernel against its sequential oracle
+// and selected kernels against each other, shrinks any failure to a
+// minimal counterexample, and (optionally) runs the mutation self-test
+// that certifies the battery detects known collective-layer faults.
+//
+// Usage:
+//
+//	verifyrun -rounds 32 -maxn 500                 # clean-matrix sweep
+//	verifyrun -mutate                              # self-test only
+//	verifyrun -seed 0xdead -rounds 8 -check cc/sv  # replay one check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pgasgraph/internal/verify"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "harness seed (replays exactly)")
+	rounds := flag.Int("rounds", 16, "trials to sample")
+	maxN := flag.Int64("maxn", 400, "max input size (vertices / list nodes)")
+	shrink := flag.Int("shrink", 120, "predicate-run budget for shrinking each failure (0 = off)")
+	check := flag.String("check", "", "comma-separated check names to run (default: all)")
+	mutate := flag.Bool("mutate", false, "run the mutation self-test instead of the clean matrix")
+	mutRounds := flag.Int("mutrounds", 6, "trials per fault in the mutation self-test")
+	quiet := flag.Bool("quiet", false, "suppress per-round progress lines")
+	list := flag.Bool("list", false, "list check names and exit")
+	flag.Parse()
+
+	if *list {
+		for _, c := range verify.Checks() {
+			tag := ""
+			if c.Mutation {
+				tag = "  [mutation]"
+			}
+			fmt.Printf("%s%s\n", c.Name, tag)
+		}
+		return
+	}
+
+	if *mutate {
+		ok := true
+		for _, res := range verify.MutationSelfTest(*seed, *mutRounds) {
+			fmt.Println(res)
+			if !res.Detected {
+				ok = false
+			}
+		}
+		if !ok {
+			fmt.Fprintln(os.Stderr, "verifyrun: FAULT ESCAPED — the battery failed its self-test")
+			os.Exit(1)
+		}
+		fmt.Println("verifyrun: all seeded faults detected")
+		return
+	}
+
+	cfg := verify.Config{
+		Seed:          *seed,
+		Rounds:        *rounds,
+		MaxN:          *maxN,
+		MaxShrinkRuns: *shrink,
+	}
+	if !*quiet {
+		cfg.Log = os.Stdout
+	}
+	if *check != "" {
+		known := map[string]bool{}
+		for _, c := range verify.Checks() {
+			known[c.Name] = true
+		}
+		cfg.Checks = map[string]bool{}
+		for _, name := range strings.Split(*check, ",") {
+			name = strings.TrimSpace(name)
+			if !known[name] {
+				fmt.Fprintf(os.Stderr, "verifyrun: unknown check %q (see -list)\n", name)
+				os.Exit(2)
+			}
+			cfg.Checks[name] = true
+		}
+	}
+	rep := verify.Run(cfg)
+	fmt.Printf("verifyrun: rounds=%d checks=%d skipped=%d failures=%d\n",
+		rep.Rounds, rep.ChecksRun, rep.Skipped, len(rep.Failures))
+	if !rep.OK() {
+		for _, f := range rep.Failures {
+			fmt.Fprintf(os.Stderr, "FAIL %s\n", f)
+		}
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,54 @@
+package bcc
+
+import (
+	"fmt"
+
+	"pgasgraph/internal/graph"
+	"pgasgraph/internal/seq"
+)
+
+// Verify checks a distributed biconnected-components result against the
+// sequential Hopcroft-Tarjan oracle. Block labels are arbitrary on both
+// sides, so the edge labelings are compared as partitions (a bijection
+// between label sets must exist); articulation flags, bridge flags, and
+// the block count must match exactly. It is the oracle adapter the
+// differential verification harness runs after Tarjan-Vishkin.
+func Verify(g *graph.Graph, res *Result) error {
+	want := seq.BiconnectedComponents(g)
+	m := g.M()
+	if int64(len(res.EdgeBlock)) != m {
+		return fmt.Errorf("bcc: %d edge labels for %d edges", len(res.EdgeBlock), m)
+	}
+	if res.Blocks != want.Blocks {
+		return fmt.Errorf("bcc: %d blocks, Hopcroft-Tarjan says %d", res.Blocks, want.Blocks)
+	}
+	fwd := map[int64]int64{}
+	rev := map[int64]int64{}
+	for e := int64(0); e < m; e++ {
+		a, b := res.EdgeBlock[e], want.EdgeBlock[e]
+		if (a == -1) != (b == -1) {
+			return fmt.Errorf("bcc: edge %d self-loop labeling disagrees (got %d, want %d)", e, a, b)
+		}
+		if a == -1 {
+			continue
+		}
+		if prev, ok := fwd[a]; ok && prev != b {
+			return fmt.Errorf("bcc: block %d maps to both oracle blocks %d and %d (first conflict at edge %d)", a, prev, b, e)
+		}
+		if prev, ok := rev[b]; ok && prev != a {
+			return fmt.Errorf("bcc: oracle block %d maps to both blocks %d and %d (first conflict at edge %d)", b, prev, a, e)
+		}
+		fwd[a], rev[b] = b, a
+	}
+	for v := int64(0); v < g.N; v++ {
+		if res.Articulation[v] != want.Articulation[v] {
+			return fmt.Errorf("bcc: articulation[%d] = %v, oracle says %v", v, res.Articulation[v], want.Articulation[v])
+		}
+	}
+	for e := int64(0); e < m; e++ {
+		if res.Bridge[e] != want.Bridge[e] {
+			return fmt.Errorf("bcc: bridge[%d] = %v, oracle says %v", e, res.Bridge[e], want.Bridge[e])
+		}
+	}
+	return nil
+}

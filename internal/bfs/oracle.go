@@ -1,0 +1,24 @@
+package bfs
+
+import (
+	"fmt"
+
+	"pgasgraph/internal/graph"
+)
+
+// VerifyDistances checks a distributed BFS result against the sequential
+// queue oracle: hop distances must agree exactly (Unreached included). It
+// is the oracle adapter the differential verification harness runs after
+// every BFS kernel.
+func VerifyDistances(g *graph.Graph, src int64, dist []int64) error {
+	if int64(len(dist)) != g.N {
+		return fmt.Errorf("bfs: %d distances for %d vertices", len(dist), g.N)
+	}
+	want := SeqDistances(g, src)
+	for v := range dist {
+		if dist[v] != want[v] {
+			return fmt.Errorf("bfs: dist[%d] = %d from source %d, oracle says %d", v, dist[v], src, want[v])
+		}
+	}
+	return nil
+}

@@ -25,11 +25,28 @@ package collective
 
 import (
 	"fmt"
+	"math"
 
 	"pgasgraph/internal/pgas"
 	"pgasgraph/internal/psort"
 	"pgasgraph/internal/sched"
 	"pgasgraph/internal/sim"
+)
+
+// Size limits of one collective call. st.pos, st.outIdx, and the cached
+// owner keys are int32, and the QuickSort grouping path packs each request
+// position into the low 40 bits of an int64 alongside the owner id in the
+// bits above; the tighter of the two bounds is int32. Owner ids share the
+// packed key's upper bits, which caps the thread count at 2^23. Both
+// limits are enforced explicitly — silently truncated positions would
+// permute answers instead of failing.
+const (
+	// MaxRequests is the largest request list one thread may pass to a
+	// single GetD/SetD/SetDMin call.
+	MaxRequests = math.MaxInt32
+	// MaxThreads is the largest runtime thread count the packed
+	// (owner, position) sort keys support.
+	MaxThreads = 1 << 23
 )
 
 // SortKind selects the grouping sort used in phase 1. The paper's Figure 3
@@ -113,6 +130,7 @@ type threadState struct {
 	local  []int64 // block-local index scratch for serving
 	vals   []int64 // gathered-value scratch for serving
 	inVal  []int64 // pulled value scratch for serving Set*
+	packed []int64 // (owner, position) keys for the QuickSort path
 	segs   []segment
 	scr    sched.Scratch
 }
@@ -148,6 +166,7 @@ type Comm struct {
 	pmat   []int64 // pmat[server*s+requester] = segment offset in requester's req
 	ts     []threadState
 	tracer Tracer
+	fault  Fault // armed defect for mutation-sensitivity testing (see fault.go)
 }
 
 // SetTracer attaches a profiling tracer (nil detaches). Set it before
@@ -169,6 +188,9 @@ func (c *Comm) traced(kind string, th *pgas.Thread, elements int, body func()) {
 // NewComm allocates collective state for rt.
 func NewComm(rt *pgas.Runtime) *Comm {
 	s := rt.NumThreads()
+	if s > MaxThreads {
+		panic(fmt.Sprintf("collective: %d threads exceed the %d-thread limit of the packed sort keys", s, MaxThreads))
+	}
 	c := &Comm{rt: rt, s: s, smat: make([]int64, s*s), pmat: make([]int64, s*s)}
 	c.ts = make([]threadState, s)
 	for i := range c.ts {
@@ -240,7 +262,8 @@ func (c *Comm) groupByOwner(th *pgas.Thread, indices, values []int64, opts *Opti
 		// Pack (owner, position) and comparison-sort: the slow path of
 		// Figure 3. Positions keep the sort stable and recover the
 		// permutation.
-		packed := make([]int64, k)
+		st.packed = grow(st.packed, k)
+		packed := st.packed[:k]
 		for j := range indices {
 			packed[j] = int64(st.keys[j])<<40 | int64(j)
 		}
@@ -354,13 +377,33 @@ func (c *Comm) transferCost(th *pgas.Thread, peer int, k int64, pull bool, opts 
 	th.Clock.RemoteOps++
 }
 
+// checkRequests validates one thread's request list up front: the list
+// must fit the int32 position packing (see MaxRequests) and every index
+// must lie in d's bounds. Without this, a bad index flows through the
+// grouping sort and surfaces as an opaque slice-bounds panic deep in the
+// serve phase; a too-long list silently truncates positions.
+func checkRequests(kind string, d *pgas.SharedArray, indices []int64) {
+	if len(indices) > MaxRequests {
+		panic(fmt.Sprintf("collective: %s request list of %d elements exceeds the %d-element limit in %s",
+			kind, len(indices), MaxRequests, d.Name()))
+	}
+	n := d.Len()
+	for _, ix := range indices {
+		if ix < 0 || ix >= n {
+			panic(fmt.Sprintf("collective: %s index %d out of range [0,%d) in %s", kind, ix, n, d.Name()))
+		}
+	}
+}
+
 // GetD gathers out[j] = D[indices[j]] collectively. All threads of the
 // runtime must call it (with possibly different index lists); it contains
-// barriers. cache may be nil.
+// barriers. cache may be nil. Requests must be in-bounds for d and at most
+// MaxRequests long (both checked).
 func (c *Comm) GetD(th *pgas.Thread, d *pgas.SharedArray, indices, out []int64, opts *Options, cache *IDCache) {
 	if len(out) != len(indices) {
 		panic("collective: GetD output length mismatch")
 	}
+	checkRequests("GetD", d, indices)
 	c.traced("GetD", th, len(indices), func() { c.getDImpl(th, d, indices, out, opts, cache) })
 }
 
@@ -385,6 +428,10 @@ func (c *Comm) getDImpl(th *pgas.Thread, d *pgas.SharedArray, indices, out []int
 	ns, misses := th.Runtime().Model().DensePermute(int64(k))
 	th.Clock.Charge(sim.CatIrregular, ns)
 	th.Clock.CacheMisses += misses
+	if c.fault == FaultDropPermute {
+		c.dropPermute(out, st, k, opts.Offload)
+		return
+	}
 	if opts.Offload {
 		// st.pos indexes the filtered list; st.outIdx maps it back to
 		// original request positions.
@@ -396,6 +443,18 @@ func (c *Comm) getDImpl(th *pgas.Thread, d *pgas.SharedArray, indices, out []int
 			out[j] = st.val[p]
 		}
 	}
+}
+
+// dropPermute is the FaultDropPermute body: values land in owner-grouped
+// order, as if Algorithm 2's final permute were missing.
+func (c *Comm) dropPermute(out []int64, st *threadState, k int, offload bool) {
+	if offload {
+		for p := 0; p < k; p++ {
+			out[st.outIdx[p]] = st.val[p]
+		}
+		return
+	}
+	copy(out[:k], st.val[:k])
 }
 
 // offloadFilter removes requests for the offloaded index, writing its
@@ -461,8 +520,16 @@ func (c *Comm) serve(th *pgas.Thread, d *pgas.SharedArray, opts *Options, mode s
 	for _, seg := range st.segs {
 		reqSeg := c.ts[seg.peer].req[seg.off : seg.off+seg.k]
 		c.transferCost(th, int(seg.peer), seg.k, true, opts)
-		for j, gix := range reqSeg {
-			st.local[seg.pos+int64(j)] = gix - lo
+		if c.fault == FaultSegmentOffByOne {
+			// Misaligned segment view: slot j takes the index of slot
+			// j+1 (rotated within the segment to stay in bounds).
+			for j := range reqSeg {
+				st.local[seg.pos+int64(j)] = reqSeg[(j+1)%len(reqSeg)] - lo
+			}
+		} else {
+			for j, gix := range reqSeg {
+				st.local[seg.pos+int64(j)] = gix - lo
+			}
 		}
 		th.ChargeOps(sim.CatWork, seg.k)
 		if mode == serveSet || mode == serveMin {
@@ -491,6 +558,9 @@ func (c *Comm) serve(th *pgas.Thread, d *pgas.SharedArray, opts *Options, mode s
 		op := sched.OpSet
 		if mode == serveMin {
 			op = sched.OpMin
+			if c.fault == FaultMaxInsteadOfMin {
+				op = sched.OpMax
+			}
 		}
 		sched.Scatter(th, local, st.local[:total], st.inVal[:total], op, opts.VirtualThreads, opts.LocalCpy, &st.scr)
 	}
@@ -518,6 +588,7 @@ func (c *Comm) setImpl(th *pgas.Thread, d *pgas.SharedArray, indices, values []i
 	if mode == serveMin {
 		kind = "SetDMin"
 	}
+	checkRequests(kind, d, indices)
 	c.traced(kind, th, len(indices), func() { c.setBody(th, d, indices, values, opts, cache, mode) })
 }
 

@@ -1,0 +1,54 @@
+package collective
+
+// Fault names one seeded defect in the collective hot path. The faults are
+// the mutation-sensitivity test seam of the differential verification
+// harness (internal/verify): each models a realistic way Algorithm 2 goes
+// subtly wrong — the kind of bug that corrupts every kernel built on the
+// collectives while still terminating — and the harness asserts that its
+// oracle battery catches every one of them. The seam is a plain runtime
+// flag (no build tags) so verifyrun and the tests exercise exactly the
+// shipped code paths.
+type Fault int
+
+const (
+	// FaultNone disarms the seam (the zero value; production behavior).
+	FaultNone Fault = iota
+	// FaultDropPermute skips GetD's final permute back to request order:
+	// values are delivered in owner-grouped order instead (Algorithm 2
+	// step 6 dropped).
+	FaultDropPermute
+	// FaultMaxInsteadOfMin flips SetDMin's combining rule to maximum —
+	// the classic priority-write tie-break inversion.
+	FaultMaxInsteadOfMin
+	// FaultSegmentOffByOne misaligns the serve phase's view of each
+	// peer's request segment by one element (rotated within the segment,
+	// so indices stay in bounds and the corruption is silent).
+	FaultSegmentOffByOne
+)
+
+// AllFaults lists every injectable fault, for iterating a mutation run.
+func AllFaults() []Fault {
+	return []Fault{FaultDropPermute, FaultMaxInsteadOfMin, FaultSegmentOffByOne}
+}
+
+// String returns the fault's stable name.
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultDropPermute:
+		return "drop-permute"
+	case FaultMaxInsteadOfMin:
+		return "max-instead-of-min"
+	case FaultSegmentOffByOne:
+		return "segment-off-by-one"
+	}
+	return "unknown"
+}
+
+// InjectFault arms f on this Comm (FaultNone disarms). It must only be
+// called between Run regions — never while a collective is in flight.
+func (c *Comm) InjectFault(f Fault) { c.fault = f }
+
+// InjectedFault returns the currently armed fault.
+func (c *Comm) InjectedFault() Fault { return c.fault }

@@ -1,0 +1,243 @@
+package collective
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"pgasgraph/internal/pgas"
+	"pgasgraph/internal/xrand"
+)
+
+// These property tests pin the collectives' algebraic laws — the
+// contracts every kernel builds on — under every documented Options
+// combination and several machine geometries:
+//
+//   - GetD after SetD reads back exactly what was written (roundtrip);
+//   - SetDMin equals the sequential min-scatter oracle, including on
+//     duplicate-heavy request lists where many writers race per index;
+//   - a warm IDCache is honored, and Invalidate() makes a changed index
+//     list safe to reuse with the same cache.
+
+// lawGeometries exercises single-thread, single-node-SMP, all-remote,
+// and mixed ownership.
+var lawGeometries = []struct{ nodes, tpn int }{{1, 1}, {1, 4}, {4, 1}, {3, 2}}
+
+// TestSetDGetDRoundtrip: thread-disjoint scatters followed by a gather of
+// the same indices must return exactly the written values, for every
+// option vector.
+func TestSetDGetDRoundtrip(t *testing.T) {
+	const n = 150
+	for _, geo := range lawGeometries {
+		rt := testRT(t, geo.nodes, geo.tpn)
+		s := rt.NumThreads()
+		for name, opts := range optionVariants() {
+			t.Run(fmt.Sprintf("%dx%d/%s", geo.nodes, geo.tpn, name), func(t *testing.T) {
+				rng := xrand.New(77).Split(uint64(s))
+				// Thread i writes indices congruent to i mod s, so
+				// writers never race and the expected array is exact.
+				// Avoid index 0 under Offload: its value is pinned.
+				idxs := make([][]int64, s)
+				vals := make([][]int64, s)
+				want := make([]int64, n)
+				for i := 0; i < s; i++ {
+					k := 1 + int(rng.Int64n(120))
+					for j := 0; j < k; j++ {
+						ix := (rng.Int64n(n/int64(s)))*int64(s) + int64(i)
+						if ix >= n || (ix == 0 && opts.Offload) {
+							continue
+						}
+						v := int64(rng.Uint64n(1 << 40))
+						idxs[i] = append(idxs[i], ix)
+						vals[i] = append(vals[i], v)
+						want[ix] = v
+					}
+				}
+				d := rt.NewSharedArray("D", n)
+				comm := NewComm(rt)
+				outs := make([][]int64, s)
+				rt.Run(func(th *pgas.Thread) {
+					o := *opts // per-thread copy: kernels share one Options value
+					comm.SetD(th, d, idxs[th.ID], vals[th.ID], &o, nil)
+					out := make([]int64, len(idxs[th.ID]))
+					comm.GetD(th, d, idxs[th.ID], out, &o, nil)
+					outs[th.ID] = out
+				})
+				for i := int64(0); i < n; i++ {
+					if got := d.Raw()[i]; got != want[i] {
+						t.Fatalf("D[%d] = %d after scatter, want %d", i, got, want[i])
+					}
+				}
+				for i := range idxs {
+					for j, ix := range idxs[i] {
+						if outs[i][j] != want[ix] {
+							t.Fatalf("thread %d read D[%d] = %d, want %d", i, ix, outs[i][j], want[ix])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSetDMinMatchesMinScatter: concurrent min-writes over duplicate-heavy
+// index lists must equal the sequential min-scatter oracle, for every
+// option vector. A tiny index alphabet forces many threads (and many
+// entries within one thread) to contend on the same slots — the CRCW
+// priority-write case the paper's kernels rely on.
+func TestSetDMinMatchesMinScatter(t *testing.T) {
+	const n = 120
+	const initVal = int64(1) << 40
+	for _, geo := range lawGeometries {
+		rt := testRT(t, geo.nodes, geo.tpn)
+		s := rt.NumThreads()
+		for name, opts := range optionVariants() {
+			t.Run(fmt.Sprintf("%dx%d/%s", geo.nodes, geo.tpn, name), func(t *testing.T) {
+				rng := xrand.New(99).Split(uint64(s))
+				alphabet := 1 + rng.Int64n(16) // duplicate-heavy pool
+				idxs := make([][]int64, s)
+				vals := make([][]int64, s)
+				want := make([]int64, n)
+				for i := range want {
+					want[i] = initVal
+				}
+				want[0] = 0 // offload pins slot 0 at the configured minimum
+				for i := 0; i < s; i++ {
+					k := int(rng.Int64n(250))
+					idxs[i] = make([]int64, k)
+					vals[i] = make([]int64, k)
+					for j := 0; j < k; j++ {
+						ix := rng.Int64n(n)
+						if rng.Intn(2) == 0 {
+							ix = rng.Int64n(alphabet)
+						}
+						v := 1 + rng.Int64n(1<<30)
+						idxs[i][j] = ix
+						vals[i][j] = v
+						if ix != 0 && v < want[ix] {
+							want[ix] = v
+						}
+					}
+				}
+				d := rt.NewSharedArray("D", n)
+				for i := int64(1); i < n; i++ {
+					d.Raw()[i] = initVal
+				}
+				comm := NewComm(rt)
+				rt.Run(func(th *pgas.Thread) {
+					o := *opts
+					comm.SetDMin(th, d, idxs[th.ID], vals[th.ID], &o, nil)
+				})
+				for i := int64(0); i < n; i++ {
+					if got := d.Raw()[i]; got != want[i] {
+						t.Fatalf("D[%d] = %d, min-scatter oracle says %d", i, got, want[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestIDCacheInvalidation: a warm IDCache must keep GetD exact across
+// repeated calls with the same index list, and Invalidate() must make a
+// *different* index list safe with the same cache object. (Without the
+// invalidation, stale owner keys would group the new indices wrongly.)
+func TestIDCacheInvalidation(t *testing.T) {
+	const n = 200
+	rt := testRT(t, 3, 2)
+	s := rt.NumThreads()
+	opts := &Options{CachedIDs: true}
+	rng := xrand.New(5)
+	data := make([]int64, n)
+	for i := range data {
+		data[i] = rng.Int63()
+	}
+	first := make([][]int64, s)
+	second := make([][]int64, s)
+	for i := 0; i < s; i++ {
+		k := 40 + int(rng.Int64n(80))
+		first[i] = make([]int64, k)
+		for j := range first[i] {
+			first[i][j] = rng.Int64n(n)
+		}
+		k2 := 30 + int(rng.Int64n(90)) // different length AND content
+		second[i] = make([]int64, k2)
+		for j := range second[i] {
+			second[i][j] = rng.Int64n(n)
+		}
+	}
+	d := rt.NewSharedArray("D", n)
+	copy(d.Raw(), data)
+	comm := NewComm(rt)
+	type result struct{ warm, fresh []int64 }
+	results := make([]result, s)
+	rt.Run(func(th *pgas.Thread) {
+		o := *opts
+		var cache IDCache
+		// Populate, then reuse warm with the identical list.
+		out := make([]int64, len(first[th.ID]))
+		comm.GetD(th, d, first[th.ID], out, &o, &cache)
+		warm := make([]int64, len(first[th.ID]))
+		comm.GetD(th, d, first[th.ID], warm, &o, &cache)
+		// Switch lists: invalidate first, as the contract requires.
+		cache.Invalidate()
+		fresh := make([]int64, len(second[th.ID]))
+		comm.GetD(th, d, second[th.ID], fresh, &o, &cache)
+		results[th.ID] = result{warm: warm, fresh: fresh}
+	})
+	for i := 0; i < s; i++ {
+		for j, ix := range first[i] {
+			if results[i].warm[j] != data[ix] {
+				t.Fatalf("warm cache: thread %d read D[%d] = %d, want %d", i, ix, results[i].warm[j], data[ix])
+			}
+		}
+		for j, ix := range second[i] {
+			if results[i].fresh[j] != data[ix] {
+				t.Fatalf("after Invalidate: thread %d read D[%d] = %d, want %d", i, ix, results[i].fresh[j], data[ix])
+			}
+		}
+	}
+}
+
+// TestRequestValidation: out-of-range request indices must fail fast with
+// a panic naming the collective, the bad index, and the array — not
+// corrupt memory or misroute silently.
+func TestRequestValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(comm *Comm, th *pgas.Thread, d *pgas.SharedArray)
+	}{
+		{"GetD/negative", func(comm *Comm, th *pgas.Thread, d *pgas.SharedArray) {
+			out := make([]int64, 1)
+			comm.GetD(th, d, []int64{-1}, out, Base(), nil)
+		}},
+		{"GetD/too-large", func(comm *Comm, th *pgas.Thread, d *pgas.SharedArray) {
+			out := make([]int64, 1)
+			comm.GetD(th, d, []int64{1 << 50}, out, Base(), nil)
+		}},
+		{"SetD/negative", func(comm *Comm, th *pgas.Thread, d *pgas.SharedArray) {
+			comm.SetD(th, d, []int64{-7}, []int64{1}, Base(), nil)
+		}},
+		{"SetDMin/too-large", func(comm *Comm, th *pgas.Thread, d *pgas.SharedArray) {
+			comm.SetDMin(th, d, []int64{9999999}, []int64{1}, Base(), nil)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rt := testRT(t, 1, 1)
+			d := rt.NewSharedArray("Label", 10)
+			comm := NewComm(rt)
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("no panic for out-of-range request index")
+				}
+				msg := fmt.Sprint(r)
+				if !strings.Contains(msg, "out of range") || !strings.Contains(msg, "Label") {
+					t.Fatalf("panic message %q does not name the bound and the array", msg)
+				}
+			}()
+			rt.Run(func(th *pgas.Thread) { tc.run(comm, th, d) })
+		})
+	}
+}

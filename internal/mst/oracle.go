@@ -1,0 +1,25 @@
+package mst
+
+import (
+	"fmt"
+
+	"pgasgraph/internal/graph"
+	"pgasgraph/internal/seq"
+)
+
+// VerifyForest checks a distributed MSF result against the sequential
+// oracle: the chosen edges must form a spanning forest of g (acyclic,
+// spanning every component, with a consistent recorded weight), and the
+// total weight must equal Kruskal's — which pins minimality without
+// requiring the two forests to pick identical edges under ties. It is the
+// oracle adapter the differential verification harness runs after every
+// MST kernel.
+func VerifyForest(g *graph.Graph, res *Result) error {
+	if err := seq.CheckForest(g, &seq.MSF{Edges: res.Edges, Weight: res.Weight}); err != nil {
+		return fmt.Errorf("mst: %w", err)
+	}
+	if want := seq.Kruskal(g).Weight; res.Weight != want {
+		return fmt.Errorf("mst: forest weight %d, Kruskal oracle says %d", res.Weight, want)
+	}
+	return nil
+}

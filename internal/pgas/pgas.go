@@ -122,18 +122,39 @@ func (r *Result) SimMS() float64 { return r.SimNS / 1e6 }
 // Run executes fn on every thread concurrently (one goroutine per thread),
 // waits for all of them, and returns the aggregated result. Clocks and
 // counters are reset at region entry. Run must not be called reentrantly.
+//
+// A panic on any thread is propagated to Run's caller instead of crashing
+// the process: the panicking thread poisons the barrier so its peers
+// unwind (they observe a "barrier broken" panic at their next rendezvous)
+// and the first panic value is re-raised once every goroutine has exited.
+// This is what lets the verification harness treat a kernel blow-up under
+// an injected fault as a detected failure rather than a process abort. The
+// runtime's barrier is replaced afterwards, but thread clocks are left
+// mid-region; a runtime that panicked should be discarded.
 func (rt *Runtime) Run(fn func(th *Thread)) *Result {
 	var wg sync.WaitGroup
 	wg.Add(rt.s)
 	start := time.Now()
+	var panicOnce sync.Once
+	var panicVal interface{}
 	for _, th := range rt.threads {
 		th.Clock.Reset()
 		go func(th *Thread) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicVal = r })
+					rt.bar.breakBarrier()
+				}
+			}()
 			fn(th)
 		}(th)
 	}
 	wg.Wait()
+	if panicVal != nil {
+		rt.bar = newBarrier(rt.s)
+		panic(panicVal)
+	}
 	res := &Result{Wall: time.Since(start), Threads: rt.s}
 	for _, th := range rt.threads {
 		if th.Clock.NS > res.SimNS {
@@ -167,6 +188,7 @@ type barrier struct {
 	gen     uint64
 	max     float64
 	release float64
+	broken  bool // a participant panicked; all waiters must unwind
 }
 
 func newBarrier(n int) *barrier {
@@ -176,10 +198,15 @@ func newBarrier(n int) *barrier {
 }
 
 // await blocks until all n goroutines have called it, then returns the
-// maximum clock value passed by any of them for this generation.
+// maximum clock value passed by any of them for this generation. If the
+// barrier is (or becomes) broken, await panics instead of blocking
+// forever on a peer that will never arrive.
 func (b *barrier) await(clock float64) float64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.broken {
+		panic("pgas: barrier broken by a peer thread's panic")
+	}
 	if clock > b.max {
 		b.max = clock
 	}
@@ -195,8 +222,21 @@ func (b *barrier) await(clock float64) float64 {
 	gen := b.gen
 	for gen == b.gen {
 		b.cond.Wait()
+		if b.broken {
+			panic("pgas: barrier broken by a peer thread's panic")
+		}
 	}
 	return b.release
+}
+
+// breakBarrier marks the barrier broken and wakes every waiter so they
+// unwind (each waiter panics out of await). Called when a participant
+// panics; see Runtime.Run.
+func (b *barrier) breakBarrier() {
+	b.mu.Lock()
+	b.broken = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
 }
 
 // Span divides total items into parts blocks and returns the half-open
@@ -256,6 +296,9 @@ func (rt *Runtime) NewSharedArray(name string, n int64) *SharedArray {
 
 // Len returns the element count.
 func (a *SharedArray) Len() int64 { return a.n }
+
+// Name returns the diagnostic name the array was allocated with.
+func (a *SharedArray) Name() string { return a.name }
 
 // BlockSize returns the per-thread block size.
 func (a *SharedArray) BlockSize() int64 { return a.blk }

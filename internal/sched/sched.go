@@ -110,6 +110,11 @@ const (
 	// OpMin stores the value only if it is smaller (priority concurrent
 	// write; the paper's SetDMin semantics).
 	OpMin
+	// OpMax stores the value only if it is larger. No kernel uses it; it
+	// exists for the collective layer's mutation-sensitivity seam, which
+	// flips SetDMin's combining rule to prove the verification harness
+	// notices.
+	OpMax
 )
 
 // Scratch is reusable first-touch tracking state for Gather/Scatter. The
@@ -248,6 +253,15 @@ func Scatter(th *pgas.Thread, local []int64, idx []int64, vals []int64, op Op, v
 				distinct++
 			}
 			if vals[j] < local[ix] {
+				local[ix] = vals[j]
+			}
+		}
+	case OpMax:
+		for j, ix := range idx {
+			if scr.touch(ix) {
+				distinct++
+			}
+			if vals[j] > local[ix] {
 				local[ix] = vals[j]
 			}
 		}

@@ -1,0 +1,395 @@
+package verify
+
+import (
+	"fmt"
+
+	"pgasgraph/internal/bcc"
+	"pgasgraph/internal/bfs"
+	"pgasgraph/internal/cc"
+	"pgasgraph/internal/collective"
+	"pgasgraph/internal/euler"
+	"pgasgraph/internal/graph"
+	"pgasgraph/internal/listrank"
+	"pgasgraph/internal/mis"
+	"pgasgraph/internal/mst"
+	"pgasgraph/internal/pgas"
+	"pgasgraph/internal/seq"
+	"pgasgraph/internal/sssp"
+	"pgasgraph/internal/xrand"
+)
+
+// A Check is one oracle comparison or cross-kernel differential test,
+// runnable against any trial. Checks receive a freshly built runtime and
+// collective state so kernels never observe another check's scratch and an
+// injected fault stays scoped to one execution.
+type Check struct {
+	// Name identifies the check (kernel/variant).
+	Name string
+	// Mutation marks checks safe to run with an injected collective
+	// fault: their kernels bound iterations (panicking, not hanging,
+	// when convergence is destroyed) and their oracles are decisive on
+	// small inputs.
+	Mutation bool
+	// Applicable gates the check on trial shape (expensive baselines
+	// stay off big trials; source-based checks need vertices).
+	Applicable func(t *Trial) bool
+	// Run executes the check and returns a description of the first
+	// mismatch (nil = pass).
+	Run func(t *Trial, rt *pgas.Runtime, comm *collective.Comm) error
+}
+
+func always(*Trial) bool { return true }
+
+// small gates the slow per-edge baselines and the quadratic-ish oracles.
+func small(t *Trial) bool { return t.Graph.N <= 600 && t.Graph.M() <= 1800 }
+
+// Checks returns the harness battery: the collective algebraic laws, then
+// every kernel against its sequential oracle, then the cross-kernel
+// differentials. Order matters for mutation runs — the laws pinpoint a
+// collective fault directly before any kernel interprets it.
+func Checks() []Check {
+	return []Check{
+		{Name: "collective/getd-law", Mutation: true, Applicable: always, Run: checkGetDLaw},
+		{Name: "collective/setd-roundtrip", Mutation: true, Applicable: always, Run: checkSetDRoundtrip},
+		{Name: "collective/setdmin-law", Mutation: true, Applicable: always, Run: checkSetDMinLaw},
+		{Name: "cc/coalesced", Mutation: true, Applicable: always, Run: checkCCCoalesced},
+		{Name: "cc/sv", Mutation: true, Applicable: always, Run: checkCCSV},
+		{Name: "cc/naive", Applicable: small, Run: checkCCNaive},
+		{Name: "cc/merge-cgm", Applicable: small, Run: checkCCMerge},
+		{Name: "cc/spanning-forest", Mutation: true, Applicable: always, Run: checkSpanningForest},
+		{Name: "cc/bipartite", Applicable: small, Run: checkBipartite},
+		{Name: "mst/coalesced", Mutation: true, Applicable: always, Run: checkMSTCoalesced},
+		{Name: "mst/naive", Applicable: small, Run: checkMSTNaive},
+		{Name: "bfs/coalesced", Applicable: always, Run: checkBFS},
+		{Name: "bfs/naive", Applicable: small, Run: checkBFSNaive},
+		{Name: "sssp/delta-stepping", Applicable: always, Run: checkSSSP},
+		{Name: "mis/luby", Applicable: always, Run: checkMIS},
+		{Name: "listrank/wyllie", Applicable: always, Run: checkWyllie},
+		{Name: "listrank/cgm", Applicable: always, Run: checkCGM},
+		{Name: "listrank/fused", Applicable: always, Run: checkFused},
+		{Name: "euler/tour", Applicable: always, Run: checkEuler},
+		{Name: "bcc/tarjan-vishkin", Applicable: small, Run: checkBCC},
+	}
+}
+
+// RunCheck builds a fresh cluster for t, arms fault, and executes c,
+// converting kernel panics (iteration-bound blow-ups, index validation)
+// into check failures. The pgas runtime propagates thread panics to this
+// goroutine, so a blow-up on any simulated thread is caught here.
+func RunCheck(c Check, t *Trial, fault collective.Fault) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	rt, e := pgas.New(t.Machine)
+	if e != nil {
+		return fmt.Errorf("machine config: %v", e)
+	}
+	comm := collective.NewComm(rt)
+	comm.InjectFault(fault)
+	return c.Run(t, rt, comm)
+}
+
+// --- Collective algebraic laws -----------------------------------------
+
+// lawSize picks the shared-array length for the law checks: the trial
+// graph's vertex count, floored so every thread owns something to serve.
+func lawSize(t *Trial, rt *pgas.Runtime) int64 {
+	n := t.Graph.N
+	if min := int64(4 * rt.NumThreads()); n < min {
+		n = min
+	}
+	return n
+}
+
+// lawData builds the backing array: distinct values everywhere except
+// index 0, which is pinned to 0 so the offload optimization's substituted
+// value is exact.
+func lawData(n int64) []int64 {
+	data := make([]int64, n)
+	for i := int64(1); i < n; i++ {
+		data[i] = i*2654435761 + 17
+	}
+	return data
+}
+
+// checkGetDLaw: GetD must equal the direct gather out[j] = D[indices[j]]
+// for random per-thread request lists — the identity every kernel's read
+// side rests on.
+func checkGetDLaw(t *Trial, rt *pgas.Runtime, comm *collective.Comm) error {
+	n := lawSize(t, rt)
+	data := lawData(n)
+	s := rt.NumThreads()
+	rng := xrand.New(t.Seed).Split(0x6e7d)
+	reqs := make([][]int64, s)
+	for i := range reqs {
+		k := int(rng.Int64n(300))
+		reqs[i] = make([]int64, k)
+		for j := range reqs[i] {
+			reqs[i][j] = rng.Int64n(n)
+		}
+	}
+	d := rt.NewSharedArray("Law", n)
+	copy(d.Raw(), data)
+	outs := make([][]int64, s)
+	caches := make([]collective.IDCache, s)
+	rt.Run(func(th *pgas.Thread) {
+		out := make([]int64, len(reqs[th.ID]))
+		comm.GetD(th, d, reqs[th.ID], out, &t.Opts, &caches[th.ID])
+		// Second call through the warm IDCache must agree too.
+		comm.GetD(th, d, reqs[th.ID], out, &t.Opts, &caches[th.ID])
+		outs[th.ID] = out
+	})
+	for i, req := range reqs {
+		for j, ix := range req {
+			if outs[i][j] != data[ix] {
+				return fmt.Errorf("GetD: thread %d request %d (index %d) got %d, want %d",
+					i, j, ix, outs[i][j], data[ix])
+			}
+		}
+	}
+	return nil
+}
+
+// checkSetDRoundtrip: SetD of thread-disjoint (index, value) pairs
+// followed by GetD must read back exactly what was written.
+func checkSetDRoundtrip(t *Trial, rt *pgas.Runtime, comm *collective.Comm) error {
+	n := lawSize(t, rt)
+	s := rt.NumThreads()
+	rng := xrand.New(t.Seed).Split(0x5e7d)
+	// Thread i writes only indices congruent to i mod s: disjoint
+	// writers, so the expected final array is order-independent. Within
+	// one thread's list the collectives apply requests in list order, so
+	// the last duplicate wins.
+	idxs := make([][]int64, s)
+	vals := make([][]int64, s)
+	want := lawData(n)
+	for i := 0; i < s; i++ {
+		k := int(rng.Int64n(200))
+		idxs[i] = make([]int64, k)
+		vals[i] = make([]int64, k)
+		for j := 0; j < k; j++ {
+			ix := rng.Int64n(n)
+			ix -= (ix - int64(i)) % int64(s)
+			if ix < 0 {
+				ix += int64(s)
+			}
+			if ix >= n {
+				ix = int64(i)
+			}
+			if ix == 0 && t.Opts.Offload {
+				ix = int64(s) // keep the offloaded slot constant
+				if ix >= n {
+					ix = n - 1
+				}
+			}
+			v := int64(rng.Uint64n(1 << 40))
+			idxs[i][j] = ix
+			vals[i][j] = v
+			want[ix] = v
+		}
+	}
+	d := rt.NewSharedArray("Law", n)
+	copy(d.Raw(), lawData(n))
+	outs := make([][]int64, s)
+	rt.Run(func(th *pgas.Thread) {
+		comm.SetD(th, d, idxs[th.ID], vals[th.ID], &t.Opts, nil)
+		out := make([]int64, len(idxs[th.ID]))
+		comm.GetD(th, d, idxs[th.ID], out, &t.Opts, nil)
+		outs[th.ID] = out
+	})
+	for i := range want {
+		if got := d.Raw()[i]; got != want[i] {
+			return fmt.Errorf("SetD: D[%d] = %d after scatter, want %d", i, got, want[i])
+		}
+	}
+	for i, req := range idxs {
+		for j, ix := range req {
+			if outs[i][j] != want[ix] {
+				return fmt.Errorf("SetD/GetD roundtrip: thread %d read D[%d] = %d, want %d",
+					i, ix, outs[i][j], want[ix])
+			}
+		}
+	}
+	return nil
+}
+
+// checkSetDMinLaw: SetDMin over duplicate-heavy request lists from every
+// thread must match the sequential min-scatter oracle.
+func checkSetDMinLaw(t *Trial, rt *pgas.Runtime, comm *collective.Comm) error {
+	n := lawSize(t, rt)
+	s := rt.NumThreads()
+	rng := xrand.New(t.Seed).Split(0x317d)
+	const initVal = int64(1) << 40
+	want := make([]int64, n)
+	for i := range want {
+		want[i] = initVal
+	}
+	want[0] = 0 // offload semantics pin the slot-0 value at the minimum
+	idxs := make([][]int64, s)
+	vals := make([][]int64, s)
+	alphabet := min64(n, 1+rng.Int64n(24)) // duplicate-heavy index pool
+	for i := 0; i < s; i++ {
+		k := int(rng.Int64n(300))
+		idxs[i] = make([]int64, k)
+		vals[i] = make([]int64, k)
+		for j := 0; j < k; j++ {
+			ix := rng.Int64n(n)
+			if rng.Intn(2) == 0 {
+				ix = rng.Int64n(alphabet)
+			}
+			v := 1 + rng.Int64n(1<<30)
+			idxs[i][j] = ix
+			vals[i][j] = v
+			if ix != 0 && v < want[ix] {
+				want[ix] = v
+			}
+		}
+	}
+	d := rt.NewSharedArray("Law", n)
+	for i := int64(1); i < n; i++ {
+		d.Raw()[i] = initVal
+	}
+	rt.Run(func(th *pgas.Thread) {
+		comm.SetDMin(th, d, idxs[th.ID], vals[th.ID], &t.Opts, nil)
+	})
+	for i := range want {
+		if got := d.Raw()[i]; got != want[i] {
+			return fmt.Errorf("SetDMin: D[%d] = %d, min-scatter oracle says %d", i, got, want[i])
+		}
+	}
+	return nil
+}
+
+// --- Kernel oracle checks ----------------------------------------------
+
+func ccOpts(t *Trial) *cc.Options {
+	o := t.Opts
+	return &cc.Options{Col: &o, Compact: t.Compact}
+}
+
+func checkCCCoalesced(t *Trial, rt *pgas.Runtime, comm *collective.Comm) error {
+	return cc.VerifyLabels(t.Graph, cc.Coalesced(rt, comm, t.Graph, ccOpts(t)).Labels)
+}
+
+// checkCCSV verifies Shiloach-Vishkin against the oracle AND against
+// coalesced CC on the same cluster — the FastSV-style cross-validation of
+// independent label-propagation schemes sharing one collective layer.
+func checkCCSV(t *Trial, rt *pgas.Runtime, comm *collective.Comm) error {
+	sv := cc.SV(rt, comm, t.Graph, ccOpts(t))
+	if err := cc.VerifyLabels(t.Graph, sv.Labels); err != nil {
+		return fmt.Errorf("SV vs oracle: %w", err)
+	}
+	co := cc.Coalesced(rt, comm, t.Graph, ccOpts(t))
+	if !seq.SamePartition(sv.Labels, co.Labels) {
+		return fmt.Errorf("SV and coalesced CC disagree on the same cluster")
+	}
+	if sv.Components != co.Components {
+		return fmt.Errorf("SV found %d components, coalesced CC %d", sv.Components, co.Components)
+	}
+	return nil
+}
+
+func checkCCNaive(t *Trial, rt *pgas.Runtime, comm *collective.Comm) error {
+	return cc.VerifyLabels(t.Graph, cc.Naive(rt, t.Graph).Labels)
+}
+
+func checkCCMerge(t *Trial, rt *pgas.Runtime, comm *collective.Comm) error {
+	return cc.VerifyLabels(t.Graph, cc.MergeCGM(rt, t.Graph).Labels)
+}
+
+func checkSpanningForest(t *Trial, rt *pgas.Runtime, comm *collective.Comm) error {
+	return cc.VerifySpanningForest(t.Graph, cc.SpanningTree(rt, comm, t.Graph, ccOpts(t)))
+}
+
+func checkBipartite(t *Trial, rt *pgas.Runtime, comm *collective.Comm) error {
+	res := cc.Bipartite(rt, comm, t.Graph, ccOpts(t))
+	want := cc.SeqBipartite(t.Graph)
+	if len(res.ComponentBipartite) != len(want) {
+		return fmt.Errorf("bipartite: %d component verdicts, oracle has %d",
+			len(res.ComponentBipartite), len(want))
+	}
+	for label, bip := range want {
+		if got, ok := res.ComponentBipartite[label]; !ok || got != bip {
+			return fmt.Errorf("bipartite: component %d reported %v (present=%v), oracle says %v",
+				label, got, ok, bip)
+		}
+	}
+	return nil
+}
+
+func checkMSTCoalesced(t *Trial, rt *pgas.Runtime, comm *collective.Comm) error {
+	o := t.Opts
+	return mst.VerifyForest(t.WGraph,
+		mst.Coalesced(rt, comm, t.WGraph, &mst.Options{Col: &o, Compact: t.Compact}))
+}
+
+func checkMSTNaive(t *Trial, rt *pgas.Runtime, comm *collective.Comm) error {
+	return mst.VerifyForest(t.WGraph, mst.Naive(rt, t.WGraph))
+}
+
+func checkBFS(t *Trial, rt *pgas.Runtime, comm *collective.Comm) error {
+	o := t.Opts
+	return bfs.VerifyDistances(t.Graph, t.Src,
+		bfs.Coalesced(rt, comm, t.Graph, t.Src, &o).Dist)
+}
+
+func checkBFSNaive(t *Trial, rt *pgas.Runtime, comm *collective.Comm) error {
+	return bfs.VerifyDistances(t.Graph, t.Src, bfs.Naive(rt, t.Graph, t.Src).Dist)
+}
+
+func checkSSSP(t *Trial, rt *pgas.Runtime, comm *collective.Comm) error {
+	o := t.Opts
+	return sssp.VerifyDistances(t.WGraph, t.Src,
+		sssp.DeltaStepping(rt, comm, t.WGraph, t.Src, t.Delta, &o).Dist)
+}
+
+func checkMIS(t *Trial, rt *pgas.Runtime, comm *collective.Comm) error {
+	o := t.Opts
+	return mis.VerifySet(t.Graph, mis.Luby(rt, comm, t.Graph, &o))
+}
+
+func checkWyllie(t *Trial, rt *pgas.Runtime, comm *collective.Comm) error {
+	o := t.Opts
+	return listrank.VerifyRanks(t.List, listrank.Wyllie(rt, comm, t.List, &o).Ranks)
+}
+
+// checkCGM verifies the contraction-based ranking against the oracle AND
+// against Wyllie on the same cluster (independent algorithms, shared
+// collective layer).
+func checkCGM(t *Trial, rt *pgas.Runtime, comm *collective.Comm) error {
+	o := t.Opts
+	cgm := listrank.CGM(rt, comm, t.List, &o)
+	if err := listrank.VerifyRanks(t.List, cgm.Ranks); err != nil {
+		return fmt.Errorf("CGM vs oracle: %w", err)
+	}
+	wy := listrank.Wyllie(rt, comm, t.List, &o)
+	if !listrank.RanksEqual(cgm.Ranks, wy.Ranks) {
+		return fmt.Errorf("CGM and Wyllie disagree on the same cluster")
+	}
+	return nil
+}
+
+func checkFused(t *Trial, rt *pgas.Runtime, comm *collective.Comm) error {
+	o := t.Opts
+	return listrank.VerifyRanks(t.List, listrank.WyllieFused(rt, comm, t.List, &o).Ranks)
+}
+
+// checkEuler composes spanning forest and Euler tour — the BCC pipeline's
+// first two stages — and verifies the tree statistics structurally.
+func checkEuler(t *Trial, rt *pgas.Runtime, comm *collective.Comm) error {
+	sf := cc.SpanningTree(rt, comm, t.Graph, ccOpts(t))
+	forest := &graph.Graph{N: t.Graph.N}
+	for _, e := range sf.Edges {
+		forest.U = append(forest.U, t.Graph.U[e])
+		forest.V = append(forest.V, t.Graph.V[e])
+	}
+	o := t.Opts
+	return euler.VerifyStats(forest, euler.Tour(rt, comm, forest, &o))
+}
+
+func checkBCC(t *Trial, rt *pgas.Runtime, comm *collective.Comm) error {
+	o := t.Opts
+	return bcc.Verify(t.Graph, bcc.TarjanVishkin(rt, comm, t.Graph, &o))
+}
