@@ -206,6 +206,97 @@ func BenchmarkAblationHierarchicalA2A(b *testing.B) {
 	}
 }
 
+// Steady-state collective micro-benchmarks: all b.N calls run inside one
+// SPMD region with per-thread request and output buffers allocated once,
+// so `-benchmem` reports the collective layer's own steady-state
+// allocation behavior (the numbers BENCH_collectives.json baselines).
+
+func collectiveSteadyCluster(b *testing.B) (*Cluster, [][]int64, [][]int64, [][]int64) {
+	b.Helper()
+	cfg := PaperCluster()
+	cfg.Nodes = 4
+	cfg.ThreadsPerNode = 4
+	c, err := NewCluster(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := c.Threads()
+	const k = 1 << 11
+	idx := make([][]int64, s)
+	vals := make([][]int64, s)
+	out := make([][]int64, s)
+	for t := 0; t < s; t++ {
+		rng := xrand.New(uint64(t) + 1)
+		idx[t] = make([]int64, k)
+		vals[t] = make([]int64, k)
+		out[t] = make([]int64, k)
+		for j := range idx[t] {
+			idx[t][j] = rng.Int64n(1 << 16)
+			vals[t][j] = rng.Int63()
+		}
+	}
+	return c, idx, vals, out
+}
+
+func benchCollectiveSteady(b *testing.B, body func(c *Cluster, th *pgas.Thread, d *pgas.SharedArray, idx, vals, out []int64, opts *CollectiveOptions, cache *collective.IDCache)) {
+	c, idx, vals, out := collectiveSteadyCluster(b)
+	rt := c.Runtime()
+	d := rt.NewSharedArray("D", 1<<16)
+	d.FillIdentity()
+	opts := collective.Optimized(4)
+	caches := make([]collective.IDCache, c.Threads())
+	b.ResetTimer()
+	rt.Run(func(th *pgas.Thread) {
+		for i := 0; i < b.N; i++ {
+			body(c, th, d, idx[th.ID], vals[th.ID], out[th.ID], opts, &caches[th.ID])
+		}
+	})
+}
+
+func BenchmarkCollectiveGetD(b *testing.B) {
+	benchCollectiveSteady(b, func(c *Cluster, th *pgas.Thread, d *pgas.SharedArray, idx, vals, out []int64, opts *CollectiveOptions, cache *collective.IDCache) {
+		c.Comm().GetD(th, d, idx, out, opts, cache)
+	})
+}
+
+func BenchmarkCollectiveSetD(b *testing.B) {
+	benchCollectiveSteady(b, func(c *Cluster, th *pgas.Thread, d *pgas.SharedArray, idx, vals, out []int64, opts *CollectiveOptions, cache *collective.IDCache) {
+		c.Comm().SetD(th, d, idx, vals, opts, cache)
+	})
+}
+
+func BenchmarkCollectiveSetDMin(b *testing.B) {
+	benchCollectiveSteady(b, func(c *Cluster, th *pgas.Thread, d *pgas.SharedArray, idx, vals, out []int64, opts *CollectiveOptions, cache *collective.IDCache) {
+		c.Comm().SetDMin(th, d, idx, vals, opts, cache)
+	})
+}
+
+func BenchmarkCollectiveExchange(b *testing.B) {
+	benchCollectiveSteady(b, func(c *Cluster, th *pgas.Thread, d *pgas.SharedArray, idx, vals, out []int64, opts *CollectiveOptions, cache *collective.IDCache) {
+		c.Comm().Exchange(th, d, idx, opts, cache)
+	})
+}
+
+func BenchmarkCollectiveGetDPair(b *testing.B) {
+	c, idx, _, out := collectiveSteadyCluster(b)
+	rt := c.Runtime()
+	d1 := rt.NewSharedArray("D1", 1<<16)
+	d2 := rt.NewSharedArray("D2", 1<<16)
+	d1.FillIdentity()
+	d2.FillIdentity()
+	opts := collective.Optimized(4)
+	out2 := make([][]int64, c.Threads())
+	for t := range out2 {
+		out2[t] = make([]int64, len(out[t]))
+	}
+	b.ResetTimer()
+	rt.Run(func(th *pgas.Thread) {
+		for i := 0; i < b.N; i++ {
+			c.Comm().GetDPair(th, d1, d2, idx[th.ID], out[th.ID], out2[th.ID], opts, nil)
+		}
+	})
+}
+
 // Substrate micro-benchmarks.
 
 func BenchmarkGetD(b *testing.B) {

@@ -254,13 +254,7 @@ func TarjanVishkin(rt *pgas.Runtime, comm *collective.Comm, g *graph.Graph, opts
 // sanitize copies opts and disables the CC-specific offload (the extrema
 // arrays' slot 0 is mutable).
 func sanitize(opts *collective.Options) *collective.Options {
-	base := collective.Base()
-	if opts != nil {
-		c := *opts
-		base = &c
-	}
-	base.Offload = false
-	return base
+	return collective.Sanitize(opts, false)
 }
 
 // accumulate folds one phase's accounting into the total.

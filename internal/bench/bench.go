@@ -1,0 +1,199 @@
+// Package bench produces the machine-readable benchmark records behind
+// BENCH_collectives.json: steady-state wall-clock and allocation numbers
+// for the collective hot path, plus the deterministic simulated times of
+// the paper's key figures at a small scale. `pgasbench -json` writes
+// them; CI compares a fresh run against the committed baseline.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"pgasgraph"
+	"pgasgraph/internal/collective"
+	"pgasgraph/internal/experiments"
+	"pgasgraph/internal/pgas"
+	"pgasgraph/internal/report"
+	"pgasgraph/internal/xrand"
+)
+
+// Config sizes a benchmark run. The zero value is not useful; use
+// Defaults.
+type Config struct {
+	Nodes          int
+	ThreadsPerNode int
+	// Calls is how many collective invocations each thread performs
+	// inside one timed SPMD region. More calls amortize region setup
+	// further but lengthen the run.
+	Calls int
+	// Scale is the figure-experiment input fraction (see
+	// experiments.Config.Scale).
+	Scale float64
+	Seed  uint64
+}
+
+// Defaults is the configuration the committed baseline uses: the
+// steady-state geometry of the BenchmarkCollective* suite and the
+// figure scale of the in-repo benchmarks.
+func Defaults() Config {
+	return Config{Nodes: 4, ThreadsPerNode: 4, Calls: 256, Scale: 0.002, Seed: 42}
+}
+
+// Run produces the full record set: collective micro-benchmarks and
+// figure simulated times.
+func Run(cfg Config) (*report.BenchReport, error) {
+	rep := &report.BenchReport{
+		Schema:         report.BenchSchema,
+		Nodes:          cfg.Nodes,
+		ThreadsPerNode: cfg.ThreadsPerNode,
+		Calls:          cfg.Calls,
+		Scale:          cfg.Scale,
+		Seed:           cfg.Seed,
+	}
+	col, err := Collectives(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.Records = append(rep.Records, col...)
+	rep.Records = append(rep.Records, Figures(cfg)...)
+	return rep, nil
+}
+
+// Collectives measures the steady-state collective hot path: per-thread
+// request lists of 2^11 indices on a 2^16-element array, every call
+// inside one SPMD region after a warmup round, exactly like the
+// BenchmarkCollective* suite. One "op" is one collective superstep (all
+// threads calling once); allocations are a whole-process Mallocs delta
+// with the empty-region overhead subtracted.
+func Collectives(cfg Config) ([]report.BenchRecord, error) {
+	c, err := pgasgraph.NewCluster(clusterConfig(cfg))
+	if err != nil {
+		return nil, err
+	}
+	rt := c.Runtime()
+	s := c.Threads()
+	const n = 1 << 16
+	const k = 1 << 11
+	d := rt.NewSharedArray("D", n)
+	d2 := rt.NewSharedArray("D2", n)
+	d.FillIdentity()
+	d2.FillIdentity()
+	idx := make([][]int64, s)
+	vals := make([][]int64, s)
+	out := make([][]int64, s)
+	out2 := make([][]int64, s)
+	for t := 0; t < s; t++ {
+		rng := xrand.New(cfg.Seed + uint64(t) + 1)
+		idx[t] = make([]int64, k)
+		vals[t] = make([]int64, k)
+		out[t] = make([]int64, k)
+		out2[t] = make([]int64, k)
+		for j := range idx[t] {
+			idx[t][j] = rng.Int64n(n)
+			vals[t][j] = rng.Int63()
+		}
+	}
+	opts := collective.Optimized(4)
+	caches := make([]collective.IDCache, s)
+
+	comm := c.Comm()
+	ops := []struct {
+		name string
+		body func(th *pgas.Thread)
+	}{
+		{"collective/GetD", func(th *pgas.Thread) {
+			comm.GetD(th, d, idx[th.ID], out[th.ID], opts, &caches[th.ID])
+		}},
+		{"collective/SetD", func(th *pgas.Thread) {
+			comm.SetD(th, d, idx[th.ID], vals[th.ID], opts, &caches[th.ID])
+		}},
+		{"collective/SetDMin", func(th *pgas.Thread) {
+			comm.SetDMin(th, d, idx[th.ID], vals[th.ID], opts, &caches[th.ID])
+		}},
+		{"collective/Exchange", func(th *pgas.Thread) {
+			comm.Exchange(th, d, idx[th.ID], opts, &caches[th.ID])
+		}},
+		{"collective/GetDPair", func(th *pgas.Thread) {
+			comm.GetDPair(th, d, d2, idx[th.ID], out[th.ID], out2[th.ID], opts, nil)
+		}},
+	}
+
+	overhead := emptyRegionMallocs(rt)
+	records := make([]report.BenchRecord, 0, len(ops))
+	for _, op := range ops {
+		rt.Run(func(th *pgas.Thread) { op.body(th) }) // warm the arenas
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		res := rt.Run(func(th *pgas.Thread) {
+			for i := 0; i < cfg.Calls; i++ {
+				op.body(th)
+			}
+		})
+		wall := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		allocs := float64(m1.Mallocs-m0.Mallocs) - overhead
+		if allocs < 0 {
+			allocs = 0
+		}
+		records = append(records, report.BenchRecord{
+			Name:        op.name,
+			NSPerOp:     float64(wall.Nanoseconds()) / float64(cfg.Calls),
+			AllocsPerOp: allocs / float64(cfg.Calls),
+			SimMS:       res.SimMS() / float64(cfg.Calls),
+		})
+	}
+	return records, nil
+}
+
+func clusterConfig(cfg Config) pgasgraph.MachineConfig {
+	c := pgasgraph.PaperCluster()
+	c.Nodes = cfg.Nodes
+	c.ThreadsPerNode = cfg.ThreadsPerNode
+	return c
+}
+
+// emptyRegionMallocs measures the fixed allocation cost of one SPMD
+// region (goroutine spawns, result assembly) so Collectives can subtract
+// it and report the hot path's own behavior.
+func emptyRegionMallocs(rt *pgas.Runtime) float64 {
+	const rounds = 8
+	rt.Run(func(th *pgas.Thread) {}) // warm
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < rounds; i++ {
+		rt.Run(func(th *pgas.Thread) {})
+	}
+	runtime.ReadMemStats(&m1)
+	return float64(m1.Mallocs-m0.Mallocs) / rounds
+}
+
+// Figures records the deterministic simulated milliseconds of the
+// figure-2, figure-4, and figure-6 kernels at cfg.Scale: the headline
+// series of the paper's evaluation, usable as a tight regression signal
+// because simulated time does not depend on the host.
+func Figures(cfg Config) []report.BenchRecord {
+	ecfg := experiments.Config{Scale: cfg.Scale, Seed: cfg.Seed}
+	var records []report.BenchRecord
+	simRec := func(name string, ns float64) {
+		records = append(records, report.BenchRecord{Name: name, SimMS: ns / 1e6})
+	}
+
+	f2 := experiments.RunFig02(ecfg)
+	for _, row := range f2.Rows {
+		simRec(fmt.Sprintf("fig2/%s/naive", row.Name), row.NaiveNS)
+		simRec(fmt.Sprintf("fig2/%s/smp", row.Name), row.SMPNS)
+	}
+	f4 := experiments.RunFig04(ecfg)
+	for i := range f4.Inputs {
+		in := &f4.Inputs[i]
+		simRec(fmt.Sprintf("fig4/%s/best", in.Name), in.NS[in.Best()])
+		simRec(fmt.Sprintf("fig4/%s/smp", in.Name), in.SMPNS)
+	}
+	f6 := experiments.RunFig06(ecfg)
+	for _, bar := range f6.Bars {
+		simRec(fmt.Sprintf("fig6/%s", bar.Name), bar.TotalNS)
+	}
+	return records
+}

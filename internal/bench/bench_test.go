@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCollectivesRecords runs the micro-benchmark harness at a tiny call
+// count and checks the record shape: one record per collective, positive
+// wall time, deterministic positive simulated time, and a steady-state
+// allocation rate near zero (the arena contract).
+func TestCollectivesRecords(t *testing.T) {
+	cfg := Defaults()
+	cfg.Calls = 8
+	recs, err := Collectives(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"collective/GetD": true, "collective/SetD": true, "collective/SetDMin": true,
+		"collective/Exchange": true, "collective/GetDPair": true,
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("got %d records, want %d", len(recs), len(want))
+	}
+	for _, r := range recs {
+		if !want[r.Name] {
+			t.Errorf("unexpected record %q", r.Name)
+		}
+		if r.NSPerOp <= 0 || r.SimMS <= 0 {
+			t.Errorf("%s: non-positive measurement: %+v", r.Name, r)
+		}
+		// At 8 calls the amortized region setup still divides out to
+		// well under one alloc per op when the hot path itself is clean.
+		if r.AllocsPerOp > 8 {
+			t.Errorf("%s: %f allocs/op, steady state should be ~0", r.Name, r.AllocsPerOp)
+		}
+	}
+}
+
+// TestFigureRecordNames pins the figure record namespace without running
+// the (slower) experiments: names come from Collectives' sibling, so a
+// rename here must be deliberate (it invalidates committed baselines).
+func TestFigureRecordNames(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure kernels are slow")
+	}
+	cfg := Defaults()
+	cfg.Scale = 0.001
+	recs := Figures(cfg)
+	if len(recs) == 0 {
+		t.Fatal("no figure records")
+	}
+	for _, r := range recs {
+		if !strings.HasPrefix(r.Name, "fig2/") && !strings.HasPrefix(r.Name, "fig4/") && !strings.HasPrefix(r.Name, "fig6/") {
+			t.Errorf("unexpected figure record %q", r.Name)
+		}
+		if r.SimMS <= 0 {
+			t.Errorf("%s: non-positive sim time", r.Name)
+		}
+	}
+}

@@ -196,11 +196,5 @@ func Naive(rt *pgas.Runtime, g *graph.Graph, src int64) *Result {
 // sanitize copies opts and disables offload (vertex 0's distance is not
 // constant).
 func sanitize(opts *collective.Options) *collective.Options {
-	base := collective.Base()
-	if opts != nil {
-		c := *opts
-		base = &c
-	}
-	base.Offload = false
-	return base
+	return collective.Sanitize(opts, false)
 }

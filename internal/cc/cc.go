@@ -43,21 +43,35 @@ type Result struct {
 	Run *pgas.Result
 }
 
-// Options configures the collective-based kernels.
+// Options configures the collective-based kernels. Nil Options (or a nil
+// Col field) select Defaults().
 type Options struct {
 	// Col configures the collectives (virtual threads, circular,
-	// localcpy, id, offload). Nil means collective.Base().
+	// localcpy, id, offload). Nil means collective.Defaults().
 	Col *collective.Options
 	// Compact filters edges whose endpoints already share a component
 	// from the live list each iteration (§V).
 	Compact bool
 }
 
-func (o *Options) col() *collective.Options {
-	if o == nil || o.Col == nil {
-		return collective.Base()
+// Defaults returns the configuration selected when a caller passes nil
+// Options: base collectives, no compaction.
+func Defaults() *Options { return &Options{Col: collective.Defaults()} }
+
+// Validate reports whether o is a usable configuration; nil is valid (it
+// selects Defaults).
+func (o *Options) Validate() error {
+	if o == nil {
+		return nil
 	}
-	return o.Col
+	return o.Col.Validate()
+}
+
+func (o *Options) col() *collective.Options {
+	if o == nil {
+		return collective.Defaults()
+	}
+	return collective.Sanitize(o.Col, true)
 }
 
 func (o *Options) compact() bool { return o != nil && o.Compact }

@@ -24,6 +24,9 @@ type SpanningForest struct {
 	Edges []int64
 	// CC is the connected-components result of the same run.
 	CC *Result
+	// Run carries the simulated-time accounting (the same accounting as
+	// CC.Run; every kernel result exposes it under this name).
+	Run *pgas.Result
 }
 
 // SpanningTree runs the spanning-forest kernel. opts configures the
@@ -154,7 +157,7 @@ func SpanningTree(rt *pgas.Runtime, comm *collective.Comm, g *graph.Graph, opts 
 		}
 	})
 
-	sf := &SpanningForest{CC: finish(d, iterations, run)}
+	sf := &SpanningForest{CC: finish(d, iterations, run), Run: run}
 	for _, part := range chosen {
 		sf.Edges = append(sf.Edges, part...)
 	}

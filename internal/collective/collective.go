@@ -26,6 +26,8 @@ package collective
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"time"
 
 	"pgasgraph/internal/pgas"
 	"pgasgraph/internal/psort"
@@ -105,8 +107,69 @@ func Optimized(virtualThreads int) *Options {
 
 // Base returns the unoptimized configuration (Figure 5's "base": two
 // recursion levels of Algorithm 1, i.e. coalescing plus per-thread
-// blocks, but none of the §V optimizations).
-func Base() *Options { return &Options{} }
+// blocks, but none of the §V optimizations). VirtualThreads is 1 — the
+// canonical spelling of "no cache blocking" that Validate accepts.
+func Base() *Options { return &Options{VirtualThreads: 1} }
+
+// Defaults returns the configuration selected when a caller passes nil
+// options: the base configuration. Every kernel treats nil opts and
+// Defaults() identically.
+func Defaults() *Options { return Base() }
+
+// Validate reports whether o is a usable configuration. nil is valid (it
+// selects Defaults). VirtualThreads must be >= 1 (legacy zero values are
+// still normalized by Sanitize for compatibility, but new configurations
+// should spell "no blocking" as 1), Sort must be a known kind, and an
+// enabled Offload needs a non-negative OffloadIndex.
+func (o *Options) Validate() error {
+	if o == nil {
+		return nil
+	}
+	if o.VirtualThreads <= 0 {
+		return fmt.Errorf("collective: VirtualThreads must be >= 1, got %d (use 1 to disable cache blocking)", o.VirtualThreads)
+	}
+	if o.Sort != CountSort && o.Sort != QuickSort {
+		return fmt.Errorf("collective: unknown sort kind %d", o.Sort)
+	}
+	if o.Offload && o.OffloadIndex < 0 {
+		return fmt.Errorf("collective: OffloadIndex must be >= 0, got %d", o.OffloadIndex)
+	}
+	return nil
+}
+
+// Sanitize maps opts to the private copy a kernel actually runs with: nil
+// becomes Defaults(), the legacy VirtualThreads zero value is normalized
+// to 1, and Offload is force-disabled when the kernel cannot honor it
+// (allowOffload false). Kernels call this once at their boundary so the
+// nil ≡ Defaults contract holds everywhere.
+func Sanitize(opts *Options, allowOffload bool) *Options {
+	if opts == nil {
+		return Defaults()
+	}
+	o := *opts
+	if o.VirtualThreads < 1 {
+		o.VirtualThreads = 1
+	}
+	if !allowOffload {
+		o.Offload = false
+	}
+	return &o
+}
+
+// ValidateGeometry reports whether a runtime with the given thread count
+// can be served by the collectives: owner ids share the packed sort keys'
+// upper bits, capping the thread count at MaxThreads. The pgasgraph
+// boundary surfaces this as an error; NewComm keeps it as a panic backstop
+// for direct internal construction.
+func ValidateGeometry(threads int) error {
+	if threads <= 0 {
+		return fmt.Errorf("collective: thread count must be positive, got %d", threads)
+	}
+	if threads > MaxThreads {
+		return fmt.Errorf("collective: %d threads exceed the %d-thread limit of the packed sort keys", threads, MaxThreads)
+	}
+	return nil
+}
 
 // IDCache caches owner ids across collective calls for one thread and one
 // index list. Invalidate it whenever the index list changes (e.g. after
@@ -119,20 +182,45 @@ type IDCache struct {
 // Invalidate marks the cache stale.
 func (c *IDCache) Invalidate() { c.valid = false }
 
-// threadState is the per-thread scratch of a Comm.
+// threadState is the per-thread scratch arena of a Comm. Every buffer
+// persists across collective calls and grows monotonically, so a warm
+// Comm runs the hot path without allocating; growths counts the backing-
+// array (re)allocations for the trace layer's allocs-per-call column.
 type threadState struct {
-	req    []int64 // request indices sorted by owner (read by peers)
-	val    []int64 // values aligned with req (SetD*) / receive buffer (GetD)
-	pos    []int32 // inverse permutation of the grouping sort
-	offs   []int64 // per-owner segment offsets, len s+1
-	keys   []int32
-	outIdx []int32 // positions of offloaded requests
-	local  []int64 // block-local index scratch for serving
-	vals   []int64 // gathered-value scratch for serving
-	inVal  []int64 // pulled value scratch for serving Set*
-	packed []int64 // (owner, position) keys for the QuickSort path
-	segs   []segment
-	scr    sched.Scratch
+	req     []int64 // request indices sorted by owner (read by peers)
+	val     []int64 // values aligned with req (SetD*) / receive buffer (GetD)
+	pos     []int32 // inverse permutation of the grouping sort
+	offs    []int64 // per-owner segment offsets, len s+1
+	keys    []int32
+	outIdx  []int32 // positions of offloaded requests
+	local   []int64 // block-local index scratch for serving
+	vals    []int64 // gathered-value scratch for serving
+	inVal   []int64 // pulled value scratch for serving Set*
+	packed  []int64 // (owner, position) keys for the QuickSort path
+	cursor  []int64 // bucket cursors for the count-sort, len s
+	segs    []segment
+	scr     sched.Scratch
+	scr2    sched.Scratch // second first-touch tracker for GetDPair
+	growths int64         // scratch backing-array allocations (monotonic)
+}
+
+// grow returns buf resized to k elements, reusing the backing array when
+// it is large enough and counting a scratch growth otherwise.
+func (st *threadState) grow(buf []int64, k int) []int64 {
+	if cap(buf) < k {
+		st.growths++
+		return make([]int64, k)
+	}
+	return buf[:k]
+}
+
+// grow32 is grow for int32 buffers.
+func (st *threadState) grow32(buf []int32, k int) []int32 {
+	if cap(buf) < k {
+		st.growths++
+		return make([]int32, k)
+	}
+	return buf[:k]
 }
 
 // segment records where one peer's request slice sits in the concatenated
@@ -149,8 +237,12 @@ type segment struct {
 // use by all runtime threads.
 type Tracer interface {
 	// Collective reports one thread's participation in one call: the
-	// simulated-time delta by category and the thread's request count.
-	Collective(kind string, thread int, delta sim.Breakdown, elements int64)
+	// simulated-time delta by category, the thread's request count, the
+	// host wall-clock time the call took on that thread's goroutine, and
+	// how many scratch backing-array growths it triggered (zero in steady
+	// state — a nonzero count after warmup flags an allocation regression
+	// on the hot path).
+	Collective(kind string, thread int, delta sim.Breakdown, elements int64, wall time.Duration, scratchGrowths int64)
 	// Transfer reports one coalesced transfer of elems elements between
 	// server and requester.
 	Transfer(server, requester int, elems int64)
@@ -162,6 +254,7 @@ type Tracer interface {
 type Comm struct {
 	rt     *pgas.Runtime
 	s      int
+	par    int     // host worker goroutines per thread for serve/permute data movement
 	smat   []int64 // smat[server*s+requester] = element count
 	pmat   []int64 // pmat[server*s+requester] = segment offset in requester's req
 	ts     []threadState
@@ -173,37 +266,42 @@ type Comm struct {
 // running kernels; it must not change while a collective is in flight.
 func (c *Comm) SetTracer(t Tracer) { c.tracer = t }
 
-// traced wraps a collective body with per-call profiling.
+// traced wraps a collective body with per-call profiling: simulated-time
+// deltas, host wall-clock time, and scratch-growth counts.
 func (c *Comm) traced(kind string, th *pgas.Thread, elements int, body func()) {
 	if c.tracer == nil {
 		body()
 		return
 	}
+	st := &c.ts[th.ID]
 	before := th.Clock.ByCategory
+	growthsBefore := st.growths
+	start := time.Now()
 	body()
+	wall := time.Since(start)
 	delta := th.Clock.ByCategory.Sub(&before)
-	c.tracer.Collective(kind, th.ID, delta, int64(elements))
+	c.tracer.Collective(kind, th.ID, delta, int64(elements), wall, st.growths-growthsBefore)
 }
 
-// NewComm allocates collective state for rt.
+// NewComm allocates collective state for rt. It panics on a geometry the
+// packed sort keys cannot represent; callers that want an error instead
+// check ValidateGeometry first (pgasgraph.NewCluster does).
 func NewComm(rt *pgas.Runtime) *Comm {
 	s := rt.NumThreads()
-	if s > MaxThreads {
-		panic(fmt.Sprintf("collective: %d threads exceed the %d-thread limit of the packed sort keys", s, MaxThreads))
+	if err := ValidateGeometry(s); err != nil {
+		panic(err.Error())
 	}
 	c := &Comm{rt: rt, s: s, smat: make([]int64, s*s), pmat: make([]int64, s*s)}
 	c.ts = make([]threadState, s)
 	for i := range c.ts {
 		c.ts[i].offs = make([]int64, s+1)
+		c.ts[i].cursor = make([]int64, s)
 	}
+	// Host parallelism left over after one goroutine per runtime thread:
+	// extra workers accelerate the serve/permute data movement without
+	// changing results or simulated-time charges.
+	c.par = defaultParallelism(runtime.GOMAXPROCS(0), s)
 	return c
-}
-
-func grow(buf []int64, k int) []int64 {
-	if cap(buf) < k {
-		return make([]int64, k)
-	}
-	return buf[:k]
 }
 
 func grow32(buf []int32, k int) []int32 {
@@ -217,7 +315,7 @@ func grow32(buf []int32, k int) []int32 {
 // the id optimization and cache.
 func (c *Comm) ownerKeys(th *pgas.Thread, d *pgas.SharedArray, indices []int64, opts *Options, cache *IDCache, st *threadState) {
 	k := len(indices)
-	st.keys = grow32(st.keys, k)
+	st.keys = st.grow32(st.keys, k)
 	if opts.CachedIDs && cache != nil && cache.valid && len(cache.keys) == k {
 		copy(st.keys, cache.keys)
 		th.ChargeSeq(sim.CatWork, int64(k))
@@ -246,11 +344,11 @@ func (c *Comm) ownerKeys(th *pgas.Thread, d *pgas.SharedArray, indices []int64, 
 // (and st.val), filling st.pos and st.offs, and charging the sort.
 func (c *Comm) groupByOwner(th *pgas.Thread, indices, values []int64, opts *Options, st *threadState) {
 	k := len(indices)
-	st.req = grow(st.req, k)
-	st.pos = grow32(st.pos, k)
+	st.req = st.grow(st.req, k)
+	st.pos = st.grow32(st.pos, k)
 	switch opts.Sort {
 	case CountSort:
-		psort.BucketByKey(indices, st.keys[:k], c.s, st.req, st.pos, st.offs)
+		psort.BucketByKeyInto(indices, st.keys[:k], c.s, st.req, st.pos, st.offs, st.cursor)
 		// Counting pass (streaming) plus a bucketed distribution pass
 		// (dense permutation into the grouped layout).
 		th.ChargeSeq(sim.CatSort, int64(k))
@@ -262,7 +360,7 @@ func (c *Comm) groupByOwner(th *pgas.Thread, indices, values []int64, opts *Opti
 		// Pack (owner, position) and comparison-sort: the slow path of
 		// Figure 3. Positions keep the sort stable and recover the
 		// permutation.
-		st.packed = grow(st.packed, k)
+		st.packed = st.grow(st.packed, k)
 		packed := st.packed[:k]
 		for j := range indices {
 			packed[j] = int64(st.keys[j])<<40 | int64(j)
@@ -296,11 +394,9 @@ func (c *Comm) groupByOwner(th *pgas.Thread, indices, values []int64, opts *Opti
 	default:
 		panic(fmt.Sprintf("collective: unknown sort kind %d", opts.Sort))
 	}
-	st.val = grow(st.val, k)
+	st.val = st.grow(st.val, k)
 	if values != nil {
-		for p, j := range st.pos[:k] {
-			st.val[p] = values[j]
-		}
+		c.parGatherPermute(st.pos[:k], values, st.val[:k])
 		ns, misses := th.Runtime().Model().DensePermute(int64(k))
 		th.Clock.Charge(sim.CatSort, ns)
 		th.Clock.CacheMisses += misses
@@ -432,16 +528,14 @@ func (c *Comm) getDImpl(th *pgas.Thread, d *pgas.SharedArray, indices, out []int
 		c.dropPermute(out, st, k, opts.Offload)
 		return
 	}
+	// st.pos is a permutation of [0,k): chunks write disjoint out slots, so
+	// the permute parallelizes safely across host workers.
 	if opts.Offload {
 		// st.pos indexes the filtered list; st.outIdx maps it back to
 		// original request positions.
-		for p, j := range st.pos[:k] {
-			out[st.outIdx[j]] = st.val[p]
-		}
+		c.parPermuteVia(st.pos[:k], st.outIdx, st.val, out)
 	} else {
-		for p, j := range st.pos[:k] {
-			out[j] = st.val[p]
-		}
+		c.parPermute(st.pos[:k], st.val, out)
 	}
 }
 
@@ -461,8 +555,8 @@ func (c *Comm) dropPermute(out []int64, st *threadState, k int, offload bool) {
 // known value directly, and returns the filtered list. st.outIdx maps
 // filtered positions back to original positions.
 func (c *Comm) offloadFilter(th *pgas.Thread, indices []int64, out []int64, opts *Options, st *threadState) []int64 {
-	st.local = grow(st.local, len(indices))
-	st.outIdx = grow32(st.outIdx, len(indices))
+	st.local = st.grow(st.local, len(indices))
+	st.outIdx = st.grow32(st.outIdx, len(indices))
 	w := 0
 	for j, ix := range indices {
 		if ix == opts.OffloadIndex {
@@ -515,8 +609,8 @@ func (c *Comm) serve(th *pgas.Thread, d *pgas.SharedArray, opts *Options, mode s
 		})
 		total += k
 	}
-	st.local = grow(st.local, int(total))
-	st.vals = grow(st.vals, int(total))
+	st.local = st.grow(st.local, int(total))
+	st.vals = st.grow(st.vals, int(total))
 	for _, seg := range st.segs {
 		reqSeg := c.ts[seg.peer].req[seg.off : seg.off+seg.k]
 		c.transferCost(th, int(seg.peer), seg.k, true, opts)
@@ -527,9 +621,9 @@ func (c *Comm) serve(th *pgas.Thread, d *pgas.SharedArray, opts *Options, mode s
 				st.local[seg.pos+int64(j)] = reqSeg[(j+1)%len(reqSeg)] - lo
 			}
 		} else {
-			for j, gix := range reqSeg {
-				st.local[seg.pos+int64(j)] = gix - lo
-			}
+			// Translate the peer's global indices to block-local ones;
+			// chunks of one segment touch disjoint st.local slots.
+			c.parTranslate(reqSeg, st.local[seg.pos:seg.pos+seg.k], lo)
 		}
 		th.ChargeOps(sim.CatWork, seg.k)
 		if mode == serveSet || mode == serveMin {
@@ -544,14 +638,14 @@ func (c *Comm) serve(th *pgas.Thread, d *pgas.SharedArray, opts *Options, mode s
 	st.scr.Reset(hi - lo)
 	switch mode {
 	case serveGet:
-		sched.Gather(th, local, st.local[:total], st.vals[:total], opts.VirtualThreads, opts.LocalCpy, &st.scr)
+		sched.GatherPar(th, local, st.local[:total], st.vals[:total], opts.VirtualThreads, opts.LocalCpy, &st.scr, c.par)
 		// Push phase: return each peer's values.
 		for _, seg := range st.segs {
 			c.transferCost(th, int(seg.peer), seg.k, false, opts)
 			copy(c.ts[seg.peer].val[seg.off:seg.off+seg.k], st.vals[seg.pos:seg.pos+seg.k])
 		}
 	case serveSet, serveMin:
-		st.inVal = grow(st.inVal, int(total))
+		st.inVal = st.grow(st.inVal, int(total))
 		for _, seg := range st.segs {
 			copy(st.inVal[seg.pos:seg.pos+seg.k], c.ts[seg.peer].val[seg.off:seg.off+seg.k])
 		}
@@ -611,8 +705,8 @@ func (c *Comm) setBody(th *pgas.Thread, d *pgas.SharedArray, indices, values []i
 
 // offloadFilterSet drops writes targeting the offloaded index.
 func (c *Comm) offloadFilterSet(th *pgas.Thread, indices, values []int64, opts *Options, st *threadState) (idx, vals []int64) {
-	st.local = grow(st.local, len(indices))
-	st.vals = grow(st.vals, len(indices))
+	st.local = st.grow(st.local, len(indices))
+	st.vals = st.grow(st.vals, len(indices))
 	w := 0
 	for j, ix := range indices {
 		if ix == opts.OffloadIndex {

@@ -33,7 +33,7 @@ func (c *Comm) exchangeImpl(th *pgas.Thread, d *pgas.SharedArray, items []int64,
 	for peer := 0; peer < c.s; peer++ {
 		total += c.smat[th.ID*c.s+peer]
 	}
-	st.inVal = grow(st.inVal, int(total))
+	st.inVal = st.grow(st.inVal, int(total))
 	pos := int64(0)
 	for r := 0; r < c.s; r++ {
 		peer := peerAt(th.ID, r, c.s, opts.Circular)
@@ -81,8 +81,8 @@ func (c *Comm) exchangePairsImpl(th *pgas.Thread, d *pgas.SharedArray, items, va
 	for peer := 0; peer < c.s; peer++ {
 		total += c.smat[th.ID*c.s+peer]
 	}
-	st.inVal = grow(st.inVal, int(total))
-	st.local = grow(st.local, int(total))
+	st.inVal = st.grow(st.inVal, int(total))
+	st.local = st.grow(st.local, int(total))
 	pos := int64(0)
 	for r := 0; r < c.s; r++ {
 		peer := peerAt(th.ID, r, c.s, opts.Circular)

@@ -36,7 +36,7 @@ func (c *Comm) getDPairImpl(th *pgas.Thread, d1, d2 *pgas.SharedArray, indices, 
 	c.groupByOwner(th, indices, nil, opts, st)
 	c.publishMatrices(th, st)
 	// Second receive buffer, aligned with st.val.
-	st.inVal = grow(st.inVal, len(indices))
+	st.inVal = st.grow(st.inVal, len(indices))
 	th.Barrier()
 
 	// Serve phase: pull each peer's indices once, gather from both local
@@ -46,8 +46,7 @@ func (c *Comm) getDPairImpl(th *pgas.Thread, d1, d2 *pgas.SharedArray, indices, 
 	local1 := d1.Raw()[lo:hi]
 	local2 := d2.Raw()[lo:hi]
 	st.scr.Reset(hi - lo)
-	var scr2 sched.Scratch
-	scr2.Reset(hi - lo)
+	st.scr2.Reset(hi - lo)
 	for r := 0; r < c.s; r++ {
 		peer := peerAt(i, r, c.s, opts.Circular)
 		k := c.smat[i*c.s+peer]
@@ -57,30 +56,26 @@ func (c *Comm) getDPairImpl(th *pgas.Thread, d1, d2 *pgas.SharedArray, indices, 
 		off := c.pmat[i*c.s+peer]
 		reqSeg := c.ts[peer].req[off : off+k]
 		c.transferCost(th, peer, k, true, opts)
-		st.local = grow(st.local, int(k))
-		for j, gix := range reqSeg {
-			st.local[j] = gix - lo
-		}
+		st.local = st.grow(st.local, int(k))
+		c.parTranslate(reqSeg, st.local[:k], lo)
 		th.ChargeOps(sim.CatWork, k)
 
-		st.vals = grow(st.vals, int(k))
-		sched.Gather(th, local1, st.local[:k], st.vals, opts.VirtualThreads, opts.LocalCpy, &st.scr)
+		st.vals = st.grow(st.vals, int(k))
+		sched.GatherPar(th, local1, st.local[:k], st.vals, opts.VirtualThreads, opts.LocalCpy, &st.scr, c.par)
 		c.transferCost(th, peer, k, false, opts)
 		copy(c.ts[peer].val[off:off+k], st.vals[:k])
 
-		sched.Gather(th, local2, st.local[:k], st.vals, opts.VirtualThreads, opts.LocalCpy, &scr2)
+		sched.GatherPar(th, local2, st.local[:k], st.vals, opts.VirtualThreads, opts.LocalCpy, &st.scr2, c.par)
 		c.transferCost(th, peer, k, false, opts)
 		copy(c.ts[peer].inVal[off:off+k], st.vals[:k])
 	}
 	th.Barrier()
 
-	// Permute both receive buffers back to request order.
+	// Permute both receive buffers back to request order (st.pos is a
+	// permutation: chunks write disjoint out slots).
 	k := len(indices)
 	ns, misses := th.Runtime().Model().DensePermute(int64(k))
 	th.Clock.Charge(sim.CatIrregular, 2*ns)
 	th.Clock.CacheMisses += 2 * misses
-	for p, j := range st.pos[:k] {
-		out1[j] = st.val[p]
-		out2[j] = st.inVal[p]
-	}
+	c.parPermute2(st.pos[:k], st.val, out1, st.inVal, out2)
 }

@@ -1,0 +1,232 @@
+package collective
+
+import "sync"
+
+// parGrain is the smallest per-worker chunk (in elements) worth handing to
+// a helper goroutine: below it, spawn/synchronization overhead exceeds the
+// memory-bandwidth win of a second stream.
+const parGrain = 4096
+
+// defaultParallelism sizes the serve/permute worker count for a runtime of
+// s simulated threads on a host exposing procs schedulable CPUs: the
+// leftover host parallelism after dedicating one goroutine per runtime
+// thread, capped at 8 (the data movement is bandwidth-bound; more streams
+// stop helping well before that).
+func defaultParallelism(procs, s int) int {
+	if s <= 0 {
+		return 1
+	}
+	w := procs / s
+	if w < 1 {
+		w = 1
+	}
+	if w > 8 {
+		w = 8
+	}
+	return w
+}
+
+// SetParallelism overrides the number of host worker goroutines each
+// runtime thread may use for serve/permute data movement. n < 1 disables
+// extra workers. It must not change while a collective is in flight.
+// Results and simulated-time charges are identical at any setting; only
+// wall-clock time changes.
+func (c *Comm) SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.par = n
+}
+
+// Parallelism returns the current per-thread worker count.
+func (c *Comm) Parallelism() int { return c.par }
+
+// chunksFor returns how many worker chunks an n-element loop should split
+// into: 1 (run inline) unless extra workers are configured and the loop is
+// long enough to amortize goroutine spawns.
+//
+// The helpers below are deliberately named functions taking explicit
+// arguments, not parDo(fn)-style closures: a closure passed to a spawning
+// helper escapes to the heap at every call site — even when the serial
+// path runs — and the whole point of this file is a zero-allocation
+// steady state.
+func (c *Comm) chunksFor(n int) int {
+	w := c.par
+	if m := n / parGrain; w > m {
+		w = m
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// parPermute writes out[pos[p]] = val[p] for p in [0, len(pos)): the
+// permute-back of Algorithm 2 step 6. pos is a permutation, so chunks
+// write disjoint out slots and parallelize safely.
+func (c *Comm) parPermute(pos []int32, val, out []int64) {
+	n := len(pos)
+	w := c.chunksFor(n)
+	if w <= 1 {
+		permuteChunk(nil, pos, val, out)
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for i := 1; i < w; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go permuteChunk(&wg, pos[lo:hi], val[lo:hi], out)
+	}
+	permuteChunk(nil, pos[:chunk], val[:chunk], out)
+	wg.Wait()
+}
+
+func permuteChunk(wg *sync.WaitGroup, pos []int32, val, out []int64) {
+	if wg != nil {
+		defer wg.Done()
+	}
+	for p, j := range pos {
+		out[j] = val[p]
+	}
+}
+
+// parPermuteVia is parPermute through an extra index map: out[via[pos[p]]]
+// = val[p] (the offload path, where pos indexes the filtered request list
+// and via maps filtered positions to original ones). via∘pos is still
+// injective, so chunks stay disjoint.
+func (c *Comm) parPermuteVia(pos []int32, via []int32, val, out []int64) {
+	n := len(pos)
+	w := c.chunksFor(n)
+	if w <= 1 {
+		permuteViaChunk(nil, pos, via, val, out)
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for i := 1; i < w; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go permuteViaChunk(&wg, pos[lo:hi], via, val[lo:hi], out)
+	}
+	permuteViaChunk(nil, pos[:chunk], via, val[:chunk], out)
+	wg.Wait()
+}
+
+func permuteViaChunk(wg *sync.WaitGroup, pos []int32, via []int32, val, out []int64) {
+	if wg != nil {
+		defer wg.Done()
+	}
+	for p, j := range pos {
+		out[via[j]] = val[p]
+	}
+}
+
+// parGatherPermute writes dst[p] = src[pos[p]]: the value-alignment pass
+// of the grouping sort (Set* collectives). Chunks write disjoint dst
+// ranges.
+func (c *Comm) parGatherPermute(pos []int32, src, dst []int64) {
+	n := len(pos)
+	w := c.chunksFor(n)
+	if w <= 1 {
+		gatherPermuteChunk(nil, pos, src, dst)
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for i := 1; i < w; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go gatherPermuteChunk(&wg, pos[lo:hi], src, dst[lo:hi])
+	}
+	gatherPermuteChunk(nil, pos[:chunk], src, dst[:chunk])
+	wg.Wait()
+}
+
+func gatherPermuteChunk(wg *sync.WaitGroup, pos []int32, src, dst []int64) {
+	if wg != nil {
+		defer wg.Done()
+	}
+	for p, j := range pos {
+		dst[p] = src[j]
+	}
+}
+
+// parTranslate writes dst[j] = src[j] - base: the serve phase's
+// global-to-block-local index translation of one peer segment.
+func (c *Comm) parTranslate(src, dst []int64, base int64) {
+	n := len(src)
+	w := c.chunksFor(n)
+	if w <= 1 {
+		translateChunk(nil, src, dst, base)
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for i := 1; i < w; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go translateChunk(&wg, src[lo:hi], dst[lo:hi], base)
+	}
+	translateChunk(nil, src[:chunk], dst[:chunk], base)
+	wg.Wait()
+}
+
+func translateChunk(wg *sync.WaitGroup, src, dst []int64, base int64) {
+	if wg != nil {
+		defer wg.Done()
+	}
+	for j, gix := range src {
+		dst[j] = gix - base
+	}
+}
+
+// parPermute2 is parPermute over two aligned value/output pairs at once
+// (GetDPair's fused permute-back).
+func (c *Comm) parPermute2(pos []int32, val1, out1, val2, out2 []int64) {
+	n := len(pos)
+	w := c.chunksFor(n)
+	if w <= 1 {
+		permute2Chunk(nil, pos, val1, out1, val2, out2)
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for i := 1; i < w; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go permute2Chunk(&wg, pos[lo:hi], val1[lo:hi], out1, val2[lo:hi], out2)
+	}
+	permute2Chunk(nil, pos[:chunk], val1[:chunk], out1, val2[:chunk], out2)
+	wg.Wait()
+}
+
+func permute2Chunk(wg *sync.WaitGroup, pos []int32, val1, out1, val2, out2 []int64) {
+	if wg != nil {
+		defer wg.Done()
+	}
+	for p, j := range pos {
+		out1[j] = val1[p]
+		out2[j] = val2[p]
+	}
+}

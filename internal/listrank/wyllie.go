@@ -160,13 +160,7 @@ func WyllieNaive(rt *pgas.Runtime, l *List) *Result {
 
 // sanitize copies opts and disables offload (inapplicable to list ranking).
 func sanitize(opts *collective.Options) *collective.Options {
-	base := collective.Base()
-	if opts != nil {
-		c := *opts
-		base = &c
-	}
-	base.Offload = false
-	return base
+	return collective.Sanitize(opts, false)
 }
 
 // WyllieFused is Wyllie with the fused GetDPair collective: each round

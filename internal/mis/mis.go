@@ -234,11 +234,5 @@ func Check(g *graph.Graph, inSet []bool) error {
 
 // sanitize copies opts and disables offload (states are mutable).
 func sanitize(opts *collective.Options) *collective.Options {
-	base := collective.Base()
-	if opts != nil {
-		c := *opts
-		base = &c
-	}
-	base.Offload = false
-	return base
+	return collective.Sanitize(opts, false)
 }

@@ -45,7 +45,8 @@ type Result struct {
 	Run *pgas.Result
 }
 
-// Options configures the coalesced kernel.
+// Options configures the coalesced kernel. Nil Options (or a nil Col
+// field) select Defaults().
 type Options struct {
 	// Col configures the collectives. The offload optimization is
 	// CC-specific (it relies on D[0] being constant, which Borůvka
@@ -55,14 +56,24 @@ type Options struct {
 	Compact bool
 }
 
-func (o *Options) col() *collective.Options {
-	base := collective.Base()
-	if o != nil && o.Col != nil {
-		c := *o.Col
-		base = &c
+// Defaults returns the configuration selected when a caller passes nil
+// Options: base collectives, no compaction.
+func Defaults() *Options { return &Options{Col: collective.Defaults()} }
+
+// Validate reports whether o is a usable configuration; nil is valid (it
+// selects Defaults).
+func (o *Options) Validate() error {
+	if o == nil {
+		return nil
 	}
-	base.Offload = false
-	return base
+	return o.Col.Validate()
+}
+
+func (o *Options) col() *collective.Options {
+	if o == nil {
+		return collective.Sanitize(nil, false)
+	}
+	return collective.Sanitize(o.Col, false)
 }
 
 func (o *Options) compact() bool { return o != nil && o.Compact }

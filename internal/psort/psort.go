@@ -19,7 +19,18 @@ import "fmt"
 //
 // sorted and pos must have len(items); offs must have len k+1. This is the
 // two-pass count sort the paper's collectives run per superstep.
+//
+// BucketByKey allocates a k-word bucket cursor per call; steady-state
+// callers (the collectives run one of these per thread per superstep) use
+// BucketByKeyInto with a reused cursor instead.
 func BucketByKey(items []int64, keys []int32, k int, sorted []int64, pos []int32, offs []int64) {
+	BucketByKeyInto(items, keys, k, sorted, pos, offs, make([]int64, k))
+}
+
+// BucketByKeyInto is BucketByKey with a caller-provided bucket-cursor
+// scratch buffer (len >= k), making the sort allocation-free. The cursor
+// contents are overwritten.
+func BucketByKeyInto(items []int64, keys []int32, k int, sorted []int64, pos []int32, offs []int64, cursor []int64) {
 	if len(keys) != len(items) {
 		panic(fmt.Sprintf("psort: len(keys)=%d != len(items)=%d", len(keys), len(items)))
 	}
@@ -28,6 +39,9 @@ func BucketByKey(items []int64, keys []int32, k int, sorted []int64, pos []int32
 	}
 	if len(offs) != k+1 {
 		panic(fmt.Sprintf("psort: len(offs)=%d, want k+1=%d", len(offs), k+1))
+	}
+	if len(cursor) < k {
+		panic(fmt.Sprintf("psort: len(cursor)=%d, want >= k=%d", len(cursor), k))
 	}
 	for i := range offs {
 		offs[i] = 0
@@ -41,8 +55,7 @@ func BucketByKey(items []int64, keys []int32, k int, sorted []int64, pos []int32
 	for b := 0; b < k; b++ {
 		offs[b+1] += offs[b]
 	}
-	cursor := make([]int64, k)
-	copy(cursor, offs[:k])
+	copy(cursor[:k], offs[:k])
 	for i, item := range items {
 		b := keys[i]
 		p := cursor[b]

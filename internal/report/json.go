@@ -1,0 +1,105 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// BenchRecord is one machine-readable benchmark measurement. Wall-clock
+// fields (NSPerOp, AllocsPerOp) vary with the host; SimMS is the
+// deterministic simulated time of the same run and is the tight signal a
+// regression check can lean on.
+type BenchRecord struct {
+	Name        string  `json:"name"`
+	NSPerOp     float64 `json:"ns_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	SimMS       float64 `json:"sim_ms,omitempty"`
+}
+
+// BenchReport is the schema of BENCH_collectives.json: the committed
+// benchmark baseline that CI compares fresh runs against.
+type BenchReport struct {
+	// Schema versions the file format; readers reject other versions.
+	Schema int `json:"schema"`
+	// Config notes describing how the numbers were produced.
+	Nodes          int     `json:"nodes"`
+	ThreadsPerNode int     `json:"threads_per_node"`
+	Calls          int     `json:"calls"`
+	Scale          float64 `json:"scale"`
+	Seed           uint64  `json:"seed"`
+
+	Records []BenchRecord `json:"records"`
+}
+
+// BenchSchema is the current BenchReport schema version.
+const BenchSchema = 1
+
+// WriteJSON writes the report as indented JSON with records sorted by
+// name, so regenerated baselines diff cleanly.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	sort.Slice(r.Records, func(i, j int) bool { return r.Records[i].Name < r.Records[j].Name })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadBenchReport loads and validates a baseline file.
+func ReadBenchReport(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if r.Schema != BenchSchema {
+		return nil, fmt.Errorf("%s: schema %d, want %d", path, r.Schema, BenchSchema)
+	}
+	return &r, nil
+}
+
+// Tolerances for CompareBench. Wall-clock numbers cross machines, so Wall
+// is loose (CI uses 3x); simulated time is deterministic, so Sim is tight.
+// AllocSlack absorbs the few amortized setup allocations that land
+// differently run to run around an allocs/op near zero.
+type Tolerances struct {
+	Wall       float64 // current ns/op may be up to Wall x baseline
+	Sim        float64 // current sim_ms may be up to Sim x baseline
+	AllocSlack float64 // current allocs/op may exceed Wall x baseline by this
+}
+
+// CompareBench checks current against baseline and returns one
+// human-readable line per regression (empty means pass). Records present
+// only in current are ignored (new benchmarks need a regenerated
+// baseline, not a red build); records missing from current are reported.
+func CompareBench(baseline, current *BenchReport, tol Tolerances) []string {
+	cur := make(map[string]BenchRecord, len(current.Records))
+	for _, r := range current.Records {
+		cur[r.Name] = r
+	}
+	var bad []string
+	for _, b := range baseline.Records {
+		c, ok := cur[b.Name]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: missing from current run", b.Name))
+			continue
+		}
+		if b.NSPerOp > 0 && c.NSPerOp > b.NSPerOp*tol.Wall {
+			bad = append(bad, fmt.Sprintf("%s: wall %.0f ns/op > %.1fx baseline %.0f",
+				b.Name, c.NSPerOp, tol.Wall, b.NSPerOp))
+		}
+		if c.AllocsPerOp > b.AllocsPerOp*tol.Wall+tol.AllocSlack {
+			bad = append(bad, fmt.Sprintf("%s: %.1f allocs/op > %.1fx baseline %.1f (+%.0f slack)",
+				b.Name, c.AllocsPerOp, tol.Wall, b.AllocsPerOp, tol.AllocSlack))
+		}
+		if b.SimMS > 0 && c.SimMS > b.SimMS*tol.Sim {
+			bad = append(bad, fmt.Sprintf("%s: sim %.3f ms > %.2fx baseline %.3f",
+				b.Name, c.SimMS, tol.Sim, b.SimMS))
+		}
+	}
+	return bad
+}

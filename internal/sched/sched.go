@@ -18,11 +18,55 @@ package sched
 
 import (
 	"fmt"
+	"sync"
 
 	"pgasgraph/internal/pgas"
 	"pgasgraph/internal/psort"
 	"pgasgraph/internal/sim"
 )
+
+// Arena pools the per-recursion-level scratch of Reference so repeated
+// applications of Algorithm 1 (one recursive count-sort per level) reuse
+// buffers instead of reallocating them every call. The zero value is
+// ready; buffers grow on demand and persist across calls. An Arena must
+// not be shared between concurrent Reference calls.
+type Arena struct {
+	levels []refLevel
+}
+
+// refLevel is one recursion level's scratch: the group phase's count-sort
+// buffers plus the access phase's block-local request and value space.
+type refLevel struct {
+	keys     []int32
+	pos      []int32
+	sorted   []int64
+	offs     []int64
+	vals     []int64
+	localReq []int64
+	cursor   []int64
+}
+
+// level returns (allocating if needed) the scratch for recursion depth d.
+func (a *Arena) level(d int) *refLevel {
+	for len(a.levels) <= d {
+		a.levels = append(a.levels, refLevel{})
+	}
+	return &a.levels[d]
+}
+
+func growArena64(buf []int64, k int) []int64 {
+	if cap(buf) < k {
+		return make([]int64, k)
+	}
+	return buf[:k]
+}
+
+func growArena32(buf []int32, k int) []int32 {
+	if cap(buf) < k {
+		return make([]int32, k)
+	}
+	return buf[:k]
+}
 
 // Reference computes C[i] = D[R[i]] by literal recursive application of
 // Algorithm 1 with fan-out w per level and the given maximum recursion
@@ -31,11 +75,21 @@ import (
 // accounting. R values must lie in [0, len(D)).
 func Reference(d, r []int64, w, depth int) []int64 {
 	c := make([]int64, len(r))
-	referenceInto(d, r, w, depth, c)
+	ReferenceInto(d, r, w, depth, c, &Arena{})
 	return c
 }
 
-func referenceInto(d, r []int64, w, depth int, c []int64) {
+// ReferenceInto is Reference writing into a caller-provided output slice
+// (len(c) == len(r)) with per-level scratch drawn from arena, so repeated
+// calls are allocation-free once the arena is warm. arena must be non-nil.
+func ReferenceInto(d, r []int64, w, depth int, c []int64, arena *Arena) {
+	if len(c) != len(r) {
+		panic("sched: ReferenceInto output length mismatch")
+	}
+	referenceArena(d, r, w, depth, c, arena)
+}
+
+func referenceArena(d, r []int64, w, depth int, c []int64, arena *Arena) {
 	n := int64(len(d))
 	m := int64(len(r))
 	if n == 0 {
@@ -60,23 +114,29 @@ func referenceInto(d, r []int64, w, depth int, c []int64) {
 		w = int(n)
 	}
 	blk := (n + int64(w) - 1) / int64(w)
+	lv := arena.level(depth)
 
 	// group: count-sort requests by target block, remembering positions.
-	keys := make([]int32, m)
+	lv.keys = growArena32(lv.keys, int(m))
+	keys := lv.keys[:m]
 	for i, idx := range r {
 		if idx < 0 || idx >= n {
 			panic(fmt.Sprintf("sched: request %d out of range [0,%d)", idx, n))
 		}
 		keys[i] = int32(idx / blk)
 	}
-	sorted := make([]int64, m)
-	pos := make([]int32, m)
-	offs := make([]int64, w+1)
-	psort.BucketByKey(r, keys, w, sorted, pos, offs)
+	lv.sorted = growArena64(lv.sorted, int(m))
+	lv.pos = growArena32(lv.pos, int(m))
+	lv.offs = growArena64(lv.offs, w+1)
+	lv.cursor = growArena64(lv.cursor, w)
+	sorted, pos, offs := lv.sorted[:m], lv.pos[:m], lv.offs[:w+1]
+	psort.BucketByKeyInto(r, keys, w, sorted, pos, offs, lv.cursor)
 
 	// access: serve each block with a recursive call on block-local
-	// indices.
-	vals := make([]int64, m)
+	// indices. Deeper levels draw from their own arena slots, so this
+	// level's buffers stay live across the loop.
+	lv.vals = growArena64(lv.vals, int(m))
+	vals := lv.vals[:m]
 	for b := 0; b < w; b++ {
 		lo, hi := offs[b], offs[b+1]
 		if lo == hi {
@@ -87,11 +147,12 @@ func referenceInto(d, r []int64, w, depth int, c []int64) {
 		if dHi > n {
 			dHi = n
 		}
-		localReq := make([]int64, hi-lo)
+		lv.localReq = growArena64(lv.localReq, int(hi-lo))
+		localReq := lv.localReq[:hi-lo]
 		for i, idx := range sorted[lo:hi] {
 			localReq[i] = idx - dLo
 		}
-		referenceInto(d[dLo:dHi], localReq, w, depth-1, vals[lo:hi])
+		referenceArena(d[dLo:dHi], localReq, w, depth-1, vals[lo:hi], arena)
 	}
 
 	// permute: route values back to request order.
@@ -220,6 +281,74 @@ func Gather(th *pgas.Thread, local []int64, idx []int64, out []int64, vt int, lo
 		out[j] = local[ix]
 	}
 	chargeBlocked(th, k, distinct, nb, vt, localcpy)
+}
+
+// gatherParGrain is the smallest per-worker chunk worth a helper
+// goroutine (see collective's serve-phase sizing, which uses the same
+// threshold).
+const gatherParGrain = 4096
+
+// GatherPar is Gather with the data movement split across up to workers
+// host goroutines. The first-touch accounting pass stays on th's
+// goroutine (it is inherently sequential and also hoists any out-of-range
+// panic off the helper goroutines), so results and simulated-time charges
+// are identical to Gather at any worker count; only wall-clock time
+// changes. Scatter has no parallel form: concurrent chunks may target the
+// same location, and OpSet's deterministic last-writer-wins order would be
+// lost.
+func GatherPar(th *pgas.Thread, local []int64, idx []int64, out []int64, vt int, localcpy bool, scr *Scratch, workers int) {
+	k := int64(len(idx))
+	if workers <= 1 || k < 2*gatherParGrain {
+		Gather(th, local, idx, out, vt, localcpy, scr)
+		return
+	}
+	if int64(len(out)) != k {
+		panic("sched: Gather output length mismatch")
+	}
+	nb := int64(len(local))
+	scr = orNew(scr)
+	scr.ensure(nb)
+	// Accounting pass first: it validates every index on this goroutine
+	// before any worker dereferences one (a panic on a helper goroutine
+	// could not be recovered by the runtime's barrier poisoning).
+	distinct := int64(0)
+	for _, ix := range idx {
+		if ix < 0 || ix >= nb {
+			panic(fmt.Sprintf("sched: gather index %d out of range [0,%d)", ix, nb))
+		}
+		if scr.touch(ix) {
+			distinct++
+		}
+	}
+	w := int(k / gatherParGrain)
+	if w > workers {
+		w = workers
+	}
+	chunk := (k + int64(w) - 1) / int64(w)
+	var wg sync.WaitGroup
+	for c := 1; c < w; c++ {
+		lo := int64(c) * chunk
+		hi := lo + chunk
+		if hi > k {
+			hi = k
+		}
+		wg.Add(1)
+		go gatherChunk(&wg, local, idx[lo:hi], out[lo:hi])
+	}
+	gatherRange(local, idx[:chunk], out[:chunk])
+	wg.Wait()
+	chargeBlocked(th, k, distinct, nb, vt, localcpy)
+}
+
+func gatherChunk(wg *sync.WaitGroup, local, idx, out []int64) {
+	defer wg.Done()
+	gatherRange(local, idx, out)
+}
+
+func gatherRange(local, idx, out []int64) {
+	for j, ix := range idx {
+		out[j] = local[ix]
+	}
 }
 
 // Scatter applies local[idx[j]] op= vals[j], the write-side counterpart of

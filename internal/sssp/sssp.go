@@ -261,11 +261,5 @@ func relaxAny(changed, pending bool) bool { return changed || pending }
 
 // sanitize copies opts and disables offload (distances are all mutable).
 func sanitize(opts *collective.Options) *collective.Options {
-	base := collective.Base()
-	if opts != nil {
-		c := *opts
-		base = &c
-	}
-	base.Offload = false
-	return base
+	return collective.Sanitize(opts, false)
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"pgasgraph/internal/report"
 	"pgasgraph/internal/sim"
@@ -29,6 +30,8 @@ type callStats struct {
 	count     int64
 	breakdown sim.Breakdown
 	elements  int64
+	wallNS    int64 // summed host wall-clock across participants
+	growths   int64 // summed scratch backing-array allocations
 }
 
 // NewCollector returns a collector for a runtime with the given thread
@@ -42,8 +45,11 @@ func NewCollector(threads int) *Collector {
 	}
 }
 
-// Collective records one thread's participation in one collective call.
-func (c *Collector) Collective(kind string, thread int, delta sim.Breakdown, elements int64) {
+// Collective records one thread's participation in one collective call:
+// simulated-time breakdown, request count, host wall-clock duration, and
+// scratch growths (backing-array allocations — zero once the Comm is
+// warm).
+func (c *Collector) Collective(kind string, thread int, delta sim.Breakdown, elements int64, wall time.Duration, scratchGrowths int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st, ok := c.calls[kind]
@@ -54,6 +60,8 @@ func (c *Collector) Collective(kind string, thread int, delta sim.Breakdown, ele
 	st.count++
 	st.breakdown.Add(&delta)
 	st.elements += elements
+	st.wallNS += wall.Nanoseconds()
+	st.growths += scratchGrowths
 }
 
 // Transfer records one coalesced transfer of elems elements served by
@@ -84,7 +92,7 @@ func (c *Collector) CollectiveTable() *report.Table {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	t := report.NewTable("Collective profile (per-participant averages, ms)",
-		"collective", "calls", "elems/call", "comm", "sort", "copy", "irregular", "setup", "work", "wait")
+		"collective", "calls", "elems/call", "comm", "sort", "copy", "irregular", "setup", "work", "wait", "wall µs", "grows")
 	kinds := make([]string, 0, len(c.calls))
 	for k := range c.calls {
 		kinds = append(kinds, k)
@@ -103,9 +111,34 @@ func (c *Collector) CollectiveTable() *report.Table {
 			report.MS(avg[sim.CatIrregular]),
 			report.MS(avg[sim.CatSetup]),
 			report.MS(avg[sim.CatWork]),
-			report.MS(avg[sim.CatWait]))
+			report.MS(avg[sim.CatWait]),
+			fmt.Sprintf("%.1f", float64(st.wallNS)/float64(st.count)/1e3),
+			fmt.Sprint(st.growths))
 	}
 	return t
+}
+
+// WallNS returns the summed host wall-clock nanoseconds recorded for kind
+// across all participants, and Growths the summed scratch growths. Both
+// return 0 for an unrecorded kind.
+func (c *Collector) WallNS(kind string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st, ok := c.calls[kind]; ok {
+		return st.wallNS
+	}
+	return 0
+}
+
+// Growths returns the summed scratch backing-array allocations recorded
+// for kind (zero in steady state; see Collective).
+func (c *Collector) Growths(kind string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st, ok := c.calls[kind]; ok {
+		return st.growths
+	}
+	return 0
 }
 
 // LoadTable renders the serve-load distribution and the hottest transfer

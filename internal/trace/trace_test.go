@@ -3,6 +3,7 @@ package trace
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"pgasgraph/internal/cc"
 	"pgasgraph/internal/collective"
@@ -28,8 +29,8 @@ func TestCollectorDirect(t *testing.T) {
 	c := NewCollector(4)
 	var d sim.Breakdown
 	d[sim.CatComm] = 1e6
-	c.Collective("GetD", 0, d, 100)
-	c.Collective("GetD", 1, d, 100)
+	c.Collective("GetD", 0, d, 100, 1500*time.Nanosecond, 2)
+	c.Collective("GetD", 1, d, 100, 500*time.Nanosecond, 1)
 	c.Transfer(0, 1, 50)
 	c.Transfer(0, 2, 70)
 	c.Transfer(3, 0, 10)
@@ -38,10 +39,16 @@ func TestCollectorDirect(t *testing.T) {
 		// 2 participations / 4 threads rounds down; record the rest.
 		_ = got
 	}
-	c.Collective("GetD", 2, d, 100)
-	c.Collective("GetD", 3, d, 100)
+	c.Collective("GetD", 2, d, 100, 0, 0)
+	c.Collective("GetD", 3, d, 100, 0, 0)
 	if got := c.Calls("GetD"); got != 1 {
 		t.Fatalf("Calls = %d, want 1", got)
+	}
+	if got := c.WallNS("GetD"); got != 2000 {
+		t.Fatalf("WallNS = %d, want 2000", got)
+	}
+	if got := c.Growths("GetD"); got != 3 {
+		t.Fatalf("Growths = %d, want 3", got)
 	}
 	if imb := c.Imbalance(); imb <= 1 {
 		t.Fatalf("skewed loads must show imbalance > 1, got %v", imb)
@@ -87,6 +94,16 @@ func TestCollectorOnRealRun(t *testing.T) {
 	}
 	if col.Imbalance() < 1 {
 		t.Fatalf("imbalance %v below 1", col.Imbalance())
+	}
+	// A second run on the warm Comm must not grow scratch: the hot path
+	// is allocation-free in steady state.
+	g0 := col.Growths("GetD") + col.Growths("SetDMin")
+	res2 := cc.Coalesced(rt, comm, g, &cc.Options{Col: collective.Optimized(2), Compact: true})
+	if res2.Components != res.Components {
+		t.Fatalf("warm rerun changed result: %d vs %d", res2.Components, res.Components)
+	}
+	if g1 := col.Growths("GetD") + col.Growths("SetDMin"); g1 != g0 {
+		t.Fatalf("warm rerun grew collective scratch: %d new growths", g1-g0)
 	}
 	// Detaching stops recording.
 	comm.SetTracer(nil)

@@ -209,13 +209,7 @@ func maxInt64(a, b int64) int64 {
 
 // sanitize copies opts and disables offload (no pinned values here).
 func sanitize(opts *collective.Options) *collective.Options {
-	base := collective.Base()
-	if opts != nil {
-		c := *opts
-		base = &c
-	}
-	base.Offload = false
-	return base
+	return collective.Sanitize(opts, false)
 }
 
 // String summarizes the result.

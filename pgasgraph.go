@@ -100,7 +100,9 @@ func WithRandomWeights(g *Graph, seed uint64) *Graph { return graph.WithRandomWe
 // PermuteVertices relabels g's vertices by a random permutation.
 func PermuteVertices(g *Graph, seed uint64) *Graph { return graph.PermuteVertices(g, seed) }
 
-// Collective option presets.
+// Collective option presets. Every kernel method on Cluster accepts nil
+// options, which select the matching Defaults(); passing Defaults()
+// explicitly produces identical results (tested by TestNilOptionsMatchDefaults).
 
 // OptimizedCollectives returns the paper's fully optimized collective
 // configuration with t' virtual threads.
@@ -109,7 +111,21 @@ func OptimizedCollectives(virtualThreads int) *CollectiveOptions {
 }
 
 // BaseCollectives returns the unoptimized (coalescing-only) configuration.
+// VirtualThreads is 1 (the canonical "no cache blocking" spelling that
+// (*CollectiveOptions).Validate accepts).
 func BaseCollectives() *CollectiveOptions { return collective.Base() }
+
+// DefaultCollectives returns the configuration used when a kernel is
+// called with nil *CollectiveOptions. Currently the base configuration.
+func DefaultCollectives() *CollectiveOptions { return collective.Defaults() }
+
+// DefaultCC returns the configuration used when a CC kernel is called
+// with nil *CCOptions: default collectives, no compaction.
+func DefaultCC() *CCOptions { return cc.Defaults() }
+
+// DefaultMST returns the configuration used when an MSF kernel is called
+// with nil *MSTOptions: default collectives, no compaction.
+func DefaultMST() *MSTOptions { return mst.Defaults() }
 
 // OptimizedCC returns fully optimized CC options (all collective
 // optimizations plus compact) with t' virtual threads.
@@ -131,14 +147,24 @@ type Cluster struct {
 	comm *collective.Comm
 }
 
-// NewCluster validates cfg and builds a cluster.
+// NewCluster validates cfg and builds a cluster. Geometry the collective
+// layer cannot serve (more than MaxCollectiveThreads total threads) is
+// reported as an error here rather than a panic deep in the internals.
 func NewCluster(cfg MachineConfig) (*Cluster, error) {
+	if err := collective.ValidateGeometry(cfg.Nodes * cfg.ThreadsPerNode); err != nil {
+		return nil, err
+	}
 	rt, err := pgas.New(cfg)
 	if err != nil {
 		return nil, err
 	}
 	return &Cluster{rt: rt, comm: collective.NewComm(rt)}, nil
 }
+
+// MaxCollectiveThreads is the largest total thread count (nodes ×
+// threads-per-node) the collectives' packed sort keys support; NewCluster
+// rejects configurations beyond it.
+const MaxCollectiveThreads = collective.MaxThreads
 
 // Config returns the cluster's machine configuration.
 func (c *Cluster) Config() MachineConfig { return c.rt.Config() }
@@ -153,6 +179,13 @@ func (c *Cluster) Runtime() *pgas.Runtime { return c.rt }
 // Comm exposes the underlying collective state for advanced use.
 func (c *Cluster) Comm() *collective.Comm { return c.comm }
 
+// Kernel methods. The names form one family: <Problem><Variant>, where
+// the variant is Naive (literal per-element translation), Coalesced
+// (collective-based, the paper's optimized path), or an algorithm name
+// (SV, CGM, Luby, DeltaStepping, Wyllie). Every kernel accepts nil
+// options ≡ the matching Defaults(), and every result type exposes a
+// `Run RunStats` field with the run's simulated-time accounting.
+
 // CCNaive runs the literal PGAS translation of shared-memory CC (CC-UPC of
 // Figure 2; with a single-node cluster it is the paper's CC-SMP baseline).
 func (c *Cluster) CCNaive(g *Graph) *CCResult { return cc.Naive(c.rt, g) }
@@ -164,6 +197,7 @@ func (c *Cluster) CCCoalesced(g *Graph, opts *CCOptions) *CCResult {
 }
 
 // CCSV runs the Shiloach-Vishkin algorithm rewritten with collectives.
+// opts may be nil for defaults.
 func (c *Cluster) CCSV(g *Graph, opts *CCOptions) *CCResult {
 	return cc.SV(c.rt, c.comm, g, opts)
 }
@@ -171,7 +205,8 @@ func (c *Cluster) CCSV(g *Graph, opts *CCOptions) *CCResult {
 // MSFNaive runs the literal lock-based parallel Borůvka translation.
 func (c *Cluster) MSFNaive(g *Graph) *MSFResult { return mst.Naive(c.rt, g) }
 
-// MSFCoalesced runs the lock-free Borůvka rewritten with SetDMin.
+// MSFCoalesced runs the lock-free Borůvka rewritten with SetDMin. opts
+// may be nil for defaults.
 func (c *Cluster) MSFCoalesced(g *Graph, opts *MSTOptions) *MSFResult {
 	return mst.Coalesced(c.rt, c.comm, g, opts)
 }
@@ -179,26 +214,52 @@ func (c *Cluster) MSFCoalesced(g *Graph, opts *MSTOptions) *MSFResult {
 // SpanningForest runs the spanning-forest variant of coalesced CC (the
 // paper's "closely related spanning tree problem", §V): the SetDMin
 // election records which edge won each hook, so the forest falls out of
-// the same collective traffic.
+// the same collective traffic. opts may be nil for defaults.
 func (c *Cluster) SpanningForest(g *Graph, opts *CCOptions) *SpanningForestResult {
 	return cc.SpanningTree(c.rt, c.comm, g, opts)
 }
 
-// RankList runs Wyllie pointer-jumping list ranking with coalesced
-// collectives (see the listrank experiment for the §I-§II context).
-func (c *Cluster) RankList(l *List, opts *CollectiveOptions) *ListRankResult {
+// ListRankWyllie runs Wyllie pointer-jumping list ranking with coalesced
+// collectives (see the listrank experiment for the §I-§II context). opts
+// may be nil for defaults.
+func (c *Cluster) ListRankWyllie(l *List, opts *CollectiveOptions) *ListRankResult {
 	return listrank.Wyllie(c.rt, c.comm, l, opts)
 }
 
-// RankListCGM runs the communication-efficient (contraction-based) list
-// ranking the paper's §II surveys.
-func (c *Cluster) RankListCGM(l *List, opts *CollectiveOptions) *ListRankResult {
+// ListRankCGM runs the communication-efficient (contraction-based) list
+// ranking the paper's §II surveys. opts may be nil for defaults.
+func (c *Cluster) ListRankCGM(l *List, opts *CollectiveOptions) *ListRankResult {
 	return listrank.CGM(c.rt, c.comm, l, opts)
 }
 
-// BFS runs coalesced level-synchronous breadth-first search from src.
-func (c *Cluster) BFS(g *Graph, src int64, opts *CollectiveOptions) *BFSResult {
+// RankList runs Wyllie pointer-jumping list ranking.
+//
+// Deprecated: use ListRankWyllie; the name predates the <Problem><Variant>
+// kernel family. It remains functional.
+func (c *Cluster) RankList(l *List, opts *CollectiveOptions) *ListRankResult {
+	return c.ListRankWyllie(l, opts)
+}
+
+// RankListCGM runs contraction-based list ranking.
+//
+// Deprecated: use ListRankCGM; the name predates the <Problem><Variant>
+// kernel family. It remains functional.
+func (c *Cluster) RankListCGM(l *List, opts *CollectiveOptions) *ListRankResult {
+	return c.ListRankCGM(l, opts)
+}
+
+// BFSCoalesced runs coalesced level-synchronous breadth-first search from
+// src. opts may be nil for defaults.
+func (c *Cluster) BFSCoalesced(g *Graph, src int64, opts *CollectiveOptions) *BFSResult {
 	return bfs.Coalesced(c.rt, c.comm, g, src, opts)
+}
+
+// BFS runs coalesced breadth-first search from src.
+//
+// Deprecated: use BFSCoalesced; the bare name predates the
+// <Problem><Variant> kernel family. It remains functional.
+func (c *Cluster) BFS(g *Graph, src int64, opts *CollectiveOptions) *BFSResult {
+	return c.BFSCoalesced(g, src, opts)
 }
 
 // BFSNaive runs the per-edge one-sided translation of BFS.
@@ -206,18 +267,36 @@ func (c *Cluster) BFSNaive(g *Graph, src int64) *BFSResult {
 	return bfs.Naive(c.rt, g, src)
 }
 
-// ShortestPaths runs distributed delta-stepping single-source shortest
-// paths from src. delta <= 0 selects the classic default bucket width.
-func (c *Cluster) ShortestPaths(g *Graph, src, delta int64, opts *CollectiveOptions) *SSSPResult {
+// SSSPDeltaStepping runs distributed delta-stepping single-source
+// shortest paths from src. delta <= 0 selects the classic default bucket
+// width. opts may be nil for defaults.
+func (c *Cluster) SSSPDeltaStepping(g *Graph, src, delta int64, opts *CollectiveOptions) *SSSPResult {
 	return sssp.DeltaStepping(c.rt, c.comm, g, src, delta, opts)
+}
+
+// ShortestPaths runs delta-stepping single-source shortest paths.
+//
+// Deprecated: use SSSPDeltaStepping; the name predates the
+// <Problem><Variant> kernel family. It remains functional.
+func (c *Cluster) ShortestPaths(g *Graph, src, delta int64, opts *CollectiveOptions) *SSSPResult {
+	return c.SSSPDeltaStepping(g, src, delta, opts)
 }
 
 // SequentialDijkstra returns weighted distances via binary-heap Dijkstra.
 func SequentialDijkstra(g *Graph, src int64) []int64 { return sssp.SeqDijkstra(g, src) }
 
-// MaximalIndependentSet runs distributed Luby's algorithm.
-func (c *Cluster) MaximalIndependentSet(g *Graph, opts *CollectiveOptions) *MISResult {
+// MISLuby runs distributed Luby's maximal-independent-set algorithm.
+// opts may be nil for defaults.
+func (c *Cluster) MISLuby(g *Graph, opts *CollectiveOptions) *MISResult {
 	return mis.Luby(c.rt, c.comm, g, opts)
+}
+
+// MaximalIndependentSet runs Luby's algorithm.
+//
+// Deprecated: use MISLuby; the name predates the <Problem><Variant>
+// kernel family. It remains functional.
+func (c *Cluster) MaximalIndependentSet(g *Graph, opts *CollectiveOptions) *MISResult {
+	return c.MISLuby(g, opts)
 }
 
 // CheckMIS verifies a maximal-independent-set certificate directly against
@@ -225,15 +304,24 @@ func (c *Cluster) MaximalIndependentSet(g *Graph, opts *CollectiveOptions) *MISR
 func CheckMIS(g *Graph, inSet []bool) error { return mis.Check(g, inSet) }
 
 // Bipartite tests every component for two-colorability via the bipartite
-// double cover (one distributed CC over 2n vertices).
+// double cover (one distributed CC over 2n vertices). opts may be nil
+// for defaults.
 func (c *Cluster) Bipartite(g *Graph, opts *CCOptions) *BipartiteResult {
 	return cc.Bipartite(c.rt, c.comm, g, opts)
 }
 
-// CountTriangles counts the graph's triangles with the distributed
-// degree-ordered wedge kernel.
-func (c *Cluster) CountTriangles(g *Graph, opts *CollectiveOptions) *TriangleResult {
+// TriangleCount counts the graph's triangles with the distributed
+// degree-ordered wedge kernel. opts may be nil for defaults.
+func (c *Cluster) TriangleCount(g *Graph, opts *CollectiveOptions) *TriangleResult {
 	return triangle.Count(c.rt, c.comm, g, opts)
+}
+
+// CountTriangles counts the graph's triangles.
+//
+// Deprecated: use TriangleCount; the name predates the
+// <Problem><Variant> kernel family. It remains functional.
+func (c *Cluster) CountTriangles(g *Graph, opts *CollectiveOptions) *TriangleResult {
+	return c.TriangleCount(g, opts)
 }
 
 // SequentialTriangles counts triangles sequentially (exact).
@@ -242,7 +330,7 @@ func SequentialTriangles(g *Graph) int64 { return triangle.SeqCount(g) }
 // EulerTour computes rooted-forest statistics (parent, depth, preorder,
 // subtree size) for a spanning forest via the Euler tour technique:
 // distributed list ranking over the tour's arc chain. Composes with
-// SpanningForest.
+// SpanningForest. opts may be nil for defaults.
 func (c *Cluster) EulerTour(forest *Graph, opts *CollectiveOptions) *TreeStats {
 	return euler.Tour(c.rt, c.comm, forest, opts)
 }
@@ -253,7 +341,8 @@ func (c *Cluster) CCMerge(g *Graph) *CCResult { return cc.MergeCGM(c.rt, g) }
 
 // BiconnectedComponents runs distributed Tarjan-Vishkin: spanning forest,
 // Euler tour, priority-write extrema, and CC on the auxiliary graph — the
-// full PRAM pipeline over this library's collectives.
+// full PRAM pipeline over this library's collectives. opts may be nil
+// for defaults.
 func (c *Cluster) BiconnectedComponents(g *Graph, opts *CollectiveOptions) *BCCResult {
 	return bcc.TarjanVishkin(c.rt, c.comm, g, opts)
 }

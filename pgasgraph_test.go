@@ -1,6 +1,7 @@
 package pgasgraph
 
 import (
+	"reflect"
 	"testing"
 )
 
@@ -130,14 +131,191 @@ func TestOptionPresets(t *testing.T) {
 	if o := OptimizedCollectives(8); !o.Circular || !o.LocalCpy || !o.CachedIDs || !o.Offload || o.VirtualThreads != 8 {
 		t.Fatalf("OptimizedCollectives wrong: %+v", o)
 	}
-	if o := BaseCollectives(); o.Circular || o.VirtualThreads != 0 {
+	if o := BaseCollectives(); o.Circular || o.VirtualThreads != 1 {
 		t.Fatalf("BaseCollectives wrong: %+v", o)
+	}
+	if o := DefaultCollectives(); *o != *BaseCollectives() {
+		t.Fatalf("DefaultCollectives differs from BaseCollectives: %+v", o)
+	}
+	if o := DefaultCC(); o.Compact || o.Col == nil {
+		t.Fatalf("DefaultCC wrong: %+v", o)
+	}
+	if o := DefaultMST(); o.Compact || o.Col == nil {
+		t.Fatalf("DefaultMST wrong: %+v", o)
 	}
 	if o := OptimizedCC(4); !o.Compact || o.Col.VirtualThreads != 4 {
 		t.Fatalf("OptimizedCC wrong: %+v", o)
 	}
 	if o := OptimizedMST(4); !o.Compact {
 		t.Fatalf("OptimizedMST wrong: %+v", o)
+	}
+	for _, o := range []*CollectiveOptions{BaseCollectives(), DefaultCollectives(), OptimizedCollectives(8), nil} {
+		if err := o.Validate(); err != nil {
+			t.Fatalf("preset %+v rejected: %v", o, err)
+		}
+	}
+}
+
+// TestValidateRejectsBadVectors covers the known-bad configurations: a
+// non-positive virtual-thread count, an unknown sort kind, a negative
+// offload index, and a cluster geometry beyond the packed-key limit.
+func TestValidateRejectsBadVectors(t *testing.T) {
+	bad := []*CollectiveOptions{
+		{VirtualThreads: 0},
+		{VirtualThreads: -3},
+		{VirtualThreads: 1, Sort: 99},
+		{VirtualThreads: 1, Offload: true, OffloadIndex: -1},
+	}
+	for _, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Fatalf("bad options accepted: %+v", o)
+		}
+	}
+
+	cfg := PaperCluster()
+	cfg.Nodes = MaxCollectiveThreads // × 16 threads per node
+	if _, err := NewCluster(cfg); err == nil {
+		t.Fatal("oversized cluster geometry accepted")
+	}
+}
+
+// TestNilOptionsMatchDefaults calls every exported Cluster kernel once
+// with nil options and once with the matching Defaults() and asserts the
+// results are identical — the nil ≡ defaults contract of the API.
+func TestNilOptionsMatchDefaults(t *testing.T) {
+	c := smallCluster(t)
+	g := HybridGraph(400, 1200, 21)
+	wg := WithRandomWeights(g, 22)
+	forest := func() *Graph {
+		sf := c.SpanningForest(g, nil)
+		f := &Graph{N: g.N}
+		for _, e := range sf.Edges {
+			f.U = append(f.U, g.U[e])
+			f.V = append(f.V, g.V[e])
+		}
+		return f
+	}()
+	l := ChainsList(300, 3, 5)
+
+	kernels := []struct {
+		name string
+		run  func(defaults bool) any
+	}{
+		{"CCCoalesced", func(d bool) any {
+			o := (*CCOptions)(nil)
+			if d {
+				o = DefaultCC()
+			}
+			return c.CCCoalesced(g, o).Labels
+		}},
+		{"CCSV", func(d bool) any {
+			o := (*CCOptions)(nil)
+			if d {
+				o = DefaultCC()
+			}
+			return c.CCSV(g, o).Labels
+		}},
+		{"MSFCoalesced", func(d bool) any {
+			o := (*MSTOptions)(nil)
+			if d {
+				o = DefaultMST()
+			}
+			return c.MSFCoalesced(wg, o).Weight
+		}},
+		{"SpanningForest", func(d bool) any {
+			o := (*CCOptions)(nil)
+			if d {
+				o = DefaultCC()
+			}
+			return c.SpanningForest(g, o).Edges
+		}},
+		{"Bipartite", func(d bool) any {
+			o := (*CCOptions)(nil)
+			if d {
+				o = DefaultCC()
+			}
+			return c.Bipartite(g, o).Side
+		}},
+		{"BFSCoalesced", func(d bool) any {
+			o := (*CollectiveOptions)(nil)
+			if d {
+				o = DefaultCollectives()
+			}
+			return c.BFSCoalesced(g, 0, o).Dist
+		}},
+		{"SSSPDeltaStepping", func(d bool) any {
+			o := (*CollectiveOptions)(nil)
+			if d {
+				o = DefaultCollectives()
+			}
+			return c.SSSPDeltaStepping(wg, 0, 0, o).Dist
+		}},
+		{"MISLuby", func(d bool) any {
+			o := (*CollectiveOptions)(nil)
+			if d {
+				o = DefaultCollectives()
+			}
+			return c.MISLuby(g, o).InSet
+		}},
+		{"TriangleCount", func(d bool) any {
+			o := (*CollectiveOptions)(nil)
+			if d {
+				o = DefaultCollectives()
+			}
+			return c.TriangleCount(g, o).Triangles
+		}},
+		{"ListRankWyllie", func(d bool) any {
+			o := (*CollectiveOptions)(nil)
+			if d {
+				o = DefaultCollectives()
+			}
+			return c.ListRankWyllie(l, o).Ranks
+		}},
+		{"ListRankCGM", func(d bool) any {
+			o := (*CollectiveOptions)(nil)
+			if d {
+				o = DefaultCollectives()
+			}
+			return c.ListRankCGM(l, o).Ranks
+		}},
+		{"EulerTour", func(d bool) any {
+			o := (*CollectiveOptions)(nil)
+			if d {
+				o = DefaultCollectives()
+			}
+			return c.EulerTour(forest, o).Preorder
+		}},
+		{"BiconnectedComponents", func(d bool) any {
+			o := (*CollectiveOptions)(nil)
+			if d {
+				o = DefaultCollectives()
+			}
+			return c.BiconnectedComponents(g, o).EdgeBlock
+		}},
+	}
+	for _, k := range kernels {
+		withNil := k.run(false)
+		withDefaults := k.run(true)
+		if !reflect.DeepEqual(withNil, withDefaults) {
+			t.Errorf("%s: nil opts and Defaults() disagree", k.name)
+		}
+	}
+}
+
+// TestDeprecatedNamesDelegate pins the deprecated one-off names to their
+// family replacements.
+func TestDeprecatedNamesDelegate(t *testing.T) {
+	c := smallCluster(t)
+	g := RandomGraph(200, 600, 9)
+	l := RandomChainList(150, 4)
+	if a, b := c.BFS(g, 0, nil), c.BFSCoalesced(g, 0, nil); !reflect.DeepEqual(a.Dist, b.Dist) {
+		t.Fatal("BFS != BFSCoalesced")
+	}
+	if a, b := c.RankList(l, nil), c.ListRankWyllie(l, nil); !reflect.DeepEqual(a.Ranks, b.Ranks) {
+		t.Fatal("RankList != ListRankWyllie")
+	}
+	if a, b := c.CountTriangles(g, nil), c.TriangleCount(g, nil); a.Triangles != b.Triangles {
+		t.Fatal("CountTriangles != TriangleCount")
 	}
 }
 
