@@ -207,7 +207,7 @@ func runJSON(out, baseline string, tol float64, calls int, seed uint64) int {
 		fmt.Fprintf(os.Stderr, "pgasbench: %v\n", err)
 		return 1
 	}
-	regressions := report.CompareBench(base, rep, report.Tolerances{Wall: tol, Sim: 1.05, AllocSlack: 2})
+	regressions := report.CompareBench(base, rep, report.Tolerances{Wall: tol, Sim: 1.05, SimAsync: 2, AllocSlack: 2})
 	for _, r := range regressions {
 		fmt.Fprintf(os.Stderr, "REGRESSION %s\n", r)
 	}

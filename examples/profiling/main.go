@@ -39,6 +39,8 @@ func main() {
 		}
 		fmt.Printf("=== %s: %.1f simulated ms, serve-load imbalance %.2fx ===\n",
 			label, res.Run.SimMS(), collector.Imbalance())
+		fmt.Printf("collective plans: %d built, %d reused (reused executions skip the grouping sort + matrix publish)\n",
+			collector.PlanBuilds(), collector.PlanReuses())
 		if err := collector.LoadTable(3).Fprint(os.Stdout); err != nil {
 			log.Fatal(err)
 		}

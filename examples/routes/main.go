@@ -35,7 +35,7 @@ func main() {
 	fmt.Println("delta-stepping from city 0:")
 	var best *pgasgraph.SSSPResult
 	for _, delta := range []int64{def / 4, def, def * 16} {
-		res := cluster.ShortestPaths(g, 0, delta, pgasgraph.OptimizedCollectives(2))
+		res := cluster.SSSPDeltaStepping(g, 0, delta, pgasgraph.OptimizedCollectives(2))
 		fmt.Printf("  delta %-12d %8.1f simulated ms, %4d bucket phases, %d relaxations\n",
 			delta, res.Run.SimMS(), res.Buckets, res.Relaxations)
 		best = res

@@ -37,7 +37,7 @@ func main() {
 		{"social network", social},
 		{fmt.Sprintf("%dx%d mesh", side, side), mesh},
 	} {
-		res := cluster.BFS(in.g, 0, opts)
+		res := cluster.BFSCoalesced(in.g, 0, opts)
 		if want := pgasgraph.SequentialBFS(in.g, 0); !equal(res.Dist, want) {
 			log.Fatalf("BUG: %s distances disagree with sequential BFS", in.name)
 		}

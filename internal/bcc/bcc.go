@@ -103,13 +103,17 @@ func TarjanVishkin(rt *pgas.Runtime, comm *collective.Comm, g *graph.Graph, opts
 		num[v] = treeOffset[ts.Root[v]] + ts.Preorder[v] - 1
 	}
 
-	// Phase 3: per-vertex non-tree extrema via priority writes.
+	// Phase 3: per-vertex non-tree extrema via priority writes. Both
+	// scatters hit the same endpoint indices on equally distributed
+	// arrays, so one collective.Plan serves both SetDMins — the grouping
+	// and setup are paid once.
 	// minNT[v] = min num over non-tree neighbors; maxNT via negation.
 	minNT := rt.NewSharedArray("minNT", n)
 	negMaxNT := rt.NewSharedArray("negMaxNT", n)
 	minNT.Fill(inf)
 	negMaxNT.Fill(inf)
 	col := sanitize(opts)
+	extremaPlan := comm.NewPlan()
 	run3 := rt.Run(func(th *pgas.Thread) {
 		lo, hi := th.Span(m)
 		var idx, valMin, valMax []int64
@@ -123,8 +127,9 @@ func TarjanVishkin(rt *pgas.Runtime, comm *collective.Comm, g *graph.Graph, opts
 			valMax = append(valMax, -num[v], -num[u])
 		}
 		th.ChargeSeq(sim.CatWork, 2*(hi-lo))
-		comm.SetDMin(th, minNT, idx, valMin, col, nil)
-		comm.SetDMin(th, negMaxNT, idx, valMax, col, nil)
+		extremaPlan.PlanRequests(th, minNT, idx, col, nil)
+		extremaPlan.SetDMin(th, minNT, valMin)
+		extremaPlan.SetDMin(th, negMaxNT, valMax)
 	})
 	accumulate(res.Run, run3)
 

@@ -18,7 +18,7 @@ func TestCollectivesRecords(t *testing.T) {
 	}
 	want := map[string]bool{
 		"collective/GetD": true, "collective/SetD": true, "collective/SetDMin": true,
-		"collective/Exchange": true, "collective/GetDPair": true,
+		"collective/Exchange": true, "collective/GetDPair": true, "collective/PlanReuse": true,
 	}
 	if len(recs) != len(want) {
 		t.Fatalf("got %d records, want %d", len(recs), len(want))
@@ -35,6 +35,16 @@ func TestCollectivesRecords(t *testing.T) {
 		if r.AllocsPerOp > 8 {
 			t.Errorf("%s: %f allocs/op, steady state should be ~0", r.Name, r.AllocsPerOp)
 		}
+	}
+	// Plan reuse skips the grouping sort and matrix publish, so its
+	// per-op simulated time must sit strictly below the rebuilding GetD.
+	byName := map[string]float64{}
+	for _, r := range recs {
+		byName[r.Name] = r.SimMS
+	}
+	if byName["collective/PlanReuse"] >= byName["collective/GetD"] {
+		t.Errorf("PlanReuse sim %f ms/op not below rebuilding GetD %f ms/op",
+			byName["collective/PlanReuse"], byName["collective/GetD"])
 	}
 }
 
@@ -57,6 +67,12 @@ func TestFigureRecordNames(t *testing.T) {
 		}
 		if r.SimMS <= 0 {
 			t.Errorf("%s: non-positive sim time", r.Name)
+		}
+		// cc.Naive-derived series are scheduling-dependent and must carry
+		// the async marker; the coalesced series must not.
+		fromNaive := strings.HasPrefix(r.Name, "fig2/") || strings.HasSuffix(r.Name, "/smp")
+		if r.Async != fromNaive {
+			t.Errorf("%s: async=%v, want %v", r.Name, r.Async, fromNaive)
 		}
 	}
 }

@@ -9,7 +9,10 @@
 // Two variants mirror the repository's pattern: Naive issues one one-sided
 // access per inspected edge and rescans its distance block every level;
 // Coalesced pushes each level's frontier candidates to their owners with
-// one Exchange (personalized all-to-all) per level.
+// one Exchange (personalized all-to-all) per level. The frontier changes
+// every level, so BFS stays on the one-shot collectives — it gains nothing
+// from the collective.Plan reuse the fixed-request kernels (cc, mst,
+// listrank) amortize their setup with.
 package bfs
 
 import (

@@ -177,12 +177,20 @@ func Naive(rt *pgas.Runtime, g *graph.Graph) *Result {
 // endpoint labels with one GetD and hooks with one SetDMin; short-cutting
 // becomes synchronous pointer jumping in lock step ("we insert artificial
 // synchronizations into pointer-jumping", §IV.A) so it coalesces too.
+//
+// Without edge compaction the graft gather requests the same 2m endpoint
+// indices every iteration, so the kernel builds one collective.Plan up
+// front and re-executes it per iteration: the grouping sort and matrix
+// publish are paid once for the whole run instead of once per iteration,
+// with bit-identical labels. Compaction shrinks the request vector, so
+// that variant stays on the one-shot path (with its warm IDCache).
 func Coalesced(rt *pgas.Runtime, comm *collective.Comm, g *graph.Graph, opts *Options) *Result {
 	d := rt.NewSharedArray("D", g.N)
 	d.FillIdentity()
 	red := pgas.NewOrReducer(rt)
 	col := opts.col()
 	compact := opts.compact()
+	graftPlan := comm.NewPlan()
 	m := g.M()
 	iterations := 0
 
@@ -211,13 +219,29 @@ func Coalesced(rt *pgas.Runtime, comm *collective.Comm, g *graph.Graph, opts *Op
 			}
 			// Fetch both endpoint labels of every live edge.
 			k := len(live)
-			gatherIdx = gatherIdx[:0]
-			for _, e := range live {
-				gatherIdx = append(gatherIdx, int64(g.U[e]), int64(g.V[e]))
+			if compact {
+				gatherIdx = gatherIdx[:0]
+				for _, e := range live {
+					gatherIdx = append(gatherIdx, int64(g.U[e]), int64(g.V[e]))
+				}
+				gatherVal = gatherVal[:2*k]
+				th.ChargeSeq(sim.CatWork, 2*int64(k))
+				comm.GetD(th, d, gatherIdx, gatherVal, col, &graftCache)
+			} else {
+				// The live set never shrinks: the endpoint request vector
+				// is identical every iteration, so build the plan once and
+				// reuse it for every graft gather.
+				if iter == 0 {
+					gatherIdx = gatherIdx[:0]
+					for _, e := range live {
+						gatherIdx = append(gatherIdx, int64(g.U[e]), int64(g.V[e]))
+					}
+					gatherVal = gatherVal[:2*k]
+					th.ChargeSeq(sim.CatWork, 2*int64(k))
+					graftPlan.PlanRequests(th, d, gatherIdx, col, nil)
+				}
+				graftPlan.GetD(th, d, gatherVal)
 			}
-			gatherVal = gatherVal[:2*k]
-			th.ChargeSeq(sim.CatWork, 2*int64(k))
-			comm.GetD(th, d, gatherIdx, gatherVal, col, &graftCache)
 
 			// Build the hook list: D[max(du,dv)] <- min(du,dv).
 			grafted := false

@@ -3,8 +3,9 @@
 // accesses into bulk-synchronous, coalesced communication.
 //
 // GetD is a coordinated concurrent read, SetD an arbitrary concurrent
-// write, and SetDMin a priority (minimum-wins) concurrent write — the
-// primitive that lets the MST kernel drop its fine-grained locks (§IV.A).
+// write, SetDMin a priority (minimum-wins) concurrent write — the
+// primitive that lets the MST kernel drop its fine-grained locks (§IV.A) —
+// and SetDAdd an additive concurrent write.
 //
 // Every collective call runs in two phases separated by a barrier:
 //
@@ -18,6 +19,12 @@
 //     threads, and for GetD pushes the values back (a second coalesced
 //     message). A final local permute restores request order.
 //
+// Phase 1 is reified as a Plan (plan.go) and phase 2 as a serveOp run by
+// the exchange engine (engine.go); the collectives here are thin wrappers
+// that build a scratch plan and execute it once. Kernels whose request
+// vector is stable across iterations hold their own Plan and re-execute
+// it, skipping phase 1 entirely.
+//
 // The paper's optimizations — circular, localcpy, id, offload — are
 // selectable through Options; compact lives in the algorithms (it changes
 // what is requested, not how).
@@ -30,21 +37,20 @@ import (
 	"time"
 
 	"pgasgraph/internal/pgas"
-	"pgasgraph/internal/psort"
 	"pgasgraph/internal/sched"
 	"pgasgraph/internal/sim"
 )
 
-// Size limits of one collective call. st.pos, st.outIdx, and the cached
-// owner keys are int32, and the QuickSort grouping path packs each request
-// position into the low 40 bits of an int64 alongside the owner id in the
-// bits above; the tighter of the two bounds is int32. Owner ids share the
-// packed key's upper bits, which caps the thread count at 2^23. Both
-// limits are enforced explicitly — silently truncated positions would
-// permute answers instead of failing.
+// Size limits of one collective call. The grouping sort's position buffers
+// and the cached owner keys are int32, and the QuickSort grouping path
+// packs each request position into the low 40 bits of an int64 alongside
+// the owner id in the bits above; the tighter of the two bounds is int32.
+// Owner ids share the packed key's upper bits, which caps the thread count
+// at 2^23. Both limits are enforced explicitly — silently truncated
+// positions would permute answers instead of failing.
 const (
 	// MaxRequests is the largest request list one thread may pass to a
-	// single GetD/SetD/SetDMin call.
+	// single collective call.
 	MaxRequests = math.MaxInt32
 	// MaxThreads is the largest runtime thread count the packed
 	// (owner, position) sort keys support.
@@ -182,45 +188,36 @@ type IDCache struct {
 // Invalidate marks the cache stale.
 func (c *IDCache) Invalidate() { c.valid = false }
 
-// threadState is the per-thread scratch arena of a Comm. Every buffer
-// persists across collective calls and grows monotonically, so a warm
-// Comm runs the hot path without allocating; growths counts the backing-
-// array (re)allocations for the trace layer's allocs-per-call column.
+// threadState is the per-thread scratch arena of a Comm: the serve-phase
+// buffers of the exchange engine plus the grouping sort's key and cursor
+// scratch. Every buffer persists across collective calls and grows
+// monotonically, so a warm Comm runs the hot path without allocating;
+// growths counts the backing-array (re)allocations — including those of
+// plan-owned buffers grown on this thread — for the trace layer's
+// allocs-per-call column.
 type threadState struct {
-	req     []int64 // request indices sorted by owner (read by peers)
-	val     []int64 // values aligned with req (SetD*) / receive buffer (GetD)
-	pos     []int32 // inverse permutation of the grouping sort
-	offs    []int64 // per-owner segment offsets, len s+1
-	keys    []int32
-	outIdx  []int32 // positions of offloaded requests
-	local   []int64 // block-local index scratch for serving
-	vals    []int64 // gathered-value scratch for serving
-	inVal   []int64 // pulled value scratch for serving Set*
-	packed  []int64 // (owner, position) keys for the QuickSort path
-	cursor  []int64 // bucket cursors for the count-sort, len s
-	segs    []segment
-	scr     sched.Scratch
-	scr2    sched.Scratch // second first-touch tracker for GetDPair
-	growths int64         // scratch backing-array allocations (monotonic)
+	keys       []int32 // owner keys of the current request list
+	local      []int64 // block-local index scratch for serving / routed items
+	vals       []int64 // gathered-value scratch for serving
+	inVal      []int64 // pulled value scratch for serving Set* / routed values
+	packed     []int64 // (owner, position) keys for the QuickSort path
+	cursor     []int64 // bucket cursors for the count-sort, len s
+	segs       []segment
+	scr        sched.Scratch
+	scr2       sched.Scratch // second first-touch tracker for GetDPair
+	routeTotal int64         // element count of the last route-op receive
+	growths    int64         // scratch backing-array allocations (monotonic)
 }
 
-// grow returns buf resized to k elements, reusing the backing array when
-// it is large enough and counting a scratch growth otherwise.
+// grow returns buf resized to k elements through the shared arena
+// utility, counting a scratch growth on reallocation.
 func (st *threadState) grow(buf []int64, k int) []int64 {
-	if cap(buf) < k {
-		st.growths++
-		return make([]int64, k)
-	}
-	return buf[:k]
+	return sched.Grow64(buf, k, &st.growths)
 }
 
 // grow32 is grow for int32 buffers.
 func (st *threadState) grow32(buf []int32, k int) []int32 {
-	if cap(buf) < k {
-		st.growths++
-		return make([]int32, k)
-	}
-	return buf[:k]
+	return sched.Grow32(buf, k, &st.growths)
 }
 
 // segment records where one peer's request slice sits in the concatenated
@@ -248,23 +245,36 @@ type Tracer interface {
 	Transfer(server, requester int, elems int64)
 }
 
+// PlanTracer is the optional extension of Tracer for observing the plan
+// lifecycle: PlanBuild reports one thread running phase 1 (the grouping
+// sort and matrix publish), PlanReuse one plan execution that skipped it.
+// A Tracer that also implements PlanTracer receives both streams.
+type PlanTracer interface {
+	PlanBuild(thread int, elements int64)
+	PlanReuse(thread int, elements int64)
+}
+
 // Comm holds the shared state of the collectives for one runtime: the
-// SMatrix/PMatrix pair and per-thread buffers. Allocate one per runtime
-// and reuse it across calls; buffers grow on demand.
+// per-thread scratch arenas and the scratch plan backing the one-shot
+// collectives. Allocate one per runtime and reuse it across calls;
+// buffers grow on demand.
 type Comm struct {
-	rt     *pgas.Runtime
-	s      int
-	par    int     // host worker goroutines per thread for serve/permute data movement
-	smat   []int64 // smat[server*s+requester] = element count
-	pmat   []int64 // pmat[server*s+requester] = segment offset in requester's req
-	ts     []threadState
-	tracer Tracer
-	fault  Fault // armed defect for mutation-sensitivity testing (see fault.go)
+	rt         *pgas.Runtime
+	s          int
+	par        int // host worker goroutines per thread for serve/permute data movement
+	ts         []threadState
+	splan      *Plan // scratch plan rebuilt by every one-shot collective
+	tracer     Tracer
+	planTracer PlanTracer // tracer's PlanTracer facet, cached (nil if absent)
+	fault      Fault      // armed defect for mutation-sensitivity testing (see fault.go)
 }
 
 // SetTracer attaches a profiling tracer (nil detaches). Set it before
 // running kernels; it must not change while a collective is in flight.
-func (c *Comm) SetTracer(t Tracer) { c.tracer = t }
+func (c *Comm) SetTracer(t Tracer) {
+	c.tracer = t
+	c.planTracer, _ = t.(PlanTracer)
+}
 
 // traced wraps a collective body with per-call profiling: simulated-time
 // deltas, host wall-clock time, and scratch-growth counts.
@@ -291,24 +301,17 @@ func NewComm(rt *pgas.Runtime) *Comm {
 	if err := ValidateGeometry(s); err != nil {
 		panic(err.Error())
 	}
-	c := &Comm{rt: rt, s: s, smat: make([]int64, s*s), pmat: make([]int64, s*s)}
+	c := &Comm{rt: rt, s: s}
 	c.ts = make([]threadState, s)
 	for i := range c.ts {
-		c.ts[i].offs = make([]int64, s+1)
 		c.ts[i].cursor = make([]int64, s)
 	}
+	c.splan = c.NewPlan()
 	// Host parallelism left over after one goroutine per runtime thread:
 	// extra workers accelerate the serve/permute data movement without
 	// changing results or simulated-time charges.
 	c.par = defaultParallelism(runtime.GOMAXPROCS(0), s)
 	return c
-}
-
-func grow32(buf []int32, k int) []int32 {
-	if cap(buf) < k {
-		return make([]int32, k)
-	}
-	return buf[:k]
 }
 
 // ownerKeys fills st.keys with the owner thread of every index, honoring
@@ -329,7 +332,7 @@ func (c *Comm) ownerKeys(th *pgas.Thread, d *pgas.SharedArray, indices []int64, 
 		// Direct, vectorizable arithmetic.
 		th.ChargeOps(sim.CatWork, int64(k))
 		if cache != nil {
-			cache.keys = grow32(cache.keys, k)
+			cache.keys = sched.Grow32(cache.keys, k, nil)
 			copy(cache.keys, st.keys)
 			cache.valid = true
 			th.ChargeSeq(sim.CatWork, int64(k))
@@ -337,102 +340,6 @@ func (c *Comm) ownerKeys(th *pgas.Thread, d *pgas.SharedArray, indices []int64, 
 	} else {
 		// One runtime intrinsic per element, every iteration.
 		th.ChargeIntrinsics(sim.CatWork, int64(k))
-	}
-}
-
-// groupByOwner sorts (indices, optional values) by owner into st.req
-// (and st.val), filling st.pos and st.offs, and charging the sort.
-func (c *Comm) groupByOwner(th *pgas.Thread, indices, values []int64, opts *Options, st *threadState) {
-	k := len(indices)
-	st.req = st.grow(st.req, k)
-	st.pos = st.grow32(st.pos, k)
-	switch opts.Sort {
-	case CountSort:
-		psort.BucketByKeyInto(indices, st.keys[:k], c.s, st.req, st.pos, st.offs, st.cursor)
-		// Counting pass (streaming) plus a bucketed distribution pass
-		// (dense permutation into the grouped layout).
-		th.ChargeSeq(sim.CatSort, int64(k))
-		ns, misses := th.Runtime().Model().DensePermute(int64(k))
-		th.Clock.Charge(sim.CatSort, ns)
-		th.Clock.CacheMisses += misses
-		th.ChargeOps(sim.CatSort, 2*int64(k)+int64(c.s))
-	case QuickSort:
-		// Pack (owner, position) and comparison-sort: the slow path of
-		// Figure 3. Positions keep the sort stable and recover the
-		// permutation.
-		st.packed = st.grow(st.packed, k)
-		packed := st.packed[:k]
-		for j := range indices {
-			packed[j] = int64(st.keys[j])<<40 | int64(j)
-		}
-		psort.Quicksort(packed)
-		for i := range st.offs {
-			st.offs[i] = 0
-		}
-		for p, pk := range packed {
-			j := int32(pk & (1<<40 - 1))
-			st.pos[p] = j
-			st.req[p] = indices[j]
-			st.offs[pk>>40+1]++
-		}
-		for b := 0; b < c.s; b++ {
-			st.offs[b+1] += st.offs[b]
-		}
-		// Quicksort's partition passes stream each segment sequentially:
-		// ~lg k passes over k elements, each element paying a compare,
-		// a branch (frequently mispredicted on random keys), and a
-		// conditional swap — the constant-factor gap to count sort the
-		// paper quotes as "more than 50 times".
-		lg := int64(1)
-		for kk := k; kk > 1; kk >>= 1 {
-			lg++
-		}
-		for pass := int64(0); pass < lg; pass++ {
-			th.ChargeSeq(sim.CatSort, int64(k))
-		}
-		th.ChargeOps(sim.CatSort, 8*int64(k)*lg)
-	default:
-		panic(fmt.Sprintf("collective: unknown sort kind %d", opts.Sort))
-	}
-	st.val = st.grow(st.val, k)
-	if values != nil {
-		c.parGatherPermute(st.pos[:k], values, st.val[:k])
-		ns, misses := th.Runtime().Model().DensePermute(int64(k))
-		th.Clock.Charge(sim.CatSort, ns)
-		th.Clock.CacheMisses += misses
-	}
-}
-
-// publishMatrices writes this thread's per-peer counts and offsets into
-// the shared matrices — the all-to-all setup of Algorithm 2, step 3.
-func (c *Comm) publishMatrices(th *pgas.Thread, st *threadState) {
-	i := th.ID
-	hier := th.Runtime().Config().HierarchicalA2A
-	tpn := th.Runtime().ThreadsPerNode()
-	for j := 0; j < c.s; j++ {
-		c.smat[j*c.s+i] = st.offs[j+1] - st.offs[j]
-		c.pmat[j*c.s+i] = st.offs[j]
-		if th.SameNode(j) {
-			th.ChargeOps(sim.CatSetup, 2)
-			continue
-		}
-		if hier {
-			// Node-level aggregation: threads stage into node-local
-			// buffers; only node leaders exchange combined matrices.
-			th.ChargeOps(sim.CatSetup, 2)
-			continue
-		}
-		th.ChargeSmallRemoteWrite(sim.CatSetup)
-		th.ChargeSmallRemoteWrite(sim.CatSetup)
-	}
-	if hier && th.Local == 0 {
-		// Leader exchanges one combined matrix block per remote node:
-		// counts and offsets for t local threads x t remote threads.
-		p := th.Runtime().Nodes()
-		blockBytes := int64(2 * 8 * tpn * tpn)
-		for node := 0; node < p-1; node++ {
-			th.ChargeMessage(sim.CatSetup, blockBytes)
-		}
 	}
 }
 
@@ -446,7 +353,7 @@ func peerAt(i, r, s int, circular bool) int {
 
 // transferCost charges a coalesced bulk transfer of k elements between th
 // and peer (in either direction), applying the linear-schedule penalty
-// when circular is off. extraLatency adds a return wire leg for pulls.
+// when circular is off. pull adds a return wire leg.
 func (c *Comm) transferCost(th *pgas.Thread, peer int, k int64, pull bool, opts *Options) {
 	if k == 0 {
 		return
@@ -500,222 +407,57 @@ func (c *Comm) GetD(th *pgas.Thread, d *pgas.SharedArray, indices, out []int64, 
 		panic("collective: GetD output length mismatch")
 	}
 	checkRequests("GetD", d, indices)
-	c.traced("GetD", th, len(indices), func() { c.getDImpl(th, d, indices, out, opts, cache) })
-}
-
-func (c *Comm) getDImpl(th *pgas.Thread, d *pgas.SharedArray, indices, out []int64, opts *Options, cache *IDCache) {
-	st := &c.ts[th.ID]
-
-	work := indices
-	if opts.Offload {
-		work = c.offloadFilter(th, indices, out, opts, st)
-	}
-
-	c.ownerKeys(th, d, work, opts, cache, st)
-	c.groupByOwner(th, work, nil, opts, st)
-	c.publishMatrices(th, st)
-	th.Barrier()
-	c.serve(th, d, opts, serveGet)
-	th.Barrier()
-
-	// Permute received values back to request order (Algorithm 2 step 6):
-	// a dense permutation of the receive buffer.
-	k := len(work)
-	ns, misses := th.Runtime().Model().DensePermute(int64(k))
-	th.Clock.Charge(sim.CatIrregular, ns)
-	th.Clock.CacheMisses += misses
-	if c.fault == FaultDropPermute {
-		c.dropPermute(out, st, k, opts.Offload)
-		return
-	}
-	// st.pos is a permutation of [0,k): chunks write disjoint out slots, so
-	// the permute parallelizes safely across host workers.
-	if opts.Offload {
-		// st.pos indexes the filtered list; st.outIdx maps it back to
-		// original request positions.
-		c.parPermuteVia(st.pos[:k], st.outIdx, st.val, out)
-	} else {
-		c.parPermute(st.pos[:k], st.val, out)
-	}
-}
-
-// dropPermute is the FaultDropPermute body: values land in owner-grouped
-// order, as if Algorithm 2's final permute were missing.
-func (c *Comm) dropPermute(out []int64, st *threadState, k int, offload bool) {
-	if offload {
-		for p := 0; p < k; p++ {
-			out[st.outIdx[p]] = st.val[p]
-		}
-		return
-	}
-	copy(out[:k], st.val[:k])
-}
-
-// offloadFilter removes requests for the offloaded index, writing its
-// known value directly, and returns the filtered list. st.outIdx maps
-// filtered positions back to original positions.
-func (c *Comm) offloadFilter(th *pgas.Thread, indices []int64, out []int64, opts *Options, st *threadState) []int64 {
-	st.local = st.grow(st.local, len(indices))
-	st.outIdx = st.grow32(st.outIdx, len(indices))
-	w := 0
-	for j, ix := range indices {
-		if ix == opts.OffloadIndex {
-			out[j] = opts.OffloadValue
-			continue
-		}
-		st.local[w] = ix
-		st.outIdx[w] = int32(j)
-		w++
-	}
-	th.ChargeSeq(sim.CatWork, int64(len(indices)))
-	return st.local[:w]
-}
-
-type serveMode int
-
-const (
-	serveGet serveMode = iota
-	serveSet
-	serveMin
-)
-
-// serve is phase 2 of Algorithm 2: this thread answers every peer's
-// request segment against its own block of d. All peers' segments are
-// pulled first (one coalesced message each, in schedule order), the whole
-// concatenated request list is served with one blocked gather/scatter —
-// the local block is loaded at most once per collective, matching
-// equation 5's n*L_M term — and for GetD the per-peer value slices are
-// pushed back.
-func (c *Comm) serve(th *pgas.Thread, d *pgas.SharedArray, opts *Options, mode serveMode) {
-	i := th.ID
-	lo, hi := d.LocalRange(i)
-	local := d.Raw()[lo:hi]
-	st := &c.ts[i]
-
-	// Pull phase: gather segment metadata and request indices.
-	total := int64(0)
-	st.segs = st.segs[:0]
-	for r := 0; r < c.s; r++ {
-		peer := peerAt(i, r, c.s, opts.Circular)
-		k := c.smat[i*c.s+peer]
-		if k == 0 {
-			continue
-		}
-		st.segs = append(st.segs, segment{
-			peer: int32(peer),
-			off:  c.pmat[i*c.s+peer],
-			pos:  total,
-			k:    k,
-		})
-		total += k
-	}
-	st.local = st.grow(st.local, int(total))
-	st.vals = st.grow(st.vals, int(total))
-	for _, seg := range st.segs {
-		reqSeg := c.ts[seg.peer].req[seg.off : seg.off+seg.k]
-		c.transferCost(th, int(seg.peer), seg.k, true, opts)
-		if c.fault == FaultSegmentOffByOne {
-			// Misaligned segment view: slot j takes the index of slot
-			// j+1 (rotated within the segment to stay in bounds).
-			for j := range reqSeg {
-				st.local[seg.pos+int64(j)] = reqSeg[(j+1)%len(reqSeg)] - lo
-			}
-		} else {
-			// Translate the peer's global indices to block-local ones;
-			// chunks of one segment touch disjoint st.local slots.
-			c.parTranslate(reqSeg, st.local[seg.pos:seg.pos+seg.k], lo)
-		}
-		th.ChargeOps(sim.CatWork, seg.k)
-		if mode == serveSet || mode == serveMin {
-			// Pull the peer's value segment alongside the indices.
-			c.transferCost(th, int(seg.peer), seg.k, true, opts)
-		}
-	}
-
-	// Serve phase: one blocked access over the concatenated list. The
-	// block stays cache-warm across it, so first-touch tracking resets
-	// once per collective.
-	st.scr.Reset(hi - lo)
-	switch mode {
-	case serveGet:
-		sched.GatherPar(th, local, st.local[:total], st.vals[:total], opts.VirtualThreads, opts.LocalCpy, &st.scr, c.par)
-		// Push phase: return each peer's values.
-		for _, seg := range st.segs {
-			c.transferCost(th, int(seg.peer), seg.k, false, opts)
-			copy(c.ts[seg.peer].val[seg.off:seg.off+seg.k], st.vals[seg.pos:seg.pos+seg.k])
-		}
-	case serveSet, serveMin:
-		st.inVal = st.grow(st.inVal, int(total))
-		for _, seg := range st.segs {
-			copy(st.inVal[seg.pos:seg.pos+seg.k], c.ts[seg.peer].val[seg.off:seg.off+seg.k])
-		}
-		op := sched.OpSet
-		if mode == serveMin {
-			op = sched.OpMin
-			if c.fault == FaultMaxInsteadOfMin {
-				op = sched.OpMax
-			}
-		}
-		sched.Scatter(th, local, st.local[:total], st.inVal[:total], op, opts.VirtualThreads, opts.LocalCpy, &st.scr)
-	}
+	opts = orDefaults(opts)
+	c.traced("GetD", th, len(indices), func() {
+		c.splan.planInto(th, d, indices, opts, cache, true)
+		c.exec(th, c.splan, opGetD, d, nil, nil, out, nil)
+	})
 }
 
 // SetD scatters D[indices[j]] = values[j] collectively (arbitrary
 // concurrent write: when several requests target one location, the owner
 // applies them in a deterministic order and the last wins).
 func (c *Comm) SetD(th *pgas.Thread, d *pgas.SharedArray, indices, values []int64, opts *Options, cache *IDCache) {
-	c.setImpl(th, d, indices, values, opts, cache, serveSet)
+	c.setOneShot(th, d, indices, values, opts, cache, opSetD, false)
 }
 
 // SetDMin scatters D[indices[j]] = min(D[indices[j]], values[j])
 // collectively (priority concurrent write). It is the lock-free
-// replacement for the MST minimum-edge update.
+// replacement for the MST minimum-edge update. With Offload enabled,
+// writes against the offloaded location are no-ops for a priority write
+// when its value is pinned at the minimum; they are dropped client-side.
 func (c *Comm) SetDMin(th *pgas.Thread, d *pgas.SharedArray, indices, values []int64, opts *Options, cache *IDCache) {
-	c.setImpl(th, d, indices, values, opts, cache, serveMin)
+	c.setOneShot(th, d, indices, values, opts, cache, opSetDMin, true)
 }
 
-func (c *Comm) setImpl(th *pgas.Thread, d *pgas.SharedArray, indices, values []int64, opts *Options, cache *IDCache, mode serveMode) {
+// SetDAdd scatters D[indices[j]] += values[j] collectively (additive
+// concurrent write: unlike SetD's arbitrary write, every request
+// contributes, and the result is order-independent). Degree counting and
+// histogram-style reductions use it in place of a gather-modify-scatter
+// round trip.
+func (c *Comm) SetDAdd(th *pgas.Thread, d *pgas.SharedArray, indices, values []int64, opts *Options, cache *IDCache) {
+	c.setOneShot(th, d, indices, values, opts, cache, opSetDAdd, false)
+}
+
+// setOneShot runs one scatter-style collective: build the scratch plan,
+// execute the op once. filter selects whether the op honors opts.Offload
+// (only SetDMin's drop semantics do).
+func (c *Comm) setOneShot(th *pgas.Thread, d *pgas.SharedArray, indices, values []int64, opts *Options, cache *IDCache, op *serveOp, filter bool) {
 	if len(values) != len(indices) {
 		panic("collective: Set* value length mismatch")
 	}
-	kind := "SetD"
-	if mode == serveMin {
-		kind = "SetDMin"
-	}
-	checkRequests(kind, d, indices)
-	c.traced(kind, th, len(indices), func() { c.setBody(th, d, indices, values, opts, cache, mode) })
+	checkRequests(op.kind, d, indices)
+	opts = orDefaults(opts)
+	c.traced(op.kind, th, len(indices), func() {
+		c.splan.planInto(th, d, indices, opts, cache, filter)
+		c.exec(th, c.splan, op, d, nil, values, nil, nil)
+	})
 }
 
-func (c *Comm) setBody(th *pgas.Thread, d *pgas.SharedArray, indices, values []int64, opts *Options, cache *IDCache, mode serveMode) {
-	st := &c.ts[th.ID]
-	work, vals := indices, values
-	if opts.Offload && mode == serveMin {
-		// Requests against the offloaded location are no-ops for a
-		// priority write when its value is pinned at the minimum; drop
-		// them client-side.
-		work, vals = c.offloadFilterSet(th, indices, values, opts, st)
+// orDefaults maps a nil options pointer to the package defaults.
+func orDefaults(opts *Options) *Options {
+	if opts == nil {
+		return Defaults()
 	}
-	c.ownerKeys(th, d, work, opts, cache, st)
-	c.groupByOwner(th, work, vals, opts, st)
-	c.publishMatrices(th, st)
-	th.Barrier()
-	c.serve(th, d, opts, mode)
-	th.Barrier()
-}
-
-// offloadFilterSet drops writes targeting the offloaded index.
-func (c *Comm) offloadFilterSet(th *pgas.Thread, indices, values []int64, opts *Options, st *threadState) (idx, vals []int64) {
-	st.local = st.grow(st.local, len(indices))
-	st.vals = st.grow(st.vals, len(indices))
-	w := 0
-	for j, ix := range indices {
-		if ix == opts.OffloadIndex {
-			continue
-		}
-		st.local[w] = ix
-		st.vals[w] = values[j]
-		w++
-	}
-	th.ChargeSeq(sim.CatWork, int64(len(indices)))
-	return st.local[:w], st.vals[:w]
+	return opts
 }

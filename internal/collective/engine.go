@@ -1,0 +1,329 @@
+// The exchange engine: one execution path for all collectives.
+//
+// Every collective is phase 2 of Algorithm 2 run against a built Plan —
+// barrier, serve every peer, barrier, finish — and the collectives differ
+// only in how a peer's segment is served (gather, scatter with a combining
+// rule, fused pair gather, or plain routing) and how results reach the
+// caller (permute back, nothing, or a concatenated receive buffer). Those
+// two choices are a serveOp; exec is the engine that runs one. The six
+// public collectives in collective.go/exchange.go/pair.go are thin
+// wrappers that build a scratch plan and exec it; Plan's execution methods
+// exec a caller-held plan, skipping the rebuild.
+package collective
+
+import (
+	"pgasgraph/internal/pgas"
+	"pgasgraph/internal/sched"
+	"pgasgraph/internal/sim"
+)
+
+// serveOp is one pluggable collective: a serve-phase body, a finish-phase
+// body, and the flags the engine needs to stage its inputs and outputs.
+// Descriptors are package-level values so dispatching through them never
+// allocates.
+type serveOp struct {
+	kind string // trace/diagnostic name
+	// hasValues: the caller passes per-request values, aligned into the
+	// plan's grouped layout before the first barrier on every execution.
+	hasValues bool
+	// pairRecv: the op delivers a second value stream (GetDPair), so the
+	// plan's second receive buffer is sized before the first barrier.
+	pairRecv bool
+	// allowFiltered: the op's semantics survive the offload filter (GetD
+	// substitutes the pinned value, SetDMin drops the no-op write).
+	allowFiltered bool
+	serve         func(c *Comm, th *pgas.Thread, p *Plan, d1, d2 *pgas.SharedArray, opts *Options)
+	finish        func(c *Comm, th *pgas.Thread, p *Plan, pt *planThread, opts *Options, out1, out2 []int64)
+}
+
+var (
+	opGetD          = &serveOp{kind: "GetD", allowFiltered: true, serve: serveGather, finish: finishPermute}
+	opSetD          = &serveOp{kind: "SetD", hasValues: true, serve: serveScatterSet, finish: finishNone}
+	opSetDMin       = &serveOp{kind: "SetDMin", hasValues: true, allowFiltered: true, serve: serveScatterMin, finish: finishNone}
+	opSetDAdd       = &serveOp{kind: "SetDAdd", hasValues: true, serve: serveScatterAdd, finish: finishNone}
+	opGetDPair      = &serveOp{kind: "GetDPair", pairRecv: true, serve: servePair, finish: finishPair}
+	opExchange      = &serveOp{kind: "Exchange", serve: serveRoute, finish: finishNone}
+	opExchangePairs = &serveOp{kind: "ExchangePairs", hasValues: true, serve: serveRoutePairs, finish: finishNone}
+)
+
+// exec runs one execution of op against plan p: stage per-execution
+// inputs, barrier, serve every peer, barrier, deliver results. It charges
+// exactly what the monolithic collectives charged per barrier interval —
+// the value alignment that the grouping sort used to do moves here (it
+// must rerun per execution), but stays in the same pre-serve interval.
+//
+// d2 is the second array of pair ops (nil otherwise); values the input
+// values of hasValues ops; out1/out2 the gather destinations (nil for
+// scatter and route ops, whose results are the array mutation or the
+// thread's receive scratch).
+func (c *Comm) exec(th *pgas.Thread, p *Plan, op *serveOp, d1, d2 *pgas.SharedArray, values []int64, out1, out2 []int64) {
+	st := &c.ts[th.ID]
+	pt := &p.pts[th.ID]
+	opts := &pt.opts
+	k := pt.k
+
+	if c.fault == FaultCorruptPlanPermute && pt.execs >= 1 && k >= 2 {
+		// A reused plan whose permutation was clobbered between
+		// executions: the grouped layout no longer maps back to request
+		// order (see fault.go).
+		pt.pos[0], pt.pos[1] = pt.pos[1], pt.pos[0]
+	}
+
+	if op.hasValues {
+		// Align this execution's values with the grouped request layout —
+		// the pass groupByOwner used to run, charged identically.
+		if pt.filtered {
+			c.parGatherPermuteVia(pt.pos[:k], pt.outIdx, values, pt.val[:k])
+		} else {
+			c.parGatherPermute(pt.pos[:k], values, pt.val[:k])
+		}
+		ns, misses := th.Runtime().Model().DensePermute(int64(k))
+		th.Clock.Charge(sim.CatSort, ns)
+		th.Clock.CacheMisses += misses
+	}
+	if op.pairRecv {
+		// Second receive buffer, aligned with pt.val, sized before peers
+		// can deliver into it.
+		pt.val2 = sched.Grow64(pt.val2, k, &st.growths)
+	}
+	if c.planTracer != nil && pt.execs >= 1 {
+		c.planTracer.PlanReuse(th.ID, int64(k))
+	}
+
+	th.Barrier()
+	op.serve(c, th, p, d1, d2, opts)
+	th.Barrier()
+	op.finish(c, th, p, pt, opts, out1, out2)
+	pt.execs++
+}
+
+// planSegments fills st.segs with the peer segments thread th serves under
+// the plan's published matrices, in schedule order, and returns the total
+// element count. The stale-matrix fault perturbs a reused plan's offsets
+// here (see fault.go).
+func (c *Comm) planSegments(th *pgas.Thread, p *Plan, st *threadState, opts *Options) int64 {
+	i := th.ID
+	stale := c.fault == FaultStalePlanMatrices && p.pts[i].execs >= 1
+	total := int64(0)
+	st.segs = st.segs[:0]
+	for r := 0; r < c.s; r++ {
+		peer := peerAt(i, r, c.s, opts.Circular)
+		k := p.smat[i*c.s+peer]
+		if k == 0 {
+			continue
+		}
+		off := p.pmat[i*c.s+peer]
+		if stale && off > 0 {
+			off--
+		}
+		st.segs = append(st.segs, segment{peer: int32(peer), off: off, pos: total, k: k})
+		total += k
+	}
+	return total
+}
+
+// pullSegment charges one coalesced index pull and translates the peer's
+// global indices to block-local ones (honoring the segment-misalignment
+// fault).
+func (c *Comm) pullSegment(th *pgas.Thread, reqSeg, dst []int64, lo int64, peer int, opts *Options) {
+	c.transferCost(th, peer, int64(len(reqSeg)), true, opts)
+	if c.fault == FaultSegmentOffByOne {
+		// Misaligned segment view: slot j takes the index of slot j+1
+		// (rotated within the segment to stay in bounds).
+		for j := range reqSeg {
+			dst[j] = reqSeg[(j+1)%len(reqSeg)] - lo
+		}
+	} else {
+		// Chunks of one segment touch disjoint dst slots.
+		c.parTranslate(reqSeg, dst, lo)
+	}
+	th.ChargeOps(sim.CatWork, int64(len(reqSeg)))
+}
+
+// serveGather is GetD's serve phase: this thread answers every peer's
+// request segment against its own block of d1. All peers' segments are
+// pulled first (one coalesced message each, in schedule order), the whole
+// concatenated request list is served with one blocked gather — the local
+// block is loaded at most once per collective, matching equation 5's
+// n*L_M term — and the per-peer value slices are pushed back into each
+// requester's plan receive buffer.
+func serveGather(c *Comm, th *pgas.Thread, p *Plan, d1, d2 *pgas.SharedArray, opts *Options) {
+	i := th.ID
+	lo, hi := d1.LocalRange(i)
+	local := d1.Raw()[lo:hi]
+	st := &c.ts[i]
+
+	total := c.planSegments(th, p, st, opts)
+	st.local = st.grow(st.local, int(total))
+	st.vals = st.grow(st.vals, int(total))
+	for _, seg := range st.segs {
+		reqSeg := p.pts[seg.peer].req[seg.off : seg.off+seg.k]
+		c.pullSegment(th, reqSeg, st.local[seg.pos:seg.pos+seg.k], lo, int(seg.peer), opts)
+	}
+
+	// The block stays cache-warm across the concatenated serve, so
+	// first-touch tracking resets once per collective.
+	st.scr.Reset(hi - lo)
+	sched.GatherPar(th, local, st.local[:total], st.vals[:total], opts.VirtualThreads, opts.LocalCpy, &st.scr, c.par)
+
+	for _, seg := range st.segs {
+		c.transferCost(th, int(seg.peer), seg.k, false, opts)
+		copy(p.pts[seg.peer].val[seg.off:seg.off+seg.k], st.vals[seg.pos:seg.pos+seg.k])
+	}
+}
+
+// serveScatter is the Set* serve phase: pull every peer's index and value
+// segments, then apply one blocked scatter with the op's combining rule
+// over the concatenated list.
+func (c *Comm) serveScatter(th *pgas.Thread, p *Plan, d *pgas.SharedArray, opts *Options, op sched.Op) {
+	i := th.ID
+	lo, hi := d.LocalRange(i)
+	local := d.Raw()[lo:hi]
+	st := &c.ts[i]
+
+	total := c.planSegments(th, p, st, opts)
+	st.local = st.grow(st.local, int(total))
+	st.inVal = st.grow(st.inVal, int(total))
+	for _, seg := range st.segs {
+		pt := &p.pts[seg.peer]
+		c.pullSegment(th, pt.req[seg.off:seg.off+seg.k], st.local[seg.pos:seg.pos+seg.k], lo, int(seg.peer), opts)
+		// Pull the peer's value segment alongside the indices.
+		c.transferCost(th, int(seg.peer), seg.k, true, opts)
+		copy(st.inVal[seg.pos:seg.pos+seg.k], pt.val[seg.off:seg.off+seg.k])
+	}
+
+	st.scr.Reset(hi - lo)
+	sched.Scatter(th, local, st.local[:total], st.inVal[:total], op, opts.VirtualThreads, opts.LocalCpy, &st.scr)
+}
+
+func serveScatterSet(c *Comm, th *pgas.Thread, p *Plan, d1, d2 *pgas.SharedArray, opts *Options) {
+	c.serveScatter(th, p, d1, opts, sched.OpSet)
+}
+
+func serveScatterMin(c *Comm, th *pgas.Thread, p *Plan, d1, d2 *pgas.SharedArray, opts *Options) {
+	op := sched.OpMin
+	if c.fault == FaultMaxInsteadOfMin {
+		op = sched.OpMax
+	}
+	c.serveScatter(th, p, d1, opts, op)
+}
+
+func serveScatterAdd(c *Comm, th *pgas.Thread, p *Plan, d1, d2 *pgas.SharedArray, opts *Options) {
+	c.serveScatter(th, p, d1, opts, sched.OpAdd)
+}
+
+// servePair is GetDPair's serve phase: pull each peer's indices once,
+// gather from both local blocks, push both value streams back (into the
+// requester's val and val2 plan buffers). Segments are served one peer at
+// a time with per-array first-touch trackers, preserving the fused
+// collective's original charge structure.
+func servePair(c *Comm, th *pgas.Thread, p *Plan, d1, d2 *pgas.SharedArray, opts *Options) {
+	i := th.ID
+	lo, hi := d1.LocalRange(i)
+	local1 := d1.Raw()[lo:hi]
+	local2 := d2.Raw()[lo:hi]
+	st := &c.ts[i]
+
+	c.planSegments(th, p, st, opts)
+	st.scr.Reset(hi - lo)
+	st.scr2.Reset(hi - lo)
+	for _, seg := range st.segs {
+		pt := &p.pts[seg.peer]
+		k := seg.k
+		st.local = st.grow(st.local, int(k))
+		c.pullSegment(th, pt.req[seg.off:seg.off+k], st.local[:k], lo, int(seg.peer), opts)
+
+		st.vals = st.grow(st.vals, int(k))
+		sched.GatherPar(th, local1, st.local[:k], st.vals[:k], opts.VirtualThreads, opts.LocalCpy, &st.scr, c.par)
+		c.transferCost(th, int(seg.peer), k, false, opts)
+		copy(pt.val[seg.off:seg.off+k], st.vals[:k])
+
+		sched.GatherPar(th, local2, st.local[:k], st.vals[:k], opts.VirtualThreads, opts.LocalCpy, &st.scr2, c.par)
+		c.transferCost(th, int(seg.peer), k, false, opts)
+		copy(pt.val2[seg.off:seg.off+k], st.vals[:k])
+	}
+}
+
+// serveRoute is Exchange's serve phase: pull every peer's grouped segment
+// destined for this thread into the receive scratch, concatenated in
+// schedule order. There is no local array access — the routed items are
+// the payload.
+func serveRoute(c *Comm, th *pgas.Thread, p *Plan, d1, d2 *pgas.SharedArray, opts *Options) {
+	st := &c.ts[th.ID]
+	total := c.planSegments(th, p, st, opts)
+	st.inVal = st.grow(st.inVal, int(total))
+	for _, seg := range st.segs {
+		c.transferCost(th, int(seg.peer), seg.k, true, opts)
+		copy(st.inVal[seg.pos:seg.pos+seg.k], p.pts[seg.peer].req[seg.off:seg.off+seg.k])
+		th.ChargeSeq(sim.CatCopy, seg.k)
+	}
+	st.routeTotal = total
+}
+
+// serveRoutePairs is ExchangePairs' serve phase: one coalesced message
+// per peer carries indices and values together, delivered aligned.
+func serveRoutePairs(c *Comm, th *pgas.Thread, p *Plan, d1, d2 *pgas.SharedArray, opts *Options) {
+	st := &c.ts[th.ID]
+	total := c.planSegments(th, p, st, opts)
+	st.local = st.grow(st.local, int(total))
+	st.inVal = st.grow(st.inVal, int(total))
+	for _, seg := range st.segs {
+		pt := &p.pts[seg.peer]
+		c.transferCost(th, int(seg.peer), 2*seg.k, true, opts)
+		copy(st.local[seg.pos:seg.pos+seg.k], pt.req[seg.off:seg.off+seg.k])
+		copy(st.inVal[seg.pos:seg.pos+seg.k], pt.val[seg.off:seg.off+seg.k])
+		th.ChargeSeq(sim.CatCopy, 2*seg.k)
+	}
+	st.routeTotal = total
+}
+
+// finishNone is the finish phase of ops whose results are the array
+// mutation (Set*) or the thread's receive scratch (Exchange*).
+func finishNone(c *Comm, th *pgas.Thread, p *Plan, pt *planThread, opts *Options, out1, out2 []int64) {}
+
+// finishPermute is GetD's finish phase: permute received values back to
+// request order (Algorithm 2 step 6) — a dense permutation of the receive
+// buffer — and substitute the pinned value at offload-dropped positions.
+func finishPermute(c *Comm, th *pgas.Thread, p *Plan, pt *planThread, opts *Options, out1, out2 []int64) {
+	k := pt.k
+	ns, misses := th.Runtime().Model().DensePermute(int64(k))
+	th.Clock.Charge(sim.CatIrregular, ns)
+	th.Clock.CacheMisses += misses
+	if pt.filtered {
+		// The filter already paid for this pass at build time; delivering
+		// the pinned value is part of it.
+		for _, j := range pt.dropIdx[:pt.n-k] {
+			out1[j] = opts.OffloadValue
+		}
+	}
+	if c.fault == FaultDropPermute {
+		// Values land in owner-grouped order, as if the permute were
+		// missing.
+		if pt.filtered {
+			for pp := 0; pp < k; pp++ {
+				out1[pt.outIdx[pp]] = pt.val[pp]
+			}
+			return
+		}
+		copy(out1[:k], pt.val[:k])
+		return
+	}
+	// pt.pos is a permutation of [0,k): chunks write disjoint out slots,
+	// so the permute parallelizes safely across host workers.
+	if pt.filtered {
+		// pt.pos indexes the filtered list; pt.outIdx maps it back to
+		// original request positions.
+		c.parPermuteVia(pt.pos[:k], pt.outIdx, pt.val, out1)
+	} else {
+		c.parPermute(pt.pos[:k], pt.val, out1)
+	}
+}
+
+// finishPair permutes both receive buffers back to request order.
+func finishPair(c *Comm, th *pgas.Thread, p *Plan, pt *planThread, opts *Options, out1, out2 []int64) {
+	k := pt.k
+	ns, misses := th.Runtime().Model().DensePermute(int64(k))
+	th.Clock.Charge(sim.CatIrregular, 2*ns)
+	th.Clock.CacheMisses += 2 * misses
+	c.parPermute2(pt.pos[:k], pt.val, out1, pt.val2, out2)
+}

@@ -2,7 +2,6 @@ package collective
 
 import (
 	"pgasgraph/internal/pgas"
-	"pgasgraph/internal/sim"
 )
 
 // Exchange is the personalized all-to-all underlying the paper's
@@ -11,44 +10,23 @@ import (
 // element indices, e.g. vertex ids), and receives the concatenation of
 // everything routed to it. Level-synchronous algorithms (BFS frontier
 // exchange) use it to push work to data owners with one coalesced message
-// per thread pair.
+// per thread pair. It is the engine's route op: grouping and matrix
+// publish as usual, but the serve phase delivers the grouped items
+// themselves instead of accessing a local block.
 //
 // All threads must call it (it contains barriers). The returned slice is
 // valid until the thread's next collective call on this Comm.
 func (c *Comm) Exchange(th *pgas.Thread, d *pgas.SharedArray, items []int64, opts *Options, cache *IDCache) []int64 {
+	checkRequests("Exchange", d, items)
+	opts = orDefaults(opts)
 	var out []int64
-	c.traced("Exchange", th, len(items), func() { out = c.exchangeImpl(th, d, items, opts, cache) })
+	c.traced("Exchange", th, len(items), func() {
+		c.splan.planInto(th, d, items, opts, cache, false)
+		c.exec(th, c.splan, opExchange, d, nil, nil, nil, nil)
+		st := &c.ts[th.ID]
+		out = st.inVal[:st.routeTotal]
+	})
 	return out
-}
-
-func (c *Comm) exchangeImpl(th *pgas.Thread, d *pgas.SharedArray, items []int64, opts *Options, cache *IDCache) []int64 {
-	st := &c.ts[th.ID]
-	c.ownerKeys(th, d, items, opts, cache, st)
-	c.groupByOwner(th, items, nil, opts, st)
-	c.publishMatrices(th, st)
-	th.Barrier()
-
-	// Pull phase: fetch every peer's segment destined for this thread.
-	total := int64(0)
-	for peer := 0; peer < c.s; peer++ {
-		total += c.smat[th.ID*c.s+peer]
-	}
-	st.inVal = st.grow(st.inVal, int(total))
-	pos := int64(0)
-	for r := 0; r < c.s; r++ {
-		peer := peerAt(th.ID, r, c.s, opts.Circular)
-		k := c.smat[th.ID*c.s+peer]
-		if k == 0 {
-			continue
-		}
-		off := c.pmat[th.ID*c.s+peer]
-		c.transferCost(th, peer, k, true, opts)
-		copy(st.inVal[pos:pos+k], c.ts[peer].req[off:off+k])
-		th.ChargeSeq(sim.CatCopy, k)
-		pos += k
-	}
-	th.Barrier()
-	return st.inVal[:total]
 }
 
 // ExchangePairs is Exchange carrying a value alongside every routed item:
@@ -64,40 +42,13 @@ func (c *Comm) ExchangePairs(th *pgas.Thread, d *pgas.SharedArray, items, values
 	if len(values) != len(items) {
 		panic("collective: ExchangePairs value length mismatch")
 	}
+	checkRequests("ExchangePairs", d, items)
+	opts = orDefaults(opts)
 	c.traced("ExchangePairs", th, len(items), func() {
-		recvItems, recvValues = c.exchangePairsImpl(th, d, items, values, opts, cache)
+		c.splan.planInto(th, d, items, opts, cache, false)
+		c.exec(th, c.splan, opExchangePairs, d, nil, values, nil, nil)
+		st := &c.ts[th.ID]
+		recvItems, recvValues = st.local[:st.routeTotal], st.inVal[:st.routeTotal]
 	})
 	return recvItems, recvValues
-}
-
-func (c *Comm) exchangePairsImpl(th *pgas.Thread, d *pgas.SharedArray, items, values []int64, opts *Options, cache *IDCache) ([]int64, []int64) {
-	st := &c.ts[th.ID]
-	c.ownerKeys(th, d, items, opts, cache, st)
-	c.groupByOwner(th, items, values, opts, st) // fills st.req and st.val aligned
-	c.publishMatrices(th, st)
-	th.Barrier()
-
-	total := int64(0)
-	for peer := 0; peer < c.s; peer++ {
-		total += c.smat[th.ID*c.s+peer]
-	}
-	st.inVal = st.grow(st.inVal, int(total))
-	st.local = st.grow(st.local, int(total))
-	pos := int64(0)
-	for r := 0; r < c.s; r++ {
-		peer := peerAt(th.ID, r, c.s, opts.Circular)
-		k := c.smat[th.ID*c.s+peer]
-		if k == 0 {
-			continue
-		}
-		off := c.pmat[th.ID*c.s+peer]
-		// One coalesced message carries indices and values together.
-		c.transferCost(th, peer, 2*k, true, opts)
-		copy(st.local[pos:pos+k], c.ts[peer].req[off:off+k])
-		copy(st.inVal[pos:pos+k], c.ts[peer].val[off:off+k])
-		th.ChargeSeq(sim.CatCopy, 2*k)
-		pos += k
-	}
-	th.Barrier()
-	return st.local[:total], st.inVal[:total]
 }

@@ -24,11 +24,25 @@ const (
 	// peer's request segment by one element (rotated within the segment,
 	// so indices stay in bounds and the corruption is silent).
 	FaultSegmentOffByOne
+	// FaultCorruptPlanPermute swaps two entries of a plan's inverse
+	// permutation on reuse — the layout a kernel holds across iterations
+	// going stale without a rebuild. One-shot collectives rebuild their
+	// scratch plan every call and never reuse, so only a genuine
+	// plan-reuse path (and the verify battery's plan-reuse check) can
+	// observe it.
+	FaultCorruptPlanPermute
+	// FaultStalePlanMatrices shifts the published PMatrix offsets by one
+	// on a reused plan's serve phase (clamped at zero, so segment views
+	// stay in bounds of the requester's buffers) — the classic forgotten
+	// re-publish after a request vector changed. Like
+	// FaultCorruptPlanPermute it is reuse-gated.
+	FaultStalePlanMatrices
 )
 
 // AllFaults lists every injectable fault, for iterating a mutation run.
 func AllFaults() []Fault {
-	return []Fault{FaultDropPermute, FaultMaxInsteadOfMin, FaultSegmentOffByOne}
+	return []Fault{FaultDropPermute, FaultMaxInsteadOfMin, FaultSegmentOffByOne,
+		FaultCorruptPlanPermute, FaultStalePlanMatrices}
 }
 
 // String returns the fault's stable name.
@@ -42,6 +56,10 @@ func (f Fault) String() string {
 		return "max-instead-of-min"
 	case FaultSegmentOffByOne:
 		return "segment-off-by-one"
+	case FaultCorruptPlanPermute:
+		return "corrupt-plan-permute"
+	case FaultStalePlanMatrices:
+		return "stale-plan-matrices"
 	}
 	return "unknown"
 }

@@ -199,6 +199,172 @@ func TestIDCacheInvalidation(t *testing.T) {
 	}
 }
 
+// TestExchangeMatchesOwnerPartition: the personalized all-to-all must
+// deliver to each thread exactly the multiset of items owned by it under
+// the array's distribution — no item lost, duplicated, or misrouted —
+// for every option vector. (Exchange routes payloads, not array indices,
+// so Offload does not filter: item 0 travels like any other.)
+func TestExchangeMatchesOwnerPartition(t *testing.T) {
+	const n = 240
+	for _, geo := range lawGeometries {
+		rt := testRT(t, geo.nodes, geo.tpn)
+		s := rt.NumThreads()
+		for name, opts := range optionVariants() {
+			t.Run(fmt.Sprintf("%dx%d/%s", geo.nodes, geo.tpn, name), func(t *testing.T) {
+				rng := xrand.New(314).Split(uint64(s))
+				items := make([][]int64, s)
+				for i := 0; i < s; i++ {
+					k := int(rng.Int64n(300))
+					items[i] = make([]int64, k)
+					for j := range items[i] {
+						items[i][j] = rng.Int64n(n)
+					}
+				}
+				d := rt.NewSharedArray("D", n)
+				comm := NewComm(rt)
+				want := make([][]int64, s)
+				for i := 0; i < s; i++ {
+					for _, x := range items[i] {
+						o := d.Owner(x)
+						want[o] = append(want[o], x)
+					}
+				}
+				got := make([][]int64, s)
+				rt.Run(func(th *pgas.Thread) {
+					o := *opts
+					recv := comm.Exchange(th, d, items[th.ID], &o, nil)
+					got[th.ID] = append([]int64(nil), recv...)
+				})
+				for i := 0; i < s; i++ {
+					g, w := sortedCopy(got[i]), sortedCopy(want[i])
+					if len(g) != len(w) {
+						t.Fatalf("thread %d received %d items, owns %d", i, len(g), len(w))
+					}
+					for j := range g {
+						if g[j] != w[j] {
+							t.Fatalf("thread %d received multiset differs from its owner partition at rank %d: %d vs %d",
+								i, j, g[j], w[j])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestExchangePairsStayAligned: every delivered (item, value) pair must
+// be one that some thread sent — values ride with their items through the
+// grouping sort and the route — and the item multiset per owner must
+// match plain Exchange's. Values are a deterministic function of the item
+// so any cross-pairing is visible.
+func TestExchangePairsStayAligned(t *testing.T) {
+	const n = 200
+	pairVal := func(item int64) int64 { return item*31 + 7 }
+	for _, geo := range lawGeometries {
+		rt := testRT(t, geo.nodes, geo.tpn)
+		s := rt.NumThreads()
+		for name, opts := range optionVariants() {
+			t.Run(fmt.Sprintf("%dx%d/%s", geo.nodes, geo.tpn, name), func(t *testing.T) {
+				rng := xrand.New(159).Split(uint64(s))
+				items := make([][]int64, s)
+				vals := make([][]int64, s)
+				for i := 0; i < s; i++ {
+					k := int(rng.Int64n(250))
+					items[i] = make([]int64, k)
+					vals[i] = make([]int64, k)
+					for j := range items[i] {
+						items[i][j] = rng.Int64n(n)
+						vals[i][j] = pairVal(items[i][j])
+					}
+				}
+				d := rt.NewSharedArray("D", n)
+				comm := NewComm(rt)
+				want := make([][]int64, s)
+				for i := 0; i < s; i++ {
+					for _, x := range items[i] {
+						want[d.Owner(x)] = append(want[d.Owner(x)], x)
+					}
+				}
+				gotItems := make([][]int64, s)
+				rt.Run(func(th *pgas.Thread) {
+					o := *opts
+					ri, rv := comm.ExchangePairs(th, d, items[th.ID], vals[th.ID], &o, nil)
+					if len(ri) != len(rv) {
+						t.Errorf("thread %d: %d items but %d values delivered", th.ID, len(ri), len(rv))
+					}
+					for j := range ri {
+						if rv[j] != pairVal(ri[j]) {
+							t.Errorf("thread %d pair %d: item %d arrived with value %d, sent with %d",
+								th.ID, j, ri[j], rv[j], pairVal(ri[j]))
+						}
+					}
+					gotItems[th.ID] = append([]int64(nil), ri...)
+				})
+				for i := 0; i < s; i++ {
+					g, w := sortedCopy(gotItems[i]), sortedCopy(want[i])
+					if len(g) != len(w) {
+						t.Fatalf("thread %d received %d pairs, owns %d items", i, len(g), len(w))
+					}
+					for j := range g {
+						if g[j] != w[j] {
+							t.Fatalf("thread %d pair-item multiset differs from owner partition at rank %d", i, j)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSetDAddMatchesAddScatter: concurrent additive writes over
+// duplicate-heavy index lists must equal the sequential add-scatter
+// oracle — addition is commutative, so every writer contributes exactly
+// once regardless of serve order. SetDAdd never offload-filters (dropping
+// a contribution would change the sum), so index 0 participates normally
+// even under the offload variants.
+func TestSetDAddMatchesAddScatter(t *testing.T) {
+	const n = 120
+	for _, geo := range lawGeometries {
+		rt := testRT(t, geo.nodes, geo.tpn)
+		s := rt.NumThreads()
+		for name, opts := range optionVariants() {
+			t.Run(fmt.Sprintf("%dx%d/%s", geo.nodes, geo.tpn, name), func(t *testing.T) {
+				rng := xrand.New(271).Split(uint64(s))
+				alphabet := 1 + rng.Int64n(12) // duplicate-heavy pool
+				idxs := make([][]int64, s)
+				vals := make([][]int64, s)
+				want := make([]int64, n)
+				for i := 0; i < s; i++ {
+					k := int(rng.Int64n(220))
+					idxs[i] = make([]int64, k)
+					vals[i] = make([]int64, k)
+					for j := 0; j < k; j++ {
+						ix := rng.Int64n(n)
+						if rng.Intn(2) == 0 {
+							ix = rng.Int64n(alphabet)
+						}
+						v := rng.Int64n(1 << 20)
+						idxs[i][j] = ix
+						vals[i][j] = v
+						want[ix] += v
+					}
+				}
+				d := rt.NewSharedArray("D", n)
+				comm := NewComm(rt)
+				rt.Run(func(th *pgas.Thread) {
+					o := *opts
+					comm.SetDAdd(th, d, idxs[th.ID], vals[th.ID], &o, nil)
+				})
+				for i := int64(0); i < n; i++ {
+					if got := d.Raw()[i]; got != want[i] {
+						t.Fatalf("D[%d] = %d, add-scatter oracle says %d", i, got, want[i])
+					}
+				}
+			})
+		}
+	}
+}
+
 // TestRequestValidation: out-of-range request indices must fail fast with
 // a panic naming the collective, the bad index, and the array — not
 // corrupt memory or misroute silently.

@@ -2,8 +2,6 @@ package collective
 
 import (
 	"pgasgraph/internal/pgas"
-	"pgasgraph/internal/sched"
-	"pgasgraph/internal/sim"
 )
 
 // GetDPair gathers from two equally-distributed shared arrays at the same
@@ -12,7 +10,9 @@ import (
 // identical indices every round; fusing the calls halves the grouping
 // work and the SMatrix/PMatrix setup traffic — the all-to-all burst that
 // dominates at high thread counts (§VI). A beyond-paper optimization,
-// measured by BenchmarkAblationFusedPair.
+// measured by BenchmarkAblationFusedPair. It is the engine's fused pair
+// op: one grouping and one setup serve both gathers (offload does not
+// apply: two arrays cannot share one pinned value).
 //
 // d1 and d2 must have the same length (hence the same distribution).
 func (c *Comm) GetDPair(th *pgas.Thread, d1, d2 *pgas.SharedArray, indices, out1, out2 []int64, opts *Options, cache *IDCache) {
@@ -22,60 +22,10 @@ func (c *Comm) GetDPair(th *pgas.Thread, d1, d2 *pgas.SharedArray, indices, out1
 	if d1.Len() != d2.Len() {
 		panic("collective: GetDPair arrays must share a distribution")
 	}
+	checkRequests("GetDPair", d1, indices)
+	opts = orDefaults(opts)
 	c.traced("GetDPair", th, len(indices), func() {
-		c.getDPairImpl(th, d1, d2, indices, out1, out2, opts, cache)
+		c.splan.planInto(th, d1, indices, opts, cache, false)
+		c.exec(th, c.splan, opGetDPair, d1, d2, nil, out1, out2)
 	})
-}
-
-func (c *Comm) getDPairImpl(th *pgas.Thread, d1, d2 *pgas.SharedArray, indices, out1, out2 []int64, opts *Options, cache *IDCache) {
-	st := &c.ts[th.ID]
-
-	// One grouping and one setup serve both gathers (offload does not
-	// apply: two arrays cannot share one pinned value).
-	c.ownerKeys(th, d1, indices, opts, cache, st)
-	c.groupByOwner(th, indices, nil, opts, st)
-	c.publishMatrices(th, st)
-	// Second receive buffer, aligned with st.val.
-	st.inVal = st.grow(st.inVal, len(indices))
-	th.Barrier()
-
-	// Serve phase: pull each peer's indices once, gather from both local
-	// blocks, push both value streams back.
-	i := th.ID
-	lo, hi := d1.LocalRange(i)
-	local1 := d1.Raw()[lo:hi]
-	local2 := d2.Raw()[lo:hi]
-	st.scr.Reset(hi - lo)
-	st.scr2.Reset(hi - lo)
-	for r := 0; r < c.s; r++ {
-		peer := peerAt(i, r, c.s, opts.Circular)
-		k := c.smat[i*c.s+peer]
-		if k == 0 {
-			continue
-		}
-		off := c.pmat[i*c.s+peer]
-		reqSeg := c.ts[peer].req[off : off+k]
-		c.transferCost(th, peer, k, true, opts)
-		st.local = st.grow(st.local, int(k))
-		c.parTranslate(reqSeg, st.local[:k], lo)
-		th.ChargeOps(sim.CatWork, k)
-
-		st.vals = st.grow(st.vals, int(k))
-		sched.GatherPar(th, local1, st.local[:k], st.vals, opts.VirtualThreads, opts.LocalCpy, &st.scr, c.par)
-		c.transferCost(th, peer, k, false, opts)
-		copy(c.ts[peer].val[off:off+k], st.vals[:k])
-
-		sched.GatherPar(th, local2, st.local[:k], st.vals, opts.VirtualThreads, opts.LocalCpy, &st.scr2, c.par)
-		c.transferCost(th, peer, k, false, opts)
-		copy(c.ts[peer].inVal[off:off+k], st.vals[:k])
-	}
-	th.Barrier()
-
-	// Permute both receive buffers back to request order (st.pos is a
-	// permutation: chunks write disjoint out slots).
-	k := len(indices)
-	ns, misses := th.Runtime().Model().DensePermute(int64(k))
-	th.Clock.Charge(sim.CatIrregular, 2*ns)
-	th.Clock.CacheMisses += 2 * misses
-	c.parPermute2(st.pos[:k], st.val, out1, st.inVal, out2)
 }

@@ -164,6 +164,41 @@ func gatherPermuteChunk(wg *sync.WaitGroup, pos []int32, src, dst []int64) {
 	}
 }
 
+// parGatherPermuteVia is parGatherPermute through an extra index map:
+// dst[p] = src[via[pos[p]]] (the value alignment of an offload-filtered
+// plan, where pos indexes the filtered request list and via maps filtered
+// positions to original ones). Chunks write disjoint dst ranges.
+func (c *Comm) parGatherPermuteVia(pos []int32, via []int32, src, dst []int64) {
+	n := len(pos)
+	w := c.chunksFor(n)
+	if w <= 1 {
+		gatherPermuteViaChunk(nil, pos, via, src, dst)
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for i := 1; i < w; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go gatherPermuteViaChunk(&wg, pos[lo:hi], via, src, dst[lo:hi])
+	}
+	gatherPermuteViaChunk(nil, pos[:chunk], via, src, dst[:chunk])
+	wg.Wait()
+}
+
+func gatherPermuteViaChunk(wg *sync.WaitGroup, pos []int32, via []int32, src, dst []int64) {
+	if wg != nil {
+		defer wg.Done()
+	}
+	for p, j := range pos {
+		dst[p] = src[via[j]]
+	}
+}
+
 // parTranslate writes dst[j] = src[j] - base: the serve phase's
 // global-to-block-local index translation of one peer segment.
 func (c *Comm) parTranslate(src, dst []int64, base int64) {

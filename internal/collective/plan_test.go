@@ -1,0 +1,364 @@
+package collective
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"pgasgraph/internal/pgas"
+	"pgasgraph/internal/xrand"
+)
+
+// These tests pin the exchange engine's Plan contract:
+//
+//   - building a plan and executing it once is indistinguishable — in
+//     results AND simulated-time charges — from the one-shot collective
+//     (charge invariance, the analogue of TestParallelismInvariance);
+//   - re-executing an unchanged plan returns bit-identical results while
+//     charging strictly less simulated time (the skipped grouping sort
+//     and matrix publish), and performs zero scratch growths once warm;
+//   - a plan built with offload filtering only serves the ops whose
+//     semantics survive the filter.
+
+// planVariants is the subset of option vectors worth re-running the plan
+// laws under: the extremes, the slow-sort path, and the filtered build.
+func planVariants() map[string]*Options {
+	return map[string]*Options{
+		"base":      Base(),
+		"optimized": Optimized(4),
+		"quicksort": {Sort: QuickSort, Circular: true},
+		"offload":   {Offload: true, OffloadIndex: 0, OffloadValue: 0},
+	}
+}
+
+// planReqs builds deterministic per-thread request lists spreading over
+// every owner.
+func planReqs(s int, k int, n int64) [][]int64 {
+	reqs := make([][]int64, s)
+	for i := 0; i < s; i++ {
+		r := xrand.New(uint64(7 + i))
+		reqs[i] = make([]int64, k)
+		for j := range reqs[i] {
+			reqs[i][j] = r.Int64n(n)
+		}
+	}
+	return reqs
+}
+
+// TestPlanChargeInvariance: PlanRequests + one execution must equal the
+// one-shot collective in outputs, array effects, and the simulated-time
+// total — the rebuild path is the same code charged the same way, so a
+// kernel can switch to plans without perturbing any figure.
+func TestPlanChargeInvariance(t *testing.T) {
+	const n = 1 << 12
+	for _, geo := range lawGeometries {
+		for name, opts := range planVariants() {
+			t.Run(fmt.Sprintf("%dx%d/%s", geo.nodes, geo.tpn, name), func(t *testing.T) {
+				data := make([]int64, n)
+				r := xrand.New(11)
+				for i := range data {
+					data[i] = r.Int64n(1 << 30)
+				}
+				data[0] = 0 // offload pins slot 0
+
+				run := func(usePlan bool) (simNS float64, getOuts, p1, p2 [][]int64, minRaw []int64, exTotals []int) {
+					rt := testRT(t, geo.nodes, geo.tpn)
+					s := rt.NumThreads()
+					d := rt.NewSharedArray("D", n)
+					copy(d.Raw(), data)
+					d2 := rt.NewSharedArray("D2", n)
+					for i := range data {
+						d2.Raw()[i] = data[i]*3 + 1
+					}
+					d2.Raw()[0] = 0
+					comm := NewComm(rt)
+					reqs := planReqs(s, 3000, n)
+					vals := make([][]int64, s)
+					for i := range vals {
+						r := xrand.New(uint64(900 + i))
+						vals[i] = make([]int64, len(reqs[i]))
+						for j := range vals[i] {
+							vals[i][j] = r.Int64n(1 << 29)
+						}
+					}
+					getOuts = make([][]int64, s)
+					p1 = make([][]int64, s)
+					p2 = make([][]int64, s)
+					exTotals = make([]int, s)
+					// Plans are collective objects: one instance shared by
+					// all threads, each publishing its own column. Pair and
+					// route ops reject filtered plans, so theirs build
+					// without offload — exactly what the one-shot wrappers
+					// do internally.
+					gp, pp, ep, mp := comm.NewPlan(), comm.NewPlan(), comm.NewPlan(), comm.NewPlan()
+					res := rt.Run(func(th *pgas.Thread) {
+						o := *opts
+						no := o
+						no.Offload = false
+						i := th.ID
+						out := make([]int64, len(reqs[i]))
+						o1 := make([]int64, len(reqs[i]))
+						o2 := make([]int64, len(reqs[i]))
+						if usePlan {
+							gp.PlanRequests(th, d, reqs[i], &o, nil)
+							gp.GetD(th, d, out)
+							pp.PlanRequests(th, d, reqs[i], &no, nil)
+							pp.GetDPair(th, d, d2, o1, o2)
+							ep.PlanRequests(th, d, reqs[i], &no, nil)
+							ex := ep.Exchange(th, d)
+							exTotals[i] = len(ex)
+							mp.PlanRequests(th, d, reqs[i], &o, nil)
+							mp.SetDMin(th, d, vals[i])
+						} else {
+							comm.GetD(th, d, reqs[i], out, &o, nil)
+							comm.GetDPair(th, d, d2, reqs[i], o1, o2, &o, nil)
+							ex := comm.Exchange(th, d, reqs[i], &o, nil)
+							exTotals[i] = len(ex)
+							comm.SetDMin(th, d, reqs[i], vals[i], &o, nil)
+						}
+						getOuts[i] = out
+						p1[i] = o1
+						p2[i] = o2
+					})
+					return res.SimNS, getOuts, p1, p2, append([]int64(nil), d.Raw()...), exTotals
+				}
+
+				simA, getA, pa1, pa2, rawA, exA := run(false)
+				simB, getB, pb1, pb2, rawB, exB := run(true)
+				if simA != simB {
+					t.Errorf("one-shot sim %v != plan rebuild sim %v", simA, simB)
+				}
+				for i := range getA {
+					for j := range getA[i] {
+						if getA[i][j] != getB[i][j] || pa1[i][j] != pb1[i][j] || pa2[i][j] != pb2[i][j] {
+							t.Fatalf("thread %d output %d differs between one-shot and plan", i, j)
+						}
+					}
+					if exA[i] != exB[i] {
+						t.Fatalf("thread %d exchange received %d items one-shot, %d via plan", i, exA[i], exB[i])
+					}
+				}
+				for i := range rawA {
+					if rawA[i] != rawB[i] {
+						t.Fatalf("D[%d] differs after SetDMin: %d one-shot, %d via plan", i, rawA[i], rawB[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPlanReuse: repeated executions of an unchanged plan must be
+// bit-identical to one-shot collectives issued round by round (the array
+// mutates between rounds; only the request vector is stable), and every
+// reused round must charge strictly less simulated time than its rebuild
+// counterpart.
+func TestPlanReuse(t *testing.T) {
+	const n = 1 << 12
+	const rounds = 4
+	for name, opts := range planVariants() {
+		t.Run(name, func(t *testing.T) {
+			rtA := testRT(t, 3, 2)
+			rtB := testRT(t, 3, 2)
+			s := rtA.NumThreads()
+			mkData := func(rt *pgas.Runtime) *pgas.SharedArray {
+				d := rt.NewSharedArray("D", n)
+				r := xrand.New(21)
+				for i := int64(1); i < n; i++ {
+					d.Raw()[i] = r.Int64n(1 << 30)
+				}
+				return d
+			}
+			dA, dB := mkData(rtA), mkData(rtB)
+			commA, commB := NewComm(rtA), NewComm(rtB)
+			reqs := planReqs(s, 2500, n)
+			outA := make([][]int64, s)
+			outB := make([][]int64, s)
+			for i := 0; i < s; i++ {
+				outA[i] = make([]int64, len(reqs[i]))
+				outB[i] = make([]int64, len(reqs[i]))
+			}
+			plan := commB.NewPlan()
+			for round := 0; round < rounds; round++ {
+				simA := rtA.Run(func(th *pgas.Thread) {
+					o := *opts
+					commA.GetD(th, dA, reqs[th.ID], outA[th.ID], &o, nil)
+				}).SimNS
+				simB := rtB.Run(func(th *pgas.Thread) {
+					if round == 0 {
+						o := *opts
+						plan.PlanRequests(th, dB, reqs[th.ID], &o, nil)
+					}
+					plan.GetD(th, dB, outB[th.ID])
+				}).SimNS
+				for i := range outA {
+					for j := range outA[i] {
+						if outA[i][j] != outB[i][j] {
+							t.Fatalf("round %d: thread %d output %d differs (one-shot %d, reused plan %d)",
+								round, i, j, outA[i][j], outB[i][j])
+						}
+					}
+				}
+				if round == 0 {
+					if simA != simB {
+						t.Fatalf("build round: one-shot sim %v != plan sim %v", simA, simB)
+					}
+				} else if simB >= simA {
+					t.Fatalf("round %d: reused plan sim %v not strictly below rebuild sim %v", round, simB, simA)
+				}
+				// Mutate both arrays identically; the plan must track the
+				// array, not its build-time snapshot (slot 0 stays pinned
+				// for the offload variant).
+				for i := int64(1); i < n; i++ {
+					dA.Raw()[i] += 3*i + 1
+					dB.Raw()[i] += 3*i + 1
+				}
+			}
+		})
+	}
+}
+
+// TestPlanValueReuse: the scatter and route ops re-align fresh values on
+// every execution of an unchanged plan.
+func TestPlanValueReuse(t *testing.T) {
+	const n = 512
+	rt := testRT(t, 2, 2)
+	s := rt.NumThreads()
+	d := rt.NewSharedArray("D", n)
+	comm := NewComm(rt)
+	reqs := planReqs(s, 300, n)
+	plan := comm.NewPlan()
+	opts := Optimized(2)
+	opts.Offload = false // route and add ops reject filtered plans
+	for round := 0; round < 3; round++ {
+		want := make([]int64, n)
+		vals := make([][]int64, s)
+		for i := 0; i < s; i++ {
+			vals[i] = make([]int64, len(reqs[i]))
+			for j, ix := range reqs[i] {
+				vals[i][j] = int64(round*1000 + i*100 + j)
+				want[ix] += vals[i][j]
+			}
+		}
+		d.Fill(0)
+		pairTotals := make([]int64, s)
+		rt.Run(func(th *pgas.Thread) {
+			if round == 0 {
+				o := *opts
+				plan.PlanRequests(th, d, reqs[th.ID], &o, nil)
+			}
+			plan.SetDAdd(th, d, vals[th.ID])
+			_, vs := plan.ExchangePairs(th, d, vals[th.ID])
+			var sum int64
+			for _, v := range vs {
+				sum += v
+			}
+			pairTotals[th.ID] = sum
+		})
+		for i := int64(0); i < n; i++ {
+			if got := d.Raw()[i]; got != want[i] {
+				t.Fatalf("round %d: D[%d] = %d after SetDAdd, add-scatter oracle says %d", round, i, got, want[i])
+			}
+		}
+		var gotSum, wantSum int64
+		for i := 0; i < s; i++ {
+			gotSum += pairTotals[i]
+			for _, v := range vals[i] {
+				wantSum += v
+			}
+		}
+		if gotSum != wantSum {
+			t.Fatalf("round %d: ExchangePairs delivered value sum %d, sent %d", round, gotSum, wantSum)
+		}
+	}
+}
+
+// TestPlanSteadyStateNoGrowth: once a plan and its comm are warm,
+// repeated executions perform zero scratch growths — the reuse path stays
+// on the allocation-free steady state the benchmarks pin.
+func TestPlanSteadyStateNoGrowth(t *testing.T) {
+	const n = 1 << 12
+	rt := testRT(t, 2, 2)
+	s := rt.NumThreads()
+	d := rt.NewSharedArray("D", n)
+	d.FillIdentity()
+	comm := NewComm(rt)
+	reqs := planReqs(s, 2000, n)
+	outs := make([][]int64, s)
+	for i := range outs {
+		outs[i] = make([]int64, len(reqs[i]))
+	}
+	plan := comm.NewPlan()
+	rt.Run(func(th *pgas.Thread) {
+		plan.PlanRequests(th, d, reqs[th.ID], Optimized(4), nil)
+		plan.GetD(th, d, outs[th.ID])
+	})
+	var warm int64
+	for i := range comm.ts {
+		warm += comm.ts[i].growths
+	}
+	for round := 0; round < 5; round++ {
+		rt.Run(func(th *pgas.Thread) {
+			plan.GetD(th, d, outs[th.ID])
+		})
+	}
+	var after int64
+	for i := range comm.ts {
+		after += comm.ts[i].growths
+	}
+	if after != warm {
+		t.Fatalf("steady-state plan executions grew scratch: %d new growths", after-warm)
+	}
+}
+
+// TestPlanGuards: the engine fails fast on misuse — executing an unbuilt
+// plan, executing against a differently-sized array, and running a
+// filter-incompatible op on an offload-filtered plan.
+func TestPlanGuards(t *testing.T) {
+	cases := []struct {
+		name string
+		want string
+		run  func(comm *Comm, th *pgas.Thread, d, other *pgas.SharedArray)
+	}{
+		{"unbuilt", "unbuilt plan", func(comm *Comm, th *pgas.Thread, d, other *pgas.SharedArray) {
+			comm.NewPlan().GetD(th, d, nil)
+		}},
+		{"wrong-array", "planned for length", func(comm *Comm, th *pgas.Thread, d, other *pgas.SharedArray) {
+			p := comm.NewPlan()
+			p.PlanRequests(th, d, []int64{1}, Base(), nil)
+			p.GetD(th, other, make([]int64, 1))
+		}},
+		{"filtered-setd", "offload filtering", func(comm *Comm, th *pgas.Thread, d, other *pgas.SharedArray) {
+			p := comm.NewPlan()
+			p.PlanRequests(th, d, []int64{0, 1}, &Options{Offload: true}, nil)
+			p.SetD(th, d, []int64{5, 6})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rt := testRT(t, 1, 1)
+			d := rt.NewSharedArray("D", 10)
+			other := rt.NewSharedArray("Other", 20)
+			comm := NewComm(rt)
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("misuse did not panic")
+				}
+				if !strings.Contains(fmt.Sprint(r), tc.want) {
+					t.Fatalf("panic %q does not mention %q", fmt.Sprint(r), tc.want)
+				}
+			}()
+			rt.Run(func(th *pgas.Thread) { tc.run(comm, th, d, other) })
+		})
+	}
+}
+
+// sortedCopy returns a sorted copy of s (multiset comparison helper for
+// the exchange laws).
+func sortedCopy(s []int64) []int64 {
+	c := append([]int64(nil), s...)
+	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	return c
+}

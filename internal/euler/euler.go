@@ -7,7 +7,8 @@
 //
 // The package composes three of this repository's systems: the spanning
 // forest (internal/cc), the multi-accumulator Wyllie ranking
-// (internal/listrank), and the collectives underneath both.
+// (internal/listrank — whose per-round collective.Plan serves three
+// gathers from one grouping), and the exchange engine underneath both.
 package euler
 
 import (

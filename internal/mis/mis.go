@@ -7,8 +7,11 @@
 //
 // Priorities derive from (round, vertex) hashing, so no communication is
 // needed to learn a neighbor's priority — only its liveness, which arrives
-// through one coalesced GetD per round. The result is checked directly
-// against the MIS definition (independence + maximality) in the tests.
+// through one coalesced GetD per round. The active set shrinks each
+// round, so the liveness gather's request vector changes and the kernel
+// stays on the one-shot GetD (no collective.Plan reuse applies). The
+// result is checked directly against the MIS definition (independence +
+// maximality) in the tests.
 package mis
 
 import (

@@ -63,6 +63,26 @@ func TestCompareBench(t *testing.T) {
 		t.Fatalf("want 3 regressions, got %v", bad)
 	}
 
+	// Async records use the loose SimAsync factor: a 1.5x sim drift
+	// passes where a deterministic record would fail, but a 3x one is
+	// still a regression.
+	asyncBase := sampleReport()
+	asyncBase.Records[1].Async = true
+	asyncTol := Tolerances{Wall: 3, Sim: 1.05, SimAsync: 2, AllocSlack: 2}
+	drift := sampleReport()
+	drift.Records[1].SimMS = 150
+	if bad := CompareBench(asyncBase, drift, asyncTol); len(bad) != 0 {
+		t.Fatalf("async drift within SimAsync flagged: %v", bad)
+	}
+	drift.Records[1].SimMS = 300
+	if bad := CompareBench(asyncBase, drift, asyncTol); len(bad) != 1 {
+		t.Fatalf("async regression beyond SimAsync not caught: %v", bad)
+	}
+	// SimAsync of zero falls back to the tight factor.
+	if bad := CompareBench(asyncBase, drift, tol); len(bad) != 1 {
+		t.Fatalf("zero SimAsync did not fall back to Sim: %v", bad)
+	}
+
 	// A baseline record missing from the current run fails.
 	missing := sampleReport()
 	missing.Records = missing.Records[:1]

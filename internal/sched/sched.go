@@ -54,15 +54,29 @@ func (a *Arena) level(d int) *refLevel {
 	return &a.levels[d]
 }
 
-func growArena64(buf []int64, k int) []int64 {
+// Grow64 returns buf resized to k elements, reusing the backing array
+// when it is large enough. When a reallocation is needed and growths is
+// non-nil, the counter is incremented — the single growth-accounting
+// point shared by every arena in the system (this package's Arena, the
+// collective layer's per-thread scratch, and plan-owned buffers), so
+// allocation counting cannot diverge between private copies of the
+// helper.
+func Grow64(buf []int64, k int, growths *int64) []int64 {
 	if cap(buf) < k {
+		if growths != nil {
+			*growths++
+		}
 		return make([]int64, k)
 	}
 	return buf[:k]
 }
 
-func growArena32(buf []int32, k int) []int32 {
+// Grow32 is Grow64 for int32 buffers.
+func Grow32(buf []int32, k int, growths *int64) []int32 {
 	if cap(buf) < k {
+		if growths != nil {
+			*growths++
+		}
 		return make([]int32, k)
 	}
 	return buf[:k]
@@ -117,7 +131,7 @@ func referenceArena(d, r []int64, w, depth int, c []int64, arena *Arena) {
 	lv := arena.level(depth)
 
 	// group: count-sort requests by target block, remembering positions.
-	lv.keys = growArena32(lv.keys, int(m))
+	lv.keys = Grow32(lv.keys, int(m), nil)
 	keys := lv.keys[:m]
 	for i, idx := range r {
 		if idx < 0 || idx >= n {
@@ -125,17 +139,17 @@ func referenceArena(d, r []int64, w, depth int, c []int64, arena *Arena) {
 		}
 		keys[i] = int32(idx / blk)
 	}
-	lv.sorted = growArena64(lv.sorted, int(m))
-	lv.pos = growArena32(lv.pos, int(m))
-	lv.offs = growArena64(lv.offs, w+1)
-	lv.cursor = growArena64(lv.cursor, w)
+	lv.sorted = Grow64(lv.sorted, int(m), nil)
+	lv.pos = Grow32(lv.pos, int(m), nil)
+	lv.offs = Grow64(lv.offs, w+1, nil)
+	lv.cursor = Grow64(lv.cursor, w, nil)
 	sorted, pos, offs := lv.sorted[:m], lv.pos[:m], lv.offs[:w+1]
 	psort.BucketByKeyInto(r, keys, w, sorted, pos, offs, lv.cursor)
 
 	// access: serve each block with a recursive call on block-local
 	// indices. Deeper levels draw from their own arena slots, so this
 	// level's buffers stay live across the loop.
-	lv.vals = growArena64(lv.vals, int(m))
+	lv.vals = Grow64(lv.vals, int(m), nil)
 	vals := lv.vals[:m]
 	for b := 0; b < w; b++ {
 		lo, hi := offs[b], offs[b+1]
@@ -147,7 +161,7 @@ func referenceArena(d, r []int64, w, depth int, c []int64, arena *Arena) {
 		if dHi > n {
 			dHi = n
 		}
-		lv.localReq = growArena64(lv.localReq, int(hi-lo))
+		lv.localReq = Grow64(lv.localReq, int(hi-lo), nil)
 		localReq := lv.localReq[:hi-lo]
 		for i, idx := range sorted[lo:hi] {
 			localReq[i] = idx - dLo
@@ -176,6 +190,10 @@ const (
 	// flips SetDMin's combining rule to prove the verification harness
 	// notices.
 	OpMax
+	// OpAdd accumulates the value (additive concurrent write; the
+	// collective layer's SetDAdd semantics — all competing writers
+	// contribute, order-independent over integers).
+	OpAdd
 )
 
 // Scratch is reusable first-touch tracking state for Gather/Scatter. The
@@ -393,6 +411,13 @@ func Scatter(th *pgas.Thread, local []int64, idx []int64, vals []int64, op Op, v
 			if vals[j] > local[ix] {
 				local[ix] = vals[j]
 			}
+		}
+	case OpAdd:
+		for j, ix := range idx {
+			if scr.touch(ix) {
+				distinct++
+			}
+			local[ix] += vals[j]
 		}
 	default:
 		panic(fmt.Sprintf("sched: unknown op %d", op))

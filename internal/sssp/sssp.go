@@ -6,7 +6,9 @@
 // coalesced message per thread pair per relaxation round); owners apply
 // minima locally and manage the bucket structure for their vertices.
 //
-// Results are verified against sequential Dijkstra in the tests.
+// Results are verified against sequential Dijkstra in the tests. Like
+// BFS, the relaxation sets differ every round, so the kernel issues
+// one-shot collectives rather than reusing a collective.Plan.
 package sssp
 
 import (

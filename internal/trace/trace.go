@@ -19,11 +19,13 @@ import (
 // Collector aggregates collective-call profiles. Safe for concurrent use
 // by all runtime threads. Attach with collective.(*Comm).SetTracer.
 type Collector struct {
-	mu        sync.Mutex
-	threads   int
-	calls     map[string]*callStats
-	pairElems map[[2]int]int64 // (server, requester) -> elements served
-	serveLoad []int64          // per server thread
+	mu         sync.Mutex
+	threads    int
+	calls      map[string]*callStats
+	pairElems  map[[2]int]int64 // (server, requester) -> elements served
+	serveLoad  []int64          // per server thread
+	planBuilds int64            // phase-1 runs (grouping sort + matrix publish)
+	planReuses int64            // plan executions that skipped phase 1
 }
 
 type callStats struct {
@@ -75,6 +77,39 @@ func (c *Collector) Transfer(server, requester int, elems int64) {
 	}
 }
 
+// PlanBuild records one thread running collective phase 1: the grouping
+// sort and the SMatrix/PMatrix publish. Every one-shot collective call
+// counts one build per participant; kernels holding a Plan count one per
+// rebuild.
+func (c *Collector) PlanBuild(thread int, elements int64) {
+	c.mu.Lock()
+	c.planBuilds++
+	c.mu.Unlock()
+}
+
+// PlanReuse records one plan execution that skipped phase 1 — the setup
+// cost the collective.Plan reuse contract amortizes. A high reuse:build
+// ratio is what the pointer-jumping kernels are after.
+func (c *Collector) PlanReuse(thread int, elements int64) {
+	c.mu.Lock()
+	c.planReuses++
+	c.mu.Unlock()
+}
+
+// PlanBuilds returns the recorded phase-1 runs (per thread).
+func (c *Collector) PlanBuilds() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.planBuilds / int64(c.threads)
+}
+
+// PlanReuses returns the recorded phase-1 skips (per thread).
+func (c *Collector) PlanReuses() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.planReuses / int64(c.threads)
+}
+
 // Reset clears all aggregates.
 func (c *Collector) Reset() {
 	c.mu.Lock()
@@ -84,6 +119,8 @@ func (c *Collector) Reset() {
 	for i := range c.serveLoad {
 		c.serveLoad[i] = 0
 	}
+	c.planBuilds = 0
+	c.planReuses = 0
 }
 
 // CollectiveTable renders per-kind call counts and category breakdowns

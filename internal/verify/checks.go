@@ -52,6 +52,7 @@ func Checks() []Check {
 		{Name: "collective/getd-law", Mutation: true, Applicable: always, Run: checkGetDLaw},
 		{Name: "collective/setd-roundtrip", Mutation: true, Applicable: always, Run: checkSetDRoundtrip},
 		{Name: "collective/setdmin-law", Mutation: true, Applicable: always, Run: checkSetDMinLaw},
+		{Name: "collective/plan-reuse", Mutation: true, Applicable: always, Run: checkPlanReuse},
 		{Name: "cc/coalesced", Mutation: true, Applicable: always, Run: checkCCCoalesced},
 		{Name: "cc/sv", Mutation: true, Applicable: always, Run: checkCCSV},
 		{Name: "cc/naive", Applicable: small, Run: checkCCNaive},
@@ -257,6 +258,98 @@ func checkSetDMinLaw(t *Trial, rt *pgas.Runtime, comm *collective.Comm) error {
 	for i := range want {
 		if got := d.Raw()[i]; got != want[i] {
 			return fmt.Errorf("SetDMin: D[%d] = %d, min-scatter oracle says %d", i, got, want[i])
+		}
+	}
+	return nil
+}
+
+// checkPlanReuse: a Plan built once and executed repeatedly must keep
+// matching the direct oracles — GetD against a mutated backing array
+// (values must track the array, not the build-time snapshot), then
+// SetDMin through the same plan against the sequential min-scatter
+// oracle. This is the sole check exercising the reuse path (one-shot
+// collectives rebuild every call), so it is what catches the reuse-gated
+// plan faults.
+func checkPlanReuse(t *Trial, rt *pgas.Runtime, comm *collective.Comm) error {
+	n := lawSize(t, rt)
+	s := rt.NumThreads()
+	// Thread i requests k distinct indices striding the whole array, so
+	// every thread sends a segment to every owner and the published
+	// offsets are nonzero — the layout the stale-matrix seam perturbs.
+	k := int(min64(n, 96))
+	stride := n / int64(k)
+	reqs := make([][]int64, s)
+	for i := 0; i < s; i++ {
+		reqs[i] = make([]int64, k)
+		for j := 0; j < k; j++ {
+			reqs[i][j] = (int64(i) + int64(j)*stride) % n
+		}
+	}
+	d := rt.NewSharedArray("PlanLaw", n)
+	copy(d.Raw(), lawData(n))
+	plan := comm.NewPlan()
+	caches := make([]collective.IDCache, s)
+	outs := make([][]int64, s)
+	for i := range outs {
+		outs[i] = make([]int64, k)
+	}
+	compare := func(pass string) error {
+		for i, req := range reqs {
+			for j, ix := range req {
+				if outs[i][j] != d.Raw()[ix] {
+					return fmt.Errorf("plan GetD (%s): thread %d request %d (index %d) got %d, want %d",
+						pass, i, j, ix, outs[i][j], d.Raw()[ix])
+				}
+			}
+		}
+		return nil
+	}
+
+	rt.Run(func(th *pgas.Thread) {
+		plan.PlanRequests(th, d, reqs[th.ID], &t.Opts, &caches[th.ID])
+		plan.GetD(th, d, outs[th.ID])
+	})
+	if err := compare("build"); err != nil {
+		return err
+	}
+
+	// Mutate the array (index 0 stays pinned at the offload value) and
+	// re-execute the unchanged plan.
+	raw := d.Raw()
+	for i := int64(1); i < n; i++ {
+		raw[i] += 7919*i + 13
+	}
+	rt.Run(func(th *pgas.Thread) {
+		plan.GetD(th, d, outs[th.ID])
+	})
+	if err := compare("reuse"); err != nil {
+		return err
+	}
+
+	// Priority write through the same plan: some values undercut the
+	// current contents, some do not.
+	want := make([]int64, n)
+	copy(want, raw)
+	vals := make([][]int64, s)
+	for i := 0; i < s; i++ {
+		vals[i] = make([]int64, k)
+		for j, ix := range reqs[i] {
+			v := raw[ix] - int64((i+j)%3)
+			vals[i][j] = v
+			if t.Opts.Offload && ix == t.Opts.OffloadIndex {
+				continue // dropped client-side on a filtered plan
+			}
+			if v < want[ix] {
+				want[ix] = v
+			}
+		}
+	}
+	rt.Run(func(th *pgas.Thread) {
+		plan.SetDMin(th, d, vals[th.ID])
+	})
+	for i := range want {
+		if raw[i] != want[i] {
+			return fmt.Errorf("plan SetDMin: D[%d] = %d, min-scatter oracle says %d", i, raw[i], want[i])
 		}
 	}
 	return nil
