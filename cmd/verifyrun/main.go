@@ -10,6 +10,7 @@
 //	verifyrun -rounds 32 -maxn 500                 # clean-matrix sweep
 //	verifyrun -mutate                              # self-test only
 //	verifyrun -seed 0xdead -rounds 8 -check cc/sv  # replay one check
+//	verifyrun -chaos -trials 200                   # fault-injection soak
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"pgasgraph/internal/verify"
 )
@@ -29,6 +31,9 @@ func main() {
 	check := flag.String("check", "", "comma-separated check names to run (default: all)")
 	mutate := flag.Bool("mutate", false, "run the mutation self-test instead of the clean matrix")
 	mutRounds := flag.Int("mutrounds", 6, "trials per fault in the mutation self-test")
+	chaos := flag.Bool("chaos", false, "run the chaos soak: the matrix under deterministic fault injection")
+	trials := flag.Int("trials", 200, "chaos trials to run (with -chaos)")
+	watchdog := flag.Duration("watchdog", 60*time.Second, "per-trial hang timeout (with -chaos)")
 	quiet := flag.Bool("quiet", false, "suppress per-round progress lines")
 	list := flag.Bool("list", false, "list check names and exit")
 	flag.Parse()
@@ -40,6 +45,33 @@ func main() {
 				tag = "  [mutation]"
 			}
 			fmt.Printf("%s%s\n", c.Name, tag)
+		}
+		return
+	}
+
+	if *chaos {
+		ccfg := verify.ChaosRunConfig{
+			Seed:    *seed,
+			Trials:  *trials,
+			MaxN:    *maxN,
+			Timeout: *watchdog,
+		}
+		if !*quiet {
+			ccfg.Log = os.Stdout
+		}
+		rep := verify.ChaosRun(ccfg)
+		fmt.Printf("verifyrun: chaos trials=%d recovered=%d classified=%d wrong=%d hangs=%d faults=%d retries=%d digest=%#x\n",
+			len(rep.Trials), rep.Recovered, rep.Classified, rep.Wrong, rep.Hangs,
+			rep.Stats.Faults(), rep.Stats.Retries, rep.Digest())
+		if !rep.OK() {
+			for i := range rep.Trials {
+				tr := &rep.Trials[i]
+				if tr.Outcome == verify.ChaosWrongAnswer || tr.Outcome == verify.ChaosHang {
+					fmt.Fprintf(os.Stderr, "FAIL chaos trial %d (%s): %s: %v\n  trial: %s\n",
+						tr.Round, tr.Check, tr.Outcome, tr.Err, tr.Trial)
+				}
+			}
+			os.Exit(1)
 		}
 		return
 	}

@@ -271,6 +271,8 @@ func accumulate(total, part *pgas.Result) {
 	total.Bytes += part.Bytes
 	total.RemoteOps += part.RemoteOps
 	total.CacheMisses += part.CacheMisses
+	total.Faults += part.Faults
+	total.Retries += part.Retries
 }
 
 // sparseTable answers static range extremum queries in O(1) after

@@ -1,0 +1,16 @@
+package bcc
+
+import (
+	"pgasgraph/internal/collective"
+	"pgasgraph/internal/graph"
+	"pgasgraph/internal/pgas"
+)
+
+// TarjanVishkinE is TarjanVishkin returning classified runtime failures
+// (see pgas.Error) as error values instead of panics — the whole pipeline
+// (spanning forest, Euler tour, extrema, auxiliary CC) unwinds on the
+// first classified failure. Kernel bugs still panic.
+func TarjanVishkinE(rt *pgas.Runtime, comm *collective.Comm, g *graph.Graph, opts *collective.Options) (res *Result, err error) {
+	defer pgas.Recover(&err)
+	return TarjanVishkin(rt, comm, g, opts), nil
+}

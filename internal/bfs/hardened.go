@@ -1,0 +1,22 @@
+package bfs
+
+import (
+	"pgasgraph/internal/collective"
+	"pgasgraph/internal/graph"
+	"pgasgraph/internal/pgas"
+)
+
+// Error-returning variants: classified runtime failures (see pgas.Error)
+// come back as error values instead of panics. Kernel bugs still panic.
+
+// CoalescedE is Coalesced returning classified runtime failures as errors.
+func CoalescedE(rt *pgas.Runtime, comm *collective.Comm, g *graph.Graph, src int64, colOpts *collective.Options) (res *Result, err error) {
+	defer pgas.Recover(&err)
+	return Coalesced(rt, comm, g, src, colOpts), nil
+}
+
+// NaiveE is Naive returning classified runtime failures as errors.
+func NaiveE(rt *pgas.Runtime, g *graph.Graph, src int64) (res *Result, err error) {
+	defer pgas.Recover(&err)
+	return Naive(rt, g, src), nil
+}

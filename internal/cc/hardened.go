@@ -1,0 +1,51 @@
+package cc
+
+import (
+	"pgasgraph/internal/collective"
+	"pgasgraph/internal/graph"
+	"pgasgraph/internal/pgas"
+)
+
+// Error-returning variants of the kernel entry points: classified runtime
+// failures (a transport fault that exhausted its retries, a detected
+// corruption, an API misuse — see pgas.Error) come back as error values
+// instead of panics, so a caller running under fault injection can retry,
+// reroute, or report without recovering panics itself. Kernel bugs still
+// panic. The panicking names remain the convenient API for fault-free use.
+
+// NaiveE is Naive returning classified runtime failures as errors.
+func NaiveE(rt *pgas.Runtime, g *graph.Graph) (res *Result, err error) {
+	defer pgas.Recover(&err)
+	return Naive(rt, g), nil
+}
+
+// CoalescedE is Coalesced returning classified runtime failures as errors.
+func CoalescedE(rt *pgas.Runtime, comm *collective.Comm, g *graph.Graph, opts *Options) (res *Result, err error) {
+	defer pgas.Recover(&err)
+	return Coalesced(rt, comm, g, opts), nil
+}
+
+// SVE is SV returning classified runtime failures as errors.
+func SVE(rt *pgas.Runtime, comm *collective.Comm, g *graph.Graph, opts *Options) (res *Result, err error) {
+	defer pgas.Recover(&err)
+	return SV(rt, comm, g, opts), nil
+}
+
+// MergeCGME is MergeCGM returning classified runtime failures as errors.
+func MergeCGME(rt *pgas.Runtime, g *graph.Graph) (res *Result, err error) {
+	defer pgas.Recover(&err)
+	return MergeCGM(rt, g), nil
+}
+
+// SpanningTreeE is SpanningTree returning classified runtime failures as
+// errors.
+func SpanningTreeE(rt *pgas.Runtime, comm *collective.Comm, g *graph.Graph, opts *Options) (res *SpanningForest, err error) {
+	defer pgas.Recover(&err)
+	return SpanningTree(rt, comm, g, opts), nil
+}
+
+// BipartiteE is Bipartite returning classified runtime failures as errors.
+func BipartiteE(rt *pgas.Runtime, comm *collective.Comm, g *graph.Graph, opts *Options) (res *BipartiteResult, err error) {
+	defer pgas.Recover(&err)
+	return Bipartite(rt, comm, g, opts), nil
+}

@@ -202,6 +202,7 @@ type threadState struct {
 	inVal      []int64 // pulled value scratch for serving Set* / routed values
 	packed     []int64 // (owner, position) keys for the QuickSort path
 	cursor     []int64 // bucket cursors for the count-sort, len s
+	snap       []int64 // pre-serve local-block snapshot for chaos replay (grown only when chaos is armed)
 	segs       []segment
 	scr        sched.Scratch
 	scr2       sched.Scratch // second first-touch tracker for GetDPair
@@ -254,19 +255,29 @@ type PlanTracer interface {
 	PlanReuse(thread int, elements int64)
 }
 
+// ChaosTracer is the optional extension of Tracer for fault-injection
+// observability: ServeRetry reports one serve-phase replay on a thread
+// (attempt is the retry ordinal within the call, starting at 1). The
+// transport-level fault counts live on the runtime (pgas.ChaosStats); this
+// stream attributes recoveries to collectives.
+type ChaosTracer interface {
+	ServeRetry(thread int, kind string, attempt int)
+}
+
 // Comm holds the shared state of the collectives for one runtime: the
 // per-thread scratch arenas and the scratch plan backing the one-shot
 // collectives. Allocate one per runtime and reuse it across calls;
 // buffers grow on demand.
 type Comm struct {
-	rt         *pgas.Runtime
-	s          int
-	par        int // host worker goroutines per thread for serve/permute data movement
-	ts         []threadState
-	splan      *Plan // scratch plan rebuilt by every one-shot collective
-	tracer     Tracer
-	planTracer PlanTracer // tracer's PlanTracer facet, cached (nil if absent)
-	fault      Fault      // armed defect for mutation-sensitivity testing (see fault.go)
+	rt          *pgas.Runtime
+	s           int
+	par         int // host worker goroutines per thread for serve/permute data movement
+	ts          []threadState
+	splan       *Plan // scratch plan rebuilt by every one-shot collective
+	tracer      Tracer
+	planTracer  PlanTracer  // tracer's PlanTracer facet, cached (nil if absent)
+	chaosTracer ChaosTracer // tracer's ChaosTracer facet, cached (nil if absent)
+	fault       Fault       // armed defect for mutation-sensitivity testing (see fault.go)
 }
 
 // SetTracer attaches a profiling tracer (nil detaches). Set it before
@@ -274,6 +285,7 @@ type Comm struct {
 func (c *Comm) SetTracer(t Tracer) {
 	c.tracer = t
 	c.planTracer, _ = t.(PlanTracer)
+	c.chaosTracer, _ = t.(ChaosTracer)
 }
 
 // traced wraps a collective body with per-call profiling: simulated-time

@@ -32,15 +32,21 @@ type serveOp struct {
 	// allowFiltered: the op's semantics survive the offload filter (GetD
 	// substitutes the pinned value, SetDMin drops the no-op write).
 	allowFiltered bool
-	serve         func(c *Comm, th *pgas.Thread, p *Plan, d1, d2 *pgas.SharedArray, opts *Options)
-	finish        func(c *Comm, th *pgas.Thread, p *Plan, pt *planThread, opts *Options, out1, out2 []int64)
+	// mutates: the serve phase writes the local block of d1 (the Set*
+	// scatters), so a chaos-armed replay snapshots and restores it.
+	mutates bool
+	// serve returns a classified error when a transfer faults under armed
+	// chaos (nil always, on the fault-free transport): the whole phase is
+	// re-executable from the published matrices, so the engine replays it.
+	serve  func(c *Comm, th *pgas.Thread, p *Plan, d1, d2 *pgas.SharedArray, opts *Options) error
+	finish func(c *Comm, th *pgas.Thread, p *Plan, pt *planThread, opts *Options, out1, out2 []int64)
 }
 
 var (
 	opGetD          = &serveOp{kind: "GetD", allowFiltered: true, serve: serveGather, finish: finishPermute}
-	opSetD          = &serveOp{kind: "SetD", hasValues: true, serve: serveScatterSet, finish: finishNone}
-	opSetDMin       = &serveOp{kind: "SetDMin", hasValues: true, allowFiltered: true, serve: serveScatterMin, finish: finishNone}
-	opSetDAdd       = &serveOp{kind: "SetDAdd", hasValues: true, serve: serveScatterAdd, finish: finishNone}
+	opSetD          = &serveOp{kind: "SetD", hasValues: true, mutates: true, serve: serveScatterSet, finish: finishNone}
+	opSetDMin       = &serveOp{kind: "SetDMin", hasValues: true, allowFiltered: true, mutates: true, serve: serveScatterMin, finish: finishNone}
+	opSetDAdd       = &serveOp{kind: "SetDAdd", hasValues: true, mutates: true, serve: serveScatterAdd, finish: finishNone}
 	opGetDPair      = &serveOp{kind: "GetDPair", pairRecv: true, serve: servePair, finish: finishPair}
 	opExchange      = &serveOp{kind: "Exchange", serve: serveRoute, finish: finishNone}
 	opExchangePairs = &serveOp{kind: "ExchangePairs", hasValues: true, serve: serveRoutePairs, finish: finishNone}
@@ -91,10 +97,73 @@ func (c *Comm) exec(th *pgas.Thread, p *Plan, op *serveOp, d1, d2 *pgas.SharedAr
 	}
 
 	th.Barrier()
-	op.serve(c, th, p, d1, d2, opts)
+	c.serveRetry(th, p, op, d1, d2, opts)
 	th.Barrier()
 	op.finish(c, th, p, pt, opts, out1, out2)
 	pt.execs++
+}
+
+// serveRetry runs op's serve phase, replaying it when a transfer faults
+// under armed chaos. A serve phase is a pure function of the published
+// matrices and the peers' grouped request/value buffers — none of which it
+// consumes — so re-execution is safe: a gather re-pulls and re-pushes the
+// same segments (overwriting any partially delivered or damaged words with
+// identical clean ones), and a scatter's local-block mutation is rolled
+// back from a pre-serve snapshot before each replay, making SetD, SetDMin,
+// and SetDAdd idempotent under retry. Exhausting the attempt budget raises
+// a classified ErrTimeout through the barrier-poisoning path, so peers
+// unwind instead of hanging at the post-serve barrier.
+//
+// On the fault-free transport (chaos disarmed) serve never errors and this
+// reduces to one direct call — no snapshot, no extra work.
+func (c *Comm) serveRetry(th *pgas.Thread, p *Plan, op *serveOp, d1, d2 *pgas.SharedArray, opts *Options) {
+	rt := th.Runtime()
+	if !rt.ChaosArmed() {
+		if err := op.serve(c, th, p, d1, d2, opts); err != nil {
+			panic(err)
+		}
+		return
+	}
+	st := &c.ts[th.ID]
+	var lo, hi int64
+	if op.mutates {
+		// Only the owner touches its block during serve, so a plain copy
+		// is race-free here between the surrounding barriers.
+		lo, hi = d1.LocalRange(th.ID)
+		st.snap = sched.Grow64(st.snap, int(hi-lo), nil)
+		copy(st.snap[:hi-lo], d1.Raw()[lo:hi])
+	}
+	max := rt.ChaosMaxAttempts()
+	var err error
+	for attempt := 1; attempt <= max; attempt++ {
+		if attempt > 1 {
+			th.ChaosBackoff(attempt - 1)
+			if op.mutates {
+				copy(d1.Raw()[lo:hi], st.snap[:hi-lo])
+			}
+			if c.chaosTracer != nil {
+				c.chaosTracer.ServeRetry(th.ID, op.kind, attempt-1)
+			}
+		}
+		if err = op.serve(c, th, p, d1, d2, opts); err == nil {
+			return
+		}
+	}
+	panic(pgas.Errorf(pgas.ErrTimeout, th.ID, "serve "+op.kind,
+		"serve phase gave up after %d attempts: %v", max, err))
+}
+
+// xferFault consults the chaos injector for one coalesced engine transfer
+// whose received payload is dst. Engine payloads are private scratch or
+// plan-buffer segments written only by this thread and read only after the
+// post-serve barrier, so a corrupt verdict may damage them in place — the
+// replay rewrites the same slots with clean words. Same-node transfers
+// ride shared memory and never fault.
+func (c *Comm) xferFault(th *pgas.Thread, peer int, dst []int64) error {
+	if th.SameNode(peer) {
+		return nil
+	}
+	return th.TransportFault(sim.CatComm, dst)
 }
 
 // planSegments fills st.segs with the peer segments thread th serves under
@@ -124,8 +193,9 @@ func (c *Comm) planSegments(th *pgas.Thread, p *Plan, st *threadState, opts *Opt
 
 // pullSegment charges one coalesced index pull and translates the peer's
 // global indices to block-local ones (honoring the segment-misalignment
-// fault).
-func (c *Comm) pullSegment(th *pgas.Thread, reqSeg, dst []int64, lo int64, peer int, opts *Options) {
+// fault). Under armed chaos the pull may fault: the translated indices are
+// then unusable and the caller must abort the serve attempt.
+func (c *Comm) pullSegment(th *pgas.Thread, reqSeg, dst []int64, lo int64, peer int, opts *Options) error {
 	c.transferCost(th, peer, int64(len(reqSeg)), true, opts)
 	if c.fault == FaultSegmentOffByOne {
 		// Misaligned segment view: slot j takes the index of slot j+1
@@ -138,6 +208,7 @@ func (c *Comm) pullSegment(th *pgas.Thread, reqSeg, dst []int64, lo int64, peer 
 		c.parTranslate(reqSeg, dst, lo)
 	}
 	th.ChargeOps(sim.CatWork, int64(len(reqSeg)))
+	return c.xferFault(th, peer, dst)
 }
 
 // serveGather is GetD's serve phase: this thread answers every peer's
@@ -147,7 +218,7 @@ func (c *Comm) pullSegment(th *pgas.Thread, reqSeg, dst []int64, lo int64, peer 
 // block is loaded at most once per collective, matching equation 5's
 // n*L_M term — and the per-peer value slices are pushed back into each
 // requester's plan receive buffer.
-func serveGather(c *Comm, th *pgas.Thread, p *Plan, d1, d2 *pgas.SharedArray, opts *Options) {
+func serveGather(c *Comm, th *pgas.Thread, p *Plan, d1, d2 *pgas.SharedArray, opts *Options) error {
 	i := th.ID
 	lo, hi := d1.LocalRange(i)
 	local := d1.Raw()[lo:hi]
@@ -158,7 +229,9 @@ func serveGather(c *Comm, th *pgas.Thread, p *Plan, d1, d2 *pgas.SharedArray, op
 	st.vals = st.grow(st.vals, int(total))
 	for _, seg := range st.segs {
 		reqSeg := p.pts[seg.peer].req[seg.off : seg.off+seg.k]
-		c.pullSegment(th, reqSeg, st.local[seg.pos:seg.pos+seg.k], lo, int(seg.peer), opts)
+		if err := c.pullSegment(th, reqSeg, st.local[seg.pos:seg.pos+seg.k], lo, int(seg.peer), opts); err != nil {
+			return err
+		}
 	}
 
 	// The block stays cache-warm across the concatenated serve, so
@@ -168,14 +241,19 @@ func serveGather(c *Comm, th *pgas.Thread, p *Plan, d1, d2 *pgas.SharedArray, op
 
 	for _, seg := range st.segs {
 		c.transferCost(th, int(seg.peer), seg.k, false, opts)
-		copy(p.pts[seg.peer].val[seg.off:seg.off+seg.k], st.vals[seg.pos:seg.pos+seg.k])
+		dst := p.pts[seg.peer].val[seg.off : seg.off+seg.k]
+		copy(dst, st.vals[seg.pos:seg.pos+seg.k])
+		if err := c.xferFault(th, int(seg.peer), dst); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // serveScatter is the Set* serve phase: pull every peer's index and value
 // segments, then apply one blocked scatter with the op's combining rule
 // over the concatenated list.
-func (c *Comm) serveScatter(th *pgas.Thread, p *Plan, d *pgas.SharedArray, opts *Options, op sched.Op) {
+func (c *Comm) serveScatter(th *pgas.Thread, p *Plan, d *pgas.SharedArray, opts *Options, op sched.Op) error {
 	i := th.ID
 	lo, hi := d.LocalRange(i)
 	local := d.Raw()[lo:hi]
@@ -186,30 +264,37 @@ func (c *Comm) serveScatter(th *pgas.Thread, p *Plan, d *pgas.SharedArray, opts 
 	st.inVal = st.grow(st.inVal, int(total))
 	for _, seg := range st.segs {
 		pt := &p.pts[seg.peer]
-		c.pullSegment(th, pt.req[seg.off:seg.off+seg.k], st.local[seg.pos:seg.pos+seg.k], lo, int(seg.peer), opts)
+		if err := c.pullSegment(th, pt.req[seg.off:seg.off+seg.k], st.local[seg.pos:seg.pos+seg.k], lo, int(seg.peer), opts); err != nil {
+			return err
+		}
 		// Pull the peer's value segment alongside the indices.
 		c.transferCost(th, int(seg.peer), seg.k, true, opts)
-		copy(st.inVal[seg.pos:seg.pos+seg.k], pt.val[seg.off:seg.off+seg.k])
+		dst := st.inVal[seg.pos : seg.pos+seg.k]
+		copy(dst, pt.val[seg.off:seg.off+seg.k])
+		if err := c.xferFault(th, int(seg.peer), dst); err != nil {
+			return err
+		}
 	}
 
 	st.scr.Reset(hi - lo)
 	sched.Scatter(th, local, st.local[:total], st.inVal[:total], op, opts.VirtualThreads, opts.LocalCpy, &st.scr)
+	return nil
 }
 
-func serveScatterSet(c *Comm, th *pgas.Thread, p *Plan, d1, d2 *pgas.SharedArray, opts *Options) {
-	c.serveScatter(th, p, d1, opts, sched.OpSet)
+func serveScatterSet(c *Comm, th *pgas.Thread, p *Plan, d1, d2 *pgas.SharedArray, opts *Options) error {
+	return c.serveScatter(th, p, d1, opts, sched.OpSet)
 }
 
-func serveScatterMin(c *Comm, th *pgas.Thread, p *Plan, d1, d2 *pgas.SharedArray, opts *Options) {
+func serveScatterMin(c *Comm, th *pgas.Thread, p *Plan, d1, d2 *pgas.SharedArray, opts *Options) error {
 	op := sched.OpMin
 	if c.fault == FaultMaxInsteadOfMin {
 		op = sched.OpMax
 	}
-	c.serveScatter(th, p, d1, opts, op)
+	return c.serveScatter(th, p, d1, opts, op)
 }
 
-func serveScatterAdd(c *Comm, th *pgas.Thread, p *Plan, d1, d2 *pgas.SharedArray, opts *Options) {
-	c.serveScatter(th, p, d1, opts, sched.OpAdd)
+func serveScatterAdd(c *Comm, th *pgas.Thread, p *Plan, d1, d2 *pgas.SharedArray, opts *Options) error {
+	return c.serveScatter(th, p, d1, opts, sched.OpAdd)
 }
 
 // servePair is GetDPair's serve phase: pull each peer's indices once,
@@ -217,7 +302,7 @@ func serveScatterAdd(c *Comm, th *pgas.Thread, p *Plan, d1, d2 *pgas.SharedArray
 // requester's val and val2 plan buffers). Segments are served one peer at
 // a time with per-array first-touch trackers, preserving the fused
 // collective's original charge structure.
-func servePair(c *Comm, th *pgas.Thread, p *Plan, d1, d2 *pgas.SharedArray, opts *Options) {
+func servePair(c *Comm, th *pgas.Thread, p *Plan, d1, d2 *pgas.SharedArray, opts *Options) error {
 	i := th.ID
 	lo, hi := d1.LocalRange(i)
 	local1 := d1.Raw()[lo:hi]
@@ -231,38 +316,54 @@ func servePair(c *Comm, th *pgas.Thread, p *Plan, d1, d2 *pgas.SharedArray, opts
 		pt := &p.pts[seg.peer]
 		k := seg.k
 		st.local = st.grow(st.local, int(k))
-		c.pullSegment(th, pt.req[seg.off:seg.off+k], st.local[:k], lo, int(seg.peer), opts)
+		if err := c.pullSegment(th, pt.req[seg.off:seg.off+k], st.local[:k], lo, int(seg.peer), opts); err != nil {
+			return err
+		}
 
 		st.vals = st.grow(st.vals, int(k))
 		sched.GatherPar(th, local1, st.local[:k], st.vals[:k], opts.VirtualThreads, opts.LocalCpy, &st.scr, c.par)
 		c.transferCost(th, int(seg.peer), k, false, opts)
-		copy(pt.val[seg.off:seg.off+k], st.vals[:k])
+		dst1 := pt.val[seg.off : seg.off+k]
+		copy(dst1, st.vals[:k])
+		if err := c.xferFault(th, int(seg.peer), dst1); err != nil {
+			return err
+		}
 
 		sched.GatherPar(th, local2, st.local[:k], st.vals[:k], opts.VirtualThreads, opts.LocalCpy, &st.scr2, c.par)
 		c.transferCost(th, int(seg.peer), k, false, opts)
-		copy(pt.val2[seg.off:seg.off+k], st.vals[:k])
+		dst2 := pt.val2[seg.off : seg.off+k]
+		copy(dst2, st.vals[:k])
+		if err := c.xferFault(th, int(seg.peer), dst2); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // serveRoute is Exchange's serve phase: pull every peer's grouped segment
 // destined for this thread into the receive scratch, concatenated in
 // schedule order. There is no local array access — the routed items are
 // the payload.
-func serveRoute(c *Comm, th *pgas.Thread, p *Plan, d1, d2 *pgas.SharedArray, opts *Options) {
+func serveRoute(c *Comm, th *pgas.Thread, p *Plan, d1, d2 *pgas.SharedArray, opts *Options) error {
 	st := &c.ts[th.ID]
 	total := c.planSegments(th, p, st, opts)
 	st.inVal = st.grow(st.inVal, int(total))
 	for _, seg := range st.segs {
 		c.transferCost(th, int(seg.peer), seg.k, true, opts)
-		copy(st.inVal[seg.pos:seg.pos+seg.k], p.pts[seg.peer].req[seg.off:seg.off+seg.k])
+		dst := st.inVal[seg.pos : seg.pos+seg.k]
+		copy(dst, p.pts[seg.peer].req[seg.off:seg.off+seg.k])
 		th.ChargeSeq(sim.CatCopy, seg.k)
+		if err := c.xferFault(th, int(seg.peer), dst); err != nil {
+			return err
+		}
 	}
 	st.routeTotal = total
+	return nil
 }
 
 // serveRoutePairs is ExchangePairs' serve phase: one coalesced message
 // per peer carries indices and values together, delivered aligned.
-func serveRoutePairs(c *Comm, th *pgas.Thread, p *Plan, d1, d2 *pgas.SharedArray, opts *Options) {
+func serveRoutePairs(c *Comm, th *pgas.Thread, p *Plan, d1, d2 *pgas.SharedArray, opts *Options) error {
 	st := &c.ts[th.ID]
 	total := c.planSegments(th, p, st, opts)
 	st.local = st.grow(st.local, int(total))
@@ -271,15 +372,23 @@ func serveRoutePairs(c *Comm, th *pgas.Thread, p *Plan, d1, d2 *pgas.SharedArray
 		pt := &p.pts[seg.peer]
 		c.transferCost(th, int(seg.peer), 2*seg.k, true, opts)
 		copy(st.local[seg.pos:seg.pos+seg.k], pt.req[seg.off:seg.off+seg.k])
-		copy(st.inVal[seg.pos:seg.pos+seg.k], pt.val[seg.off:seg.off+seg.k])
+		dstVal := st.inVal[seg.pos : seg.pos+seg.k]
+		copy(dstVal, pt.val[seg.off:seg.off+seg.k])
 		th.ChargeSeq(sim.CatCopy, 2*seg.k)
+		// One combined message carries indices and values; one verdict
+		// covers it (damage lands in the value half).
+		if err := c.xferFault(th, int(seg.peer), dstVal); err != nil {
+			return err
+		}
 	}
 	st.routeTotal = total
+	return nil
 }
 
 // finishNone is the finish phase of ops whose results are the array
 // mutation (Set*) or the thread's receive scratch (Exchange*).
-func finishNone(c *Comm, th *pgas.Thread, p *Plan, pt *planThread, opts *Options, out1, out2 []int64) {}
+func finishNone(c *Comm, th *pgas.Thread, p *Plan, pt *planThread, opts *Options, out1, out2 []int64) {
+}
 
 // finishPermute is GetD's finish phase: permute received values back to
 // request order (Algorithm 2 step 6) — a dense permutation of the receive

@@ -1,0 +1,94 @@
+package collective
+
+import (
+	"testing"
+
+	"pgasgraph/internal/machine"
+	"pgasgraph/internal/pgas"
+)
+
+// FuzzPlanRequests drives the exchange engine's plan path with arbitrary
+// request vectors, geometries, and option bits, pinning the plan
+// contract: building a plan and executing it must equal the one-shot
+// GetD and the trivial oracle out[j] = D[indices[j]], and re-executing
+// the unchanged plan must return bit-identical results.
+func FuzzPlanRequests(f *testing.F) {
+	f.Add(byte(0), byte(16), byte(0), []byte{0})
+	f.Add(byte(3), byte(100), byte(31), []byte("plan requests against every owner"))
+	f.Add(byte(4), byte(255), byte(8), []byte{1, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233})
+	f.Fuzz(func(t *testing.T, geoRaw, nRaw, optBits byte, reqBytes []byte) {
+		geos := [][2]int{{1, 1}, {1, 2}, {1, 4}, {2, 1}, {2, 2}, {3, 2}}
+		geo := geos[int(geoRaw)%len(geos)]
+		cfg := machine.PaperCluster()
+		cfg.Nodes, cfg.ThreadsPerNode = geo[0], geo[1]
+		rt, err := pgas.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := rt.NumThreads()
+		n := int64(nRaw)*7 + int64(4*s)
+		opts := &Options{
+			Circular:  optBits&1 != 0,
+			LocalCpy:  optBits&2 != 0,
+			CachedIDs: optBits&4 != 0,
+		}
+		if optBits&8 != 0 {
+			opts.Offload = true // slot 0 is pinned to value 0 below
+		}
+		if optBits&16 != 0 {
+			opts.Sort = QuickSort
+		}
+		opts.VirtualThreads = []int{0, 2, 3, 8}[int(optBits>>5)%4]
+
+		reqs := make([][]int64, s)
+		per := len(reqBytes)/s + 1
+		for i := 0; i < s; i++ {
+			reqs[i] = make([]int64, per)
+			for j := range reqs[i] {
+				b := int64(0)
+				if ix := i*per + j; ix < len(reqBytes) {
+					b = int64(reqBytes[ix])
+				}
+				reqs[i][j] = (b*2654435761 + int64(i+13*j)) % n
+				if reqs[i][j] < 0 {
+					reqs[i][j] += n
+				}
+			}
+		}
+
+		d := rt.NewSharedArray("D", n)
+		for i := int64(1); i < n; i++ {
+			d.Raw()[i] = i*1664525 + 1013904223
+		}
+		comm := NewComm(rt)
+		p := comm.NewPlan() // a Plan is collective state, shared by all threads
+		rt.Run(func(th *pgas.Thread) {
+			req := reqs[th.ID]
+			k := len(req)
+			oneShot := make([]int64, k)
+			comm.GetD(th, d, req, oneShot, opts, nil)
+
+			p.PlanRequests(th, d, req, opts, nil)
+			first := make([]int64, k)
+			p.GetD(th, d, first)
+			second := make([]int64, k)
+			p.GetD(th, d, second)
+
+			for j := 0; j < k; j++ {
+				want := d.Raw()[req[j]]
+				if oneShot[j] != want {
+					t.Errorf("thread %d: one-shot GetD[%d] = %d, want D[%d] = %d", th.ID, j, oneShot[j], req[j], want)
+					return
+				}
+				if first[j] != want {
+					t.Errorf("thread %d: plan GetD[%d] = %d, want %d", th.ID, j, first[j], want)
+					return
+				}
+				if second[j] != first[j] {
+					t.Errorf("thread %d: plan re-exec[%d] = %d, first = %d (reuse not bit-identical)", th.ID, j, second[j], first[j])
+					return
+				}
+			}
+		})
+	})
+}

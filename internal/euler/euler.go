@@ -218,4 +218,6 @@ func accumulate(total, part *pgas.Result) {
 	total.Bytes += part.Bytes
 	total.RemoteOps += part.RemoteOps
 	total.CacheMisses += part.CacheMisses
+	total.Faults += part.Faults
+	total.Retries += part.Retries
 }

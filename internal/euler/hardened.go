@@ -1,0 +1,15 @@
+package euler
+
+import (
+	"pgasgraph/internal/collective"
+	"pgasgraph/internal/graph"
+	"pgasgraph/internal/pgas"
+)
+
+// TourE is Tour returning classified runtime failures (see pgas.Error) as
+// error values instead of panics — the whole multi-phase pipeline unwinds
+// on the first classified failure. Kernel bugs still panic.
+func TourE(rt *pgas.Runtime, comm *collective.Comm, forest *graph.Graph, colOpts *collective.Options) (res *TreeStats, err error) {
+	defer pgas.Recover(&err)
+	return Tour(rt, comm, forest, colOpts), nil
+}

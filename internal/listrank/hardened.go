@@ -1,0 +1,42 @@
+package listrank
+
+import (
+	"pgasgraph/internal/collective"
+	"pgasgraph/internal/pgas"
+)
+
+// Error-returning variants: classified runtime failures (see pgas.Error)
+// come back as error values instead of panics. Kernel bugs still panic.
+
+// WyllieE is Wyllie returning classified runtime failures as errors.
+func WyllieE(rt *pgas.Runtime, comm *collective.Comm, l *List, colOpts *collective.Options) (res *Result, err error) {
+	defer pgas.Recover(&err)
+	return Wyllie(rt, comm, l, colOpts), nil
+}
+
+// WyllieNaiveE is WyllieNaive returning classified runtime failures as
+// errors.
+func WyllieNaiveE(rt *pgas.Runtime, l *List) (res *Result, err error) {
+	defer pgas.Recover(&err)
+	return WyllieNaive(rt, l), nil
+}
+
+// WyllieFusedE is WyllieFused returning classified runtime failures as
+// errors.
+func WyllieFusedE(rt *pgas.Runtime, comm *collective.Comm, l *List, colOpts *collective.Options) (res *Result, err error) {
+	defer pgas.Recover(&err)
+	return WyllieFused(rt, comm, l, colOpts), nil
+}
+
+// CGME is CGM returning classified runtime failures as errors.
+func CGME(rt *pgas.Runtime, comm *collective.Comm, l *List, colOpts *collective.Options) (res *Result, err error) {
+	defer pgas.Recover(&err)
+	return CGM(rt, comm, l, colOpts), nil
+}
+
+// WyllieMultiE is WyllieMulti returning classified runtime failures as
+// errors.
+func WyllieMultiE(rt *pgas.Runtime, comm *collective.Comm, l *List, weights []int64, colOpts *collective.Options) (res *MultiResult, err error) {
+	defer pgas.Recover(&err)
+	return WyllieMulti(rt, comm, l, weights, colOpts), nil
+}

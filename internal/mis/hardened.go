@@ -1,0 +1,14 @@
+package mis
+
+import (
+	"pgasgraph/internal/collective"
+	"pgasgraph/internal/graph"
+	"pgasgraph/internal/pgas"
+)
+
+// LubyE is Luby returning classified runtime failures (see pgas.Error) as
+// error values instead of panics. Kernel bugs still panic.
+func LubyE(rt *pgas.Runtime, comm *collective.Comm, g *graph.Graph, colOpts *collective.Options) (res *Result, err error) {
+	defer pgas.Recover(&err)
+	return Luby(rt, comm, g, colOpts), nil
+}

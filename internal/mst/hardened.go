@@ -1,0 +1,22 @@
+package mst
+
+import (
+	"pgasgraph/internal/collective"
+	"pgasgraph/internal/graph"
+	"pgasgraph/internal/pgas"
+)
+
+// Error-returning variants: classified runtime failures (see pgas.Error)
+// come back as error values instead of panics. Kernel bugs still panic.
+
+// NaiveE is Naive returning classified runtime failures as errors.
+func NaiveE(rt *pgas.Runtime, g *graph.Graph) (res *Result, err error) {
+	defer pgas.Recover(&err)
+	return Naive(rt, g), nil
+}
+
+// CoalescedE is Coalesced returning classified runtime failures as errors.
+func CoalescedE(rt *pgas.Runtime, comm *collective.Comm, g *graph.Graph, opts *Options) (res *Result, err error) {
+	defer pgas.Recover(&err)
+	return Coalesced(rt, comm, g, opts), nil
+}

@@ -1,0 +1,102 @@
+package pgas
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The runtime's failure classes. A hardened kernel never sees a bare panic
+// for a runtime-level failure: every such failure is an *Error carrying one
+// of these classes, raised through the barrier-poisoning path and converted
+// into an error return by Runtime.RunE. Callers classify with errors.Is:
+//
+//	_, err := rt.RunE(body)
+//	if errors.Is(err, pgas.ErrTimeout) { ... }
+var (
+	// ErrTransport is a detected loss on a one-sided bulk transfer: the
+	// message did not arrive and the payload must be ignored. The modeled
+	// transport is reliable-when-healthy, so ErrTransport only arises from
+	// the chaos injector.
+	ErrTransport = errors.New("transport fault")
+	// ErrTimeout is an exhausted retry budget: a transfer or serve phase
+	// kept failing past ChaosConfig.MaxAttempts.
+	ErrTimeout = errors.New("timeout")
+	// ErrCorrupt is a checksum-detected payload corruption: the data
+	// arrived but its words cannot be trusted. The modeled links are
+	// CRC-protected, so corruption is always detected, never silent.
+	ErrCorrupt = errors.New("corrupt payload")
+	// ErrMisuse is an API contract violation: an out-of-bounds index, a
+	// negative array size, a malformed range. Misuse still panics under
+	// plain Run (it is a programming error, not an operational fault), but
+	// the panic value is classified so RunE and the verify harness can
+	// tell it apart from a transport failure.
+	ErrMisuse = errors.New("runtime misuse")
+)
+
+// Error is a classified runtime failure: a class from the Err* set above
+// plus the thread, operation, and detail needed to report it. It is the
+// panic value of every runtime-raised failure, which is what lets RunE
+// convert a thread blow-up into an error return while genuinely unknown
+// panics keep crashing through.
+type Error struct {
+	Class  error  // one of ErrTransport, ErrTimeout, ErrCorrupt, ErrMisuse
+	Thread int    // issuing thread id, or -1 when not thread-bound
+	Op     string // the operation that failed ("GetBulk", "serve GetD", ...)
+	Detail string
+}
+
+// Error formats the failure with its class and origin.
+func (e *Error) Error() string {
+	if e.Thread < 0 {
+		return fmt.Sprintf("pgas: %s: %v: %s", e.Op, e.Class, e.Detail)
+	}
+	return fmt.Sprintf("pgas: %s: %v: %s (thread %d)", e.Op, e.Class, e.Detail, e.Thread)
+}
+
+// Unwrap exposes the class to errors.Is.
+func (e *Error) Unwrap() error { return e.Class }
+
+// Errorf builds a classified error. thread is the issuing thread id (-1
+// when not thread-bound); the remaining arguments format the detail.
+func Errorf(class error, thread int, op, format string, args ...interface{}) *Error {
+	return &Error{Class: class, Thread: thread, Op: op, Detail: fmt.Sprintf(format, args...)}
+}
+
+// Classified reports whether a recovered panic value (or error) carries a
+// runtime classification, returning the classified error when it does.
+func Classified(v interface{}) (*Error, bool) {
+	err, ok := v.(error)
+	if !ok {
+		return nil, false
+	}
+	var e *Error
+	if errors.As(err, &e) {
+		return e, true
+	}
+	return nil, false
+}
+
+// Recover converts a classified runtime panic into an error return; it is
+// the one-line hardening seam of the kernels' error-returning variants:
+//
+//	func CoalescedE(...) (res *Result, err error) {
+//		defer pgas.Recover(&err)
+//		return Coalesced(...), nil
+//	}
+//
+// Unclassified panics (kernel bugs) propagate unchanged. Must be called
+// directly by a deferred function declaration as above.
+func Recover(err *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if e, ok := r.(error); ok {
+		var ce *Error
+		if errors.As(e, &ce) {
+			*err = e
+			return
+		}
+	}
+	panic(r)
+}

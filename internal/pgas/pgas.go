@@ -16,6 +16,7 @@
 package pgas
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -34,6 +35,7 @@ type Runtime struct {
 	s       int
 	threads []*Thread
 	bar     *barrier
+	chaos   *chaosState // fault injector; nil (free) when disarmed
 }
 
 // New validates cfg and returns a runtime with cfg.TotalThreads() threads.
@@ -105,6 +107,12 @@ type Result struct {
 	Bytes       int64
 	RemoteOps   int64
 	CacheMisses float64
+	// Faults and Retries count the chaos injector's activity during the
+	// region: faults injected (drops, corruptions, duplicates, delays,
+	// stalls) and backoff-and-retry rounds they caused. Zero when chaos
+	// is disarmed.
+	Faults  int64
+	Retries int64
 }
 
 // AvgByCategory returns the per-thread average category breakdown.
@@ -124,36 +132,82 @@ func (r *Result) SimMS() float64 { return r.SimNS / 1e6 }
 // counters are reset at region entry. Run must not be called reentrantly.
 //
 // A panic on any thread is propagated to Run's caller instead of crashing
-// the process: the panicking thread poisons the barrier so its peers
-// unwind (they observe a "barrier broken" panic at their next rendezvous)
-// and the first panic value is re-raised once every goroutine has exited.
-// This is what lets the verification harness treat a kernel blow-up under
-// an injected fault as a detected failure rather than a process abort. The
-// runtime's barrier is replaced afterwards, but thread clocks are left
-// mid-region; a runtime that panicked should be discarded.
+// the process: the panicking thread poisons the barrier with its panic
+// value so its peers unwind (each waiter panics out of its next rendezvous
+// with a wrapper naming the root cause) and the originating value — never
+// a peer's "barrier broken" wrapper — is re-raised once every goroutine
+// has exited. This is what lets the verification harness treat a kernel
+// blow-up under an injected fault as a detected failure rather than a
+// process abort. The runtime's barrier is replaced afterwards, but thread
+// clocks are left mid-region; a runtime that panicked should be discarded.
 func (rt *Runtime) Run(fn func(th *Thread)) *Result {
+	res, err := rt.RunE(fn)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunE is Run returning classified runtime failures as error values: when
+// a thread's panic value is (or wraps) a *Error — a transport fault, an
+// exhausted retry budget, a detected corruption, an API misuse — RunE
+// returns it instead of re-panicking, so hardened kernels can propagate
+// operational faults through their signatures instead of tearing down the
+// process. Unclassified panics (a kernel bug, an index out of a private
+// slice's range) still propagate as panics.
+func (rt *Runtime) RunE(fn func(th *Thread)) (*Result, error) {
 	var wg sync.WaitGroup
 	wg.Add(rt.s)
 	start := time.Now()
-	var panicOnce sync.Once
-	var panicVal interface{}
+	var mu sync.Mutex
+	var cause interface{}
+	var chaosBase []ChaosStats
+	if rt.chaos != nil {
+		chaosBase = make([]ChaosStats, rt.s)
+		for i := range rt.chaos.pts {
+			chaosBase[i] = rt.chaos.pts[i].stats
+		}
+	}
 	for _, th := range rt.threads {
 		th.Clock.Reset()
 		go func(th *Thread) {
 			defer wg.Done()
 			defer func() {
-				if r := recover(); r != nil {
-					panicOnce.Do(func() { panicVal = r })
-					rt.bar.breakBarrier()
+				r := recover()
+				if r == nil {
+					return
+				}
+				// Record the root cause. A barrierBroken wrapper is a
+				// peer's unwind, not an independent failure: keep only
+				// its cause, and only if the breaker's own recover has
+				// not recorded it already (it normally has — the breaker
+				// records before poisoning the barrier).
+				mu.Lock()
+				if cause == nil {
+					if bb, ok := r.(barrierBroken); ok {
+						cause = bb.cause
+					} else {
+						cause = r
+					}
+				}
+				mu.Unlock()
+				if _, ok := r.(barrierBroken); !ok {
+					rt.bar.breakBarrier(r)
 				}
 			}()
 			fn(th)
 		}(th)
 	}
 	wg.Wait()
-	if panicVal != nil {
+	if cause != nil {
 		rt.bar = newBarrier(rt.s)
-		panic(panicVal)
+		if err, ok := cause.(error); ok {
+			var ce *Error
+			if errors.As(err, &ce) {
+				return nil, err
+			}
+		}
+		panic(cause)
 	}
 	res := &Result{Wall: time.Since(start), Threads: rt.s}
 	for _, th := range rt.threads {
@@ -166,16 +220,40 @@ func (rt *Runtime) Run(fn func(th *Thread)) *Result {
 		res.RemoteOps += th.Clock.RemoteOps
 		res.CacheMisses += th.Clock.CacheMisses
 	}
-	return res
+	if rt.chaos != nil {
+		for i := range rt.chaos.pts {
+			d := rt.chaos.pts[i].stats
+			res.Faults += d.Faults() - chaosBase[i].Faults()
+			res.Retries += d.Retries - chaosBase[i].Retries
+		}
+	}
+	return res, nil
 }
 
 // Barrier performs a full barrier: all threads rendezvous, clocks advance
 // to the global maximum, and each thread is charged the barrier cost
 // (attributed to the comm category, as barriers ride the interconnect).
+// Under armed chaos a thread may stall (charged to the wait category)
+// before arriving — the post-barrier clocks still all equal the
+// pre-barrier maximum, stalls included, plus the modeled barrier cost.
 func (th *Thread) Barrier() {
+	if ch := th.rt.chaos; ch != nil {
+		th.chaosStall(ch)
+	}
 	release := th.rt.bar.await(th.Clock.NS)
 	th.Clock.AdvanceTo(release)
 	th.Clock.Charge(sim.CatComm, th.rt.model.Barrier(th.rt.s))
+}
+
+// barrierBroken is the panic value a waiter unwinds with when a peer
+// poisons the barrier. It carries the peer's original panic value so no
+// layer of the unwind loses the root cause; Runtime.RunE unwraps it when
+// recording, and its message names the cause for anything that prints the
+// panic directly.
+type barrierBroken struct{ cause interface{} }
+
+func (b barrierBroken) String() string {
+	return fmt.Sprintf("pgas: barrier broken by a peer thread's panic: %v", b.cause)
 }
 
 // barrier is a reusable rendezvous for n goroutines that also computes the
@@ -188,7 +266,8 @@ type barrier struct {
 	gen     uint64
 	max     float64
 	release float64
-	broken  bool // a participant panicked; all waiters must unwind
+	broken  bool        // a participant panicked; all waiters must unwind
+	cause   interface{} // the breaking participant's panic value
 }
 
 func newBarrier(n int) *barrier {
@@ -200,12 +279,13 @@ func newBarrier(n int) *barrier {
 // await blocks until all n goroutines have called it, then returns the
 // maximum clock value passed by any of them for this generation. If the
 // barrier is (or becomes) broken, await panics instead of blocking
-// forever on a peer that will never arrive.
+// forever on a peer that will never arrive; the panic value carries the
+// breaking peer's own panic value as the root cause.
 func (b *barrier) await(clock float64) float64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.broken {
-		panic("pgas: barrier broken by a peer thread's panic")
+		panic(barrierBroken{cause: b.cause})
 	}
 	if clock > b.max {
 		b.max = clock
@@ -222,19 +302,28 @@ func (b *barrier) await(clock float64) float64 {
 	gen := b.gen
 	for gen == b.gen {
 		b.cond.Wait()
-		if b.broken {
-			panic("pgas: barrier broken by a peer thread's panic")
+		// Only unwind if OUR generation can no longer complete. A waiter
+		// whose generation already released may still observe broken here
+		// when a peer passed the barrier, raced ahead, and panicked before
+		// this goroutine was rescheduled — it must return normally, or
+		// thread progress (and the chaos fault schedule) would depend on
+		// scheduling instead of being deterministic.
+		if b.broken && gen == b.gen {
+			panic(barrierBroken{cause: b.cause})
 		}
 	}
 	return b.release
 }
 
-// breakBarrier marks the barrier broken and wakes every waiter so they
-// unwind (each waiter panics out of await). Called when a participant
-// panics; see Runtime.Run.
-func (b *barrier) breakBarrier() {
+// breakBarrier marks the barrier broken, records the breaking
+// participant's panic value (first breaker wins), and wakes every waiter
+// so they unwind. Called when a participant panics; see Runtime.RunE.
+func (b *barrier) breakBarrier(cause interface{}) {
 	b.mu.Lock()
-	b.broken = true
+	if !b.broken {
+		b.broken = true
+		b.cause = cause
+	}
 	b.cond.Broadcast()
 	b.mu.Unlock()
 }
@@ -285,7 +374,7 @@ type SharedArray struct {
 // collectives charge it to the work category). name is used in diagnostics.
 func (rt *Runtime) NewSharedArray(name string, n int64) *SharedArray {
 	if n < 0 {
-		panic(fmt.Sprintf("pgas: negative shared array size %d", n))
+		panic(Errorf(ErrMisuse, -1, "NewSharedArray", "negative shared array size %d", n))
 	}
 	blk := int64(1)
 	if n > 0 {
@@ -306,7 +395,7 @@ func (a *SharedArray) BlockSize() int64 { return a.blk }
 // Owner returns the thread id owning element i.
 func (a *SharedArray) Owner(i int64) int {
 	if i < 0 || i >= a.n {
-		panic(fmt.Sprintf("pgas: index %d out of range [0,%d) in %s", i, a.n, a.name))
+		panic(Errorf(ErrMisuse, -1, "Owner", "index %d out of range [0,%d) in %s", i, a.n, a.name))
 	}
 	return int(i / a.blk)
 }
@@ -469,15 +558,20 @@ func (th *Thread) AtomicMin(a *SharedArray, i int64, v int64, cat sim.Category) 
 // GetBulk reads len(dst) contiguous elements starting at start into dst,
 // coalesced into one message when the range is remote. Ranges must not
 // span node boundaries for remote access (callers align transfers to the
-// block distribution, as Algorithm 2 does).
+// block distribution, as Algorithm 2 does). Under armed chaos a remote
+// transfer may be dropped or corrupted; GetBulk retransmits (recharging
+// the wire plus backoff) up to the configured attempt budget and raises a
+// classified ErrTimeout through the barrier-poisoning path if the budget
+// runs out.
 func (th *Thread) GetBulk(a *SharedArray, start int64, dst []int64, cat sim.Category) {
 	k := int64(len(dst))
 	if k == 0 {
 		return
 	}
-	th.checkRange(a, start, k)
+	th.checkRange("GetBulk", a, start, k)
 	m := th.rt.model
-	if th.remote(a, start) {
+	isRemote := th.remote(a, start)
+	if isRemote {
 		bytes := k * sim.ElemBytes
 		th.Clock.Charge(cat, m.Message(bytes, th.rt.cfg.ThreadsPerNode)+th.rt.cfg.NetLatency)
 		th.Clock.Messages++
@@ -489,18 +583,46 @@ func (th *Thread) GetBulk(a *SharedArray, start int64, dst []int64, cat sim.Cate
 	for j := int64(0); j < k; j++ {
 		dst[j] = a.LoadRaw(start + j)
 	}
+	if th.rt.chaos == nil || !isRemote {
+		return
+	}
+	max := th.rt.ChaosMaxAttempts()
+	for attempt := 1; ; attempt++ {
+		err := th.TransportFault(cat, dst)
+		if err == nil {
+			return
+		}
+		if attempt >= max {
+			panic(Errorf(ErrTimeout, th.ID, "GetBulk",
+				"%s[%d,%d): no clean delivery after %d attempts: %v", a.name, start, start+k, attempt, err))
+		}
+		th.ChaosBackoff(attempt)
+		// Retransmit: recharge the wire and redeliver the payload.
+		bytes := k * sim.ElemBytes
+		th.Clock.Charge(cat, m.Message(bytes, th.rt.cfg.ThreadsPerNode)+th.rt.cfg.NetLatency)
+		th.Clock.Messages++
+		th.Clock.Bytes += bytes
+		for j := int64(0); j < k; j++ {
+			dst[j] = a.LoadRaw(start + j)
+		}
+	}
 }
 
 // PutBulk writes src to the contiguous range starting at start, coalesced
-// into one message when remote.
+// into one message when remote. Under armed chaos a remote transfer may
+// be dropped or corrupted in flight (the receiver discards a damaged
+// write, so the destination is never silently poisoned); PutBulk
+// retransmits like GetBulk and raises a classified ErrTimeout when the
+// attempt budget runs out.
 func (th *Thread) PutBulk(a *SharedArray, start int64, src []int64, cat sim.Category) {
 	k := int64(len(src))
 	if k == 0 {
 		return
 	}
-	th.checkRange(a, start, k)
+	th.checkRange("PutBulk", a, start, k)
 	m := th.rt.model
-	if th.remote(a, start) {
+	isRemote := th.remote(a, start)
+	if isRemote {
 		bytes := k * sim.ElemBytes
 		th.Clock.Charge(cat, m.Message(bytes, th.rt.cfg.ThreadsPerNode))
 		th.Clock.Messages++
@@ -512,11 +634,37 @@ func (th *Thread) PutBulk(a *SharedArray, start int64, src []int64, cat sim.Cate
 	for j := int64(0); j < k; j++ {
 		a.StoreRaw(start+j, src[j])
 	}
+	if th.rt.chaos == nil || !isRemote {
+		return
+	}
+	max := th.rt.ChaosMaxAttempts()
+	for attempt := 1; ; attempt++ {
+		// The destination range may be concurrently visible to its owner,
+		// so a corrupt verdict cannot damage it in place (nil payload):
+		// the modeled receiver CRC-checks and discards the damaged write,
+		// and the retransmit below re-stores the clean words.
+		err := th.TransportFault(cat, nil)
+		if err == nil {
+			return
+		}
+		if attempt >= max {
+			panic(Errorf(ErrTimeout, th.ID, "PutBulk",
+				"%s[%d,%d): no clean delivery after %d attempts: %v", a.name, start, start+k, attempt, err))
+		}
+		th.ChaosBackoff(attempt)
+		bytes := k * sim.ElemBytes
+		th.Clock.Charge(cat, m.Message(bytes, th.rt.cfg.ThreadsPerNode))
+		th.Clock.Messages++
+		th.Clock.Bytes += bytes
+		for j := int64(0); j < k; j++ {
+			a.StoreRaw(start+j, src[j])
+		}
+	}
 }
 
-func (th *Thread) checkRange(a *SharedArray, start, k int64) {
+func (th *Thread) checkRange(op string, a *SharedArray, start, k int64) {
 	if start < 0 || start+k > a.n {
-		panic(fmt.Sprintf("pgas: range [%d,%d) out of bounds [0,%d) in %s",
+		panic(Errorf(ErrMisuse, th.ID, op, "range [%d,%d) out of bounds [0,%d) in %s",
 			start, start+k, a.n, a.name))
 	}
 }

@@ -1,0 +1,15 @@
+package sssp
+
+import (
+	"pgasgraph/internal/collective"
+	"pgasgraph/internal/graph"
+	"pgasgraph/internal/pgas"
+)
+
+// DeltaSteppingE is DeltaStepping returning classified runtime failures
+// (see pgas.Error) as error values instead of panics. Kernel bugs still
+// panic.
+func DeltaSteppingE(rt *pgas.Runtime, comm *collective.Comm, g *graph.Graph, src int64, delta int64, colOpts *collective.Options) (res *Result, err error) {
+	defer pgas.Recover(&err)
+	return DeltaStepping(rt, comm, g, src, delta, colOpts), nil
+}

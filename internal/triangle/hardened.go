@@ -1,0 +1,23 @@
+package triangle
+
+import (
+	"pgasgraph/internal/collective"
+	"pgasgraph/internal/graph"
+	"pgasgraph/internal/pgas"
+)
+
+// Error-returning variants: classified runtime failures (see pgas.Error)
+// come back as error values instead of panics. Kernel bugs still panic.
+
+// DegreesE is Degrees returning classified runtime failures as errors.
+func DegreesE(rt *pgas.Runtime, comm *collective.Comm, g *graph.Graph, colOpts *collective.Options) (deg []int64, run *pgas.Result, err error) {
+	defer pgas.Recover(&err)
+	deg, run = Degrees(rt, comm, g, colOpts)
+	return deg, run, nil
+}
+
+// CountE is Count returning classified runtime failures as errors.
+func CountE(rt *pgas.Runtime, comm *collective.Comm, g *graph.Graph, colOpts *collective.Options) (res *Result, err error) {
+	defer pgas.Recover(&err)
+	return Count(rt, comm, g, colOpts), nil
+}

@@ -1,0 +1,271 @@
+package verify
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"pgasgraph/internal/collective"
+	"pgasgraph/internal/pgas"
+	"pgasgraph/internal/xrand"
+)
+
+// Chaos soak mode: the differential matrix re-run under deterministic
+// fault injection (see pgas.ChaosConfig). Every trial must end in one of
+// two acceptable states — the kernel transparently recovers and its
+// answer still matches the oracle, or it fails loudly with a classified
+// transport error. A trial that hangs, returns a silently wrong answer,
+// or dies with an unclassified panic is a bug in the runtime's recovery
+// machinery and fails the soak.
+
+// ChaosOutcome classifies how one chaos trial ended.
+type ChaosOutcome int
+
+const (
+	// ChaosRecovered: faults were injected, retries absorbed them, and
+	// the kernel's answer matched its oracle exactly.
+	ChaosRecovered ChaosOutcome = iota
+	// ChaosClassified: the run failed loudly with a classified pgas
+	// error (ErrTransport / ErrTimeout / ErrCorrupt). Acceptable — the
+	// fault schedule exceeded the retry budget and the runtime said so.
+	ChaosClassified
+	// ChaosWrongAnswer: the kernel produced output that disagreed with
+	// the oracle, or died with an unclassified panic. Always a bug.
+	ChaosWrongAnswer
+	// ChaosHang: the trial exceeded the watchdog timeout. Always a bug.
+	ChaosHang
+)
+
+func (o ChaosOutcome) String() string {
+	switch o {
+	case ChaosRecovered:
+		return "recovered"
+	case ChaosClassified:
+		return "classified-failure"
+	case ChaosWrongAnswer:
+		return "WRONG-ANSWER"
+	case ChaosHang:
+		return "HANG"
+	}
+	return "unknown"
+}
+
+// ChaosTrialResult records one chaos trial.
+type ChaosTrialResult struct {
+	// Round is the trial index within the soak.
+	Round int
+	// Check names the battery check exercised this trial.
+	Check string
+	// Outcome classifies how the trial ended.
+	Outcome ChaosOutcome
+	// Err is the failure description (nil when recovered).
+	Err error
+	// Stats counts the faults actually injected and retries spent.
+	Stats pgas.ChaosStats
+	// Trial is the sampled matrix point.
+	Trial *Trial
+}
+
+// ChaosRunConfig parameterizes a chaos soak.
+type ChaosRunConfig struct {
+	// Seed drives trial sampling AND the per-trial fault schedules; a
+	// given (Seed, Trials, MaxN) replays bit-for-bit.
+	Seed uint64
+	// Trials is the number of chaos trials to run.
+	Trials int
+	// MaxN bounds sampled input sizes.
+	MaxN int64
+	// Timeout is the per-trial watchdog; a trial still running after
+	// this long is reported as a hang. Defaults to 60s.
+	Timeout time.Duration
+	// Log, when non-nil, receives per-trial progress lines.
+	Log io.Writer
+}
+
+// ChaosReport aggregates a chaos soak.
+type ChaosReport struct {
+	// Trials holds every trial result in order.
+	Trials []ChaosTrialResult
+	// Recovered / Classified / Wrong / Hangs count outcomes.
+	Recovered  int
+	Classified int
+	Wrong      int
+	Hangs      int
+	// Stats sums fault counters across all completed trials.
+	Stats pgas.ChaosStats
+}
+
+// OK reports whether the soak saw no hangs and no silent wrong answers.
+// Classified failures are acceptable: the runtime failed loudly.
+func (r *ChaosReport) OK() bool { return r.Wrong == 0 && r.Hangs == 0 }
+
+// Digest folds every trial's outcome and exact fault counters into one
+// fingerprint. Two soaks with the same config must produce the same
+// digest — this is the determinism guarantee the regression test pins.
+func (r *ChaosReport) Digest() uint64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 0x100000001B3
+		h ^= h >> 29
+	}
+	for i := range r.Trials {
+		tr := &r.Trials[i]
+		mix(uint64(tr.Round))
+		mix(uint64(tr.Outcome))
+		for _, c := range tr.Check {
+			mix(uint64(c))
+		}
+		mix(uint64(tr.Stats.Ops))
+		mix(uint64(tr.Stats.Delays))
+		mix(uint64(tr.Stats.Dups))
+		mix(uint64(tr.Stats.Drops))
+		mix(uint64(tr.Stats.Corrupts))
+		mix(uint64(tr.Stats.Stalls))
+		mix(uint64(tr.Stats.Retries))
+	}
+	return h
+}
+
+// sampleChaosConfig draws a fault schedule for one trial: the default
+// rates scaled by a sampled hostility factor, with an occasional starved
+// retry budget so the classified-failure path gets exercised too.
+func sampleChaosConfig(rng *xrand.Rand) pgas.ChaosConfig {
+	cfg := pgas.DefaultChaos(rng.Uint64())
+	scale := []float64{0.25, 1, 1, 2, 4}[rng.Intn(5)]
+	cfg.DropRate *= scale
+	cfg.CorruptRate *= scale
+	cfg.DupRate *= scale
+	cfg.DelayRate *= scale
+	cfg.StallRate *= scale
+	if rng.Intn(6) == 0 {
+		// Starve the retry budget: a single drawn fault now exhausts
+		// delivery attempts, forcing the loud ErrTimeout path.
+		cfg.MaxAttempts = 1 + rng.Intn(2)
+	}
+	return cfg
+}
+
+// RunCheckChaos is RunCheck with the chaos layer armed on the fresh
+// runtime: faults are injected into every remote bulk transfer and
+// collective serve phase the check performs. It returns the fault
+// counters alongside the check verdict so callers can confirm the
+// schedule actually fired.
+func RunCheckChaos(c Check, t *Trial, ccfg pgas.ChaosConfig) (stats pgas.ChaosStats, err error) {
+	var rt *pgas.Runtime
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = fmt.Errorf("panic: %w", e)
+			} else {
+				err = fmt.Errorf("panic: %v", r)
+			}
+		}
+		if rt != nil {
+			stats = rt.ChaosStats()
+		}
+	}()
+	rt, e := pgas.New(t.Machine)
+	if e != nil {
+		return stats, fmt.Errorf("machine config: %v", e)
+	}
+	rt.ArmChaos(ccfg)
+	comm := collective.NewComm(rt)
+	err = c.Run(t, rt, comm)
+	return stats, err
+}
+
+// ChaosRun executes the chaos soak: each trial samples a matrix point
+// and a fault schedule, rotates to the next applicable battery check,
+// and runs it under a watchdog. Determinism: everything derives from
+// cfg.Seed, so re-running the same config reproduces the same fault
+// schedule and the same outcomes bit-for-bit (see Digest).
+func ChaosRun(cfg ChaosRunConfig) *ChaosReport {
+	if cfg.Trials <= 0 {
+		cfg.Trials = 50
+	}
+	if cfg.MaxN <= 0 {
+		cfg.MaxN = 300
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 60 * time.Second
+	}
+	battery := Checks()
+	rep := &ChaosReport{}
+	for round := 0; round < cfg.Trials; round++ {
+		rng := xrand.New(cfg.Seed).Split(0xC4A05 ^ uint64(round))
+		t := SampleTrial(rng, round, cfg.MaxN)
+		ccfg := sampleChaosConfig(rng)
+
+		var c Check
+		found := false
+		for j := 0; j < len(battery); j++ {
+			cand := battery[(round+j)%len(battery)]
+			if !cand.RacyOps && cand.Applicable(t) {
+				c, found = cand, true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+
+		res := ChaosTrialResult{Round: round, Check: c.Name, Trial: t}
+		type finished struct {
+			stats pgas.ChaosStats
+			err   error
+		}
+		done := make(chan finished, 1)
+		go func() {
+			stats, err := RunCheckChaos(c, t, ccfg)
+			done <- finished{stats, err}
+		}()
+		select {
+		case fin := <-done:
+			res.Stats = fin.stats
+			res.Err = fin.err
+			switch {
+			case fin.err == nil:
+				res.Outcome = ChaosRecovered
+			case errors.Is(fin.err, pgas.ErrTransport),
+				errors.Is(fin.err, pgas.ErrTimeout),
+				errors.Is(fin.err, pgas.ErrCorrupt):
+				res.Outcome = ChaosClassified
+			default:
+				res.Outcome = ChaosWrongAnswer
+			}
+			rep.Stats.Ops += fin.stats.Ops
+			rep.Stats.Delays += fin.stats.Delays
+			rep.Stats.Dups += fin.stats.Dups
+			rep.Stats.Drops += fin.stats.Drops
+			rep.Stats.Corrupts += fin.stats.Corrupts
+			rep.Stats.Stalls += fin.stats.Stalls
+			rep.Stats.Retries += fin.stats.Retries
+		case <-time.After(cfg.Timeout):
+			res.Outcome = ChaosHang
+			res.Err = fmt.Errorf("trial still running after %v watchdog", cfg.Timeout)
+		}
+
+		switch res.Outcome {
+		case ChaosRecovered:
+			rep.Recovered++
+		case ChaosClassified:
+			rep.Classified++
+		case ChaosWrongAnswer:
+			rep.Wrong++
+		case ChaosHang:
+			rep.Hangs++
+		}
+		if cfg.Log != nil {
+			line := fmt.Sprintf("chaos %d: %s %s faults=%d retries=%d",
+				round, c.Name, res.Outcome, res.Stats.Faults(), res.Stats.Retries)
+			if res.Err != nil && res.Outcome != ChaosClassified {
+				line += fmt.Sprintf(" err=%v", res.Err)
+			}
+			fmt.Fprintln(cfg.Log, line)
+		}
+		rep.Trials = append(rep.Trials, res)
+	}
+	return rep
+}
