@@ -297,6 +297,31 @@ func BenchmarkCollectiveGetDPair(b *testing.B) {
 	})
 }
 
+// BenchmarkCollectiveGetDCheckpointed is BenchmarkCollectiveGetD with the
+// superstep checkpoint manager armed (snapshot at every barrier, chaos
+// disarmed) and D registered. The steady state must stay 0 allocs/op:
+// the snapshot path's shadow buffers are allocated once at registration,
+// and every per-barrier copy reuses them.
+func BenchmarkCollectiveGetDCheckpointed(b *testing.B) {
+	c, idx, _, out := collectiveSteadyCluster(b)
+	rt := c.Runtime()
+	d := rt.NewSharedArray("D", 1<<16)
+	d.FillIdentity()
+	rt.ArmCheckpoints(1)
+	pgas.Register(rt, "D", d)
+	opts := collective.Optimized(4)
+	caches := make([]collective.IDCache, c.Threads())
+	rt.Run(func(th *pgas.Thread) { // warm the arenas and shadow buffers
+		c.Comm().GetD(th, d, idx[th.ID], out[th.ID], opts, &caches[th.ID])
+	})
+	b.ResetTimer()
+	rt.Run(func(th *pgas.Thread) {
+		for i := 0; i < b.N; i++ {
+			c.Comm().GetD(th, d, idx[th.ID], out[th.ID], opts, &caches[th.ID])
+		}
+	})
+}
+
 // BenchmarkCollectivePlanReuse measures the plan-reuse steady state: the
 // grouping sort and matrix publish run once (untimed, in the build
 // region), and every timed op is a pure phase-2 execution — the cost a

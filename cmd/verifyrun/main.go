@@ -11,6 +11,8 @@
 //	verifyrun -mutate                              # self-test only
 //	verifyrun -seed 0xdead -rounds 8 -check cc/sv  # replay one check
 //	verifyrun -chaos -trials 200                   # fault-injection soak
+//	verifyrun -chaos -kill -trials 200             # + thread evictions and
+//	                                               #   checkpoint recovery
 package main
 
 import (
@@ -32,6 +34,7 @@ func main() {
 	mutate := flag.Bool("mutate", false, "run the mutation self-test instead of the clean matrix")
 	mutRounds := flag.Int("mutrounds", 6, "trials per fault in the mutation self-test")
 	chaos := flag.Bool("chaos", false, "run the chaos soak: the matrix under deterministic fault injection")
+	kill := flag.Bool("kill", false, "with -chaos: also evict threads permanently; trials run under the checkpoint/rollback recovery supervisor")
 	trials := flag.Int("trials", 200, "chaos trials to run (with -chaos)")
 	watchdog := flag.Duration("watchdog", 60*time.Second, "per-trial hang timeout (with -chaos)")
 	quiet := flag.Bool("quiet", false, "suppress per-round progress lines")
@@ -55,14 +58,20 @@ func main() {
 			Trials:  *trials,
 			MaxN:    *maxN,
 			Timeout: *watchdog,
+			Kill:    *kill,
 		}
 		if !*quiet {
 			ccfg.Log = os.Stdout
 		}
 		rep := verify.ChaosRun(ccfg)
-		fmt.Printf("verifyrun: chaos trials=%d recovered=%d classified=%d wrong=%d hangs=%d faults=%d retries=%d digest=%#x\n",
+		line := fmt.Sprintf("verifyrun: chaos trials=%d recovered=%d classified=%d wrong=%d hangs=%d faults=%d retries=%d",
 			len(rep.Trials), rep.Recovered, rep.Classified, rep.Wrong, rep.Hangs,
-			rep.Stats.Faults(), rep.Stats.Retries, rep.Digest())
+			rep.Stats.Faults(), rep.Stats.Retries)
+		if *kill {
+			line += fmt.Sprintf(" kills=%d recovered-by-rollback=%d rollbacks=%d",
+				rep.Stats.Kills, rep.RecoveredByRollback, rep.Rollbacks)
+		}
+		fmt.Printf("%s digest=%#x\n", line, rep.Digest())
 		if !rep.OK() {
 			for i := range rep.Trials {
 				tr := &rep.Trials[i]

@@ -273,6 +273,8 @@ func accumulate(total, part *pgas.Result) {
 	total.CacheMisses += part.CacheMisses
 	total.Faults += part.Faults
 	total.Retries += part.Retries
+	total.Checkpoints += part.Checkpoints
+	total.CheckpointBytes += part.CheckpointBytes
 }
 
 // sparseTable answers static range extremum queries in O(1) after

@@ -6,6 +6,11 @@ import (
 	"pgasgraph/internal/pgas"
 )
 
+// Recoverable state (pgas.Registrar): none. Tarjan-Vishkin chains four
+// sub-kernels whose outputs feed each other through host-side staging;
+// no single superstep boundary captures a resumable whole-pipeline state.
+// After an eviction BCC recovers by full deterministic re-execution.
+
 // TarjanVishkinE is TarjanVishkin returning classified runtime failures
 // (see pgas.Error) as error values instead of panics — the whole pipeline
 // (spanning forest, Euler tour, extrema, auxiliary CC) unwinds on the

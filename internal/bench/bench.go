@@ -129,15 +129,15 @@ func Collectives(cfg Config) ([]report.BenchRecord, error) {
 	}
 
 	overhead := emptyRegionMallocs(rt)
-	records := make([]report.BenchRecord, 0, len(ops))
-	for _, op := range ops {
-		rt.Run(func(th *pgas.Thread) { op.body(th) }) // warm the arenas
+	records := make([]report.BenchRecord, 0, len(ops)+1)
+	measure := func(name string, body func(th *pgas.Thread)) {
+		rt.Run(func(th *pgas.Thread) { body(th) }) // warm the arenas
 		var m0, m1 runtime.MemStats
 		runtime.ReadMemStats(&m0)
 		start := time.Now()
 		res := rt.Run(func(th *pgas.Thread) {
 			for i := 0; i < cfg.Calls; i++ {
-				op.body(th)
+				body(th)
 			}
 		})
 		wall := time.Since(start)
@@ -147,12 +147,27 @@ func Collectives(cfg Config) ([]report.BenchRecord, error) {
 			allocs = 0
 		}
 		records = append(records, report.BenchRecord{
-			Name:        op.name,
+			Name:        name,
 			NSPerOp:     float64(wall.Nanoseconds()) / float64(cfg.Calls),
 			AllocsPerOp: allocs / float64(cfg.Calls),
 			SimMS:       res.SimMS() / float64(cfg.Calls),
 		})
 	}
+	for _, op := range ops {
+		measure(op.name, op.body)
+	}
+
+	// The same GetD hot path with the superstep checkpoint manager armed
+	// (chaos disarmed) and D registered, snapshotting at every barrier.
+	// This baselines the recovery tax and pins the property that the
+	// snapshot path allocates nothing in steady state — its shadow
+	// buffers are allocated once at registration, never per barrier.
+	rt.ArmCheckpoints(1)
+	pgas.Register(rt, "D", d)
+	measure("collective/GetD+ckpt", func(th *pgas.Thread) {
+		comm.GetD(th, d, idx[th.ID], out[th.ID], opts, &caches[th.ID])
+	})
+	rt.DisarmCheckpoints()
 	return records, nil
 }
 
@@ -184,27 +199,32 @@ func emptyRegionMallocs(rt *pgas.Runtime) float64 {
 // does not depend on the host. The exception is the cc.Naive-derived
 // series (fig2 naive/smp, fig4 smp): naive CC races unsynchronized
 // one-sided ops, so its simulated time varies with goroutine scheduling —
-// those records are marked Async and compared loosely.
+// those records are marked Async and carry the run's convergence
+// iteration count as RacyOps — naive CC's per-iteration work is a fixed
+// edge scan, so simulated time scales with iterations — and CompareBench
+// scales their tolerance by the racy-work ratio the schedule produced.
 func Figures(cfg Config) []report.BenchRecord {
 	ecfg := experiments.Config{Scale: cfg.Scale, Seed: cfg.Seed}
 	var records []report.BenchRecord
 	simRec := func(name string, ns float64) {
 		records = append(records, report.BenchRecord{Name: name, SimMS: ns / 1e6})
 	}
-	asyncRec := func(name string, ns float64) {
-		records = append(records, report.BenchRecord{Name: name, SimMS: ns / 1e6, Async: true})
+	asyncRec := func(name string, ns float64, racyIters int) {
+		records = append(records, report.BenchRecord{
+			Name: name, SimMS: ns / 1e6, Async: true, RacyOps: float64(racyIters),
+		})
 	}
 
 	f2 := experiments.RunFig02(ecfg)
 	for _, row := range f2.Rows {
-		asyncRec(fmt.Sprintf("fig2/%s/naive", row.Name), row.NaiveNS)
-		asyncRec(fmt.Sprintf("fig2/%s/smp", row.Name), row.SMPNS)
+		asyncRec(fmt.Sprintf("fig2/%s/naive", row.Name), row.NaiveNS, row.NaiveIters)
+		asyncRec(fmt.Sprintf("fig2/%s/smp", row.Name), row.SMPNS, row.SMPIters)
 	}
 	f4 := experiments.RunFig04(ecfg)
 	for i := range f4.Inputs {
 		in := &f4.Inputs[i]
 		simRec(fmt.Sprintf("fig4/%s/best", in.Name), in.NS[in.Best()])
-		asyncRec(fmt.Sprintf("fig4/%s/smp", in.Name), in.SMPNS)
+		asyncRec(fmt.Sprintf("fig4/%s/smp", in.Name), in.SMPNS, in.SMPIters)
 	}
 	f6 := experiments.RunFig06(ecfg)
 	for _, bar := range f6.Bars {

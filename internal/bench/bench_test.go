@@ -19,6 +19,7 @@ func TestCollectivesRecords(t *testing.T) {
 	want := map[string]bool{
 		"collective/GetD": true, "collective/SetD": true, "collective/SetDMin": true,
 		"collective/Exchange": true, "collective/GetDPair": true, "collective/PlanReuse": true,
+		"collective/GetD+ckpt": true,
 	}
 	if len(recs) != len(want) {
 		t.Fatalf("got %d records, want %d", len(recs), len(want))
@@ -45,6 +46,12 @@ func TestCollectivesRecords(t *testing.T) {
 	if byName["collective/PlanReuse"] >= byName["collective/GetD"] {
 		t.Errorf("PlanReuse sim %f ms/op not below rebuilding GetD %f ms/op",
 			byName["collective/PlanReuse"], byName["collective/GetD"])
+	}
+	// The checkpointed record pays the snapshot tax (commit barrier +
+	// block copy) on top of the identical GetD, and nothing else.
+	if byName["collective/GetD+ckpt"] <= byName["collective/GetD"] {
+		t.Errorf("checkpointed GetD sim %f ms/op not above plain GetD %f ms/op",
+			byName["collective/GetD+ckpt"], byName["collective/GetD"])
 	}
 }
 

@@ -8,6 +8,12 @@ import (
 
 // Error-returning variants: classified runtime failures (see pgas.Error)
 // come back as error values instead of panics. Kernel bugs still panic.
+//
+// Recoverable state (pgas.Registrar): none. BFS dist is monotone, but the
+// frontier is not reconstructible from an arbitrary superstep cut — a
+// restored dist with no frontier strands the traversal short of the
+// fringe, so a partial snapshot would silently truncate distances. After
+// an eviction BFS recovers by full deterministic re-execution.
 
 // CoalescedE is Coalesced returning classified runtime failures as errors.
 func CoalescedE(rt *pgas.Runtime, comm *collective.Comm, g *graph.Graph, src int64, colOpts *collective.Options) (res *Result, err error) {

@@ -111,6 +111,7 @@ func finish(d *pgas.SharedArray, iters int, run *pgas.Result) *Result {
 func Naive(rt *pgas.Runtime, g *graph.Graph) *Result {
 	d := rt.NewSharedArray("D", g.N)
 	d.FillIdentity()
+	pgas.Register(rt, CkptNaiveD, d)
 	red := pgas.NewOrReducer(rt)
 	m := g.M()
 	iterations := 0
@@ -187,6 +188,7 @@ func Naive(rt *pgas.Runtime, g *graph.Graph) *Result {
 func Coalesced(rt *pgas.Runtime, comm *collective.Comm, g *graph.Graph, opts *Options) *Result {
 	d := rt.NewSharedArray("D", g.N)
 	d.FillIdentity()
+	pgas.Register(rt, CkptCoalescedD, d)
 	red := pgas.NewOrReducer(rt)
 	col := opts.col()
 	compact := opts.compact()
@@ -353,6 +355,7 @@ func shortcut(th *pgas.Thread, comm *collective.Comm, d *pgas.SharedArray,
 func SV(rt *pgas.Runtime, comm *collective.Comm, g *graph.Graph, opts *Options) *Result {
 	d := rt.NewSharedArray("D", g.N)
 	d.FillIdentity()
+	pgas.Register(rt, CkptSVD, d)
 	red := pgas.NewOrReducer(rt)
 	col := opts.col()
 	compact := opts.compact()

@@ -13,6 +13,25 @@ import (
 // reroute, or report without recovering panics itself. Kernel bugs still
 // panic. The panicking names remain the convenient API for fault-free use.
 
+// Recoverable state (pgas.Registrar): the label kernels register their D
+// array under the names below, so a checkpointing supervisor resumes them
+// from the last committed superstep boundary after an eviction. They
+// qualify because D is monotone (labels only decrease from the identity
+// fill) and every iteration rescans the full edge list, so any quiesced
+// intermediate labeling converges to the same answer — including a
+// restored snapshot re-blocked over fewer threads. The per-entry-point
+// names keep snapshots from different kernels in one supervised body from
+// contaminating each other. MergeCGM, SpanningTree, and Bipartite register
+// nothing: CGM merge rounds accumulate edges in host-side slices and the
+// tree/bipartite kernels carry parent/side state whose consistency spans
+// barriers, none of which survives a cut — they recover by deterministic
+// re-execution instead.
+const (
+	CkptNaiveD     = "cc.naive.D"
+	CkptCoalescedD = "cc.coalesced.D"
+	CkptSVD        = "cc.sv.D"
+)
+
 // NaiveE is Naive returning classified runtime failures as errors.
 func NaiveE(rt *pgas.Runtime, g *graph.Graph) (res *Result, err error) {
 	defer pgas.Recover(&err)

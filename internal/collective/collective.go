@@ -288,9 +288,26 @@ func (c *Comm) SetTracer(t Tracer) {
 	c.chaosTracer, _ = t.(ChaosTracer)
 }
 
+// checkLive panics with a classified ErrMisuse when this Comm's geometry
+// is stale: its runtime was retired by an eviction, or th belongs to a
+// different (remapped) runtime than the one the Comm — and every Plan
+// bound to it — captured. Plans bake the geometry in (per-thread
+// grouping, the s×s publish matrices), so after an eviction they must be
+// rebuilt on the remapped runtime: block ownership moved, and a stale
+// plan would silently serve the old distribution. Live geometries pay two
+// pointer compares and keep plan reuse bit-identical.
+func (c *Comm) checkLive(th *pgas.Thread) {
+	if c.rt.Retired() || th.Runtime() != c.rt {
+		panic(pgas.Errorf(pgas.ErrMisuse, th.ID, "collective",
+			"geometry changed by eviction: rebuild the Comm and its Plans on the remapped runtime"))
+	}
+}
+
 // traced wraps a collective body with per-call profiling: simulated-time
-// deltas, host wall-clock time, and scratch-growth counts.
+// deltas, host wall-clock time, and scratch-growth counts. It is on every
+// collective execution path, so it also carries the stale-geometry guard.
 func (c *Comm) traced(kind string, th *pgas.Thread, elements int, body func()) {
+	c.checkLive(th)
 	if c.tracer == nil {
 		body()
 		return

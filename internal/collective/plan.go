@@ -97,6 +97,7 @@ func (p *Plan) PlanRequests(th *pgas.Thread, d *pgas.SharedArray, indices []int6
 // semantics: only GetD and SetDMin honor Offload).
 func (p *Plan) planInto(th *pgas.Thread, d *pgas.SharedArray, indices []int64, opts *Options, cache *IDCache, filter bool) {
 	c := p.c
+	c.checkLive(th)
 	st := &c.ts[th.ID]
 	pt := &p.pts[th.ID]
 	pt.opts = *opts

@@ -1,0 +1,67 @@
+package collective
+
+import (
+	"errors"
+	"testing"
+
+	"pgasgraph/internal/pgas"
+)
+
+// TestStaleCommAfterEviction: a Comm (and any Plan built through it) is
+// bound to one runtime geometry. After an eviction remaps the geometry,
+// using the stale Comm — from the retired runtime OR from the remapped
+// runtime's threads — must fail loudly as classified misuse, never
+// silently exchange against dead block boundaries.
+func TestStaleCommAfterEviction(t *testing.T) {
+	rt := testRT(t, 2, 2)
+	d := rt.NewSharedArray("D", 100)
+	d.FillIdentity()
+	comm := NewComm(rt)
+	plan := comm.NewPlan()
+
+	// Warm the plan on the live geometry; reuse on the same geometry is
+	// the supported fast path and must keep working.
+	rt.Run(func(th *pgas.Thread) {
+		idx := []int64{1, 5, 9}
+		out := make([]int64, 3)
+		plan.PlanRequests(th, d, idx, Base(), nil)
+		plan.GetD(th, d, out)
+		plan.GetD(th, d, out)
+	})
+
+	nrt, err := rt.Evict([]int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd := nrt.NewSharedArray("D", 100)
+	nd.FillIdentity()
+
+	// The remapped runtime's threads must be rejected by the old Comm.
+	_, err = nrt.RunE(func(th *pgas.Thread) {
+		out := make([]int64, 1)
+		comm.GetD(th, nd, []int64{2}, out, Base(), nil)
+	})
+	if !errors.Is(err, pgas.ErrMisuse) {
+		t.Fatalf("stale Comm on remapped runtime: err = %v, want ErrMisuse", err)
+	}
+
+	// Stale Plan reuse must be rejected the same way (the cached exchange
+	// geometry is meaningless after the remap).
+	_, err = nrt.RunE(func(th *pgas.Thread) {
+		out := make([]int64, 3)
+		plan.GetD(th, nd, out)
+	})
+	if !errors.Is(err, pgas.ErrMisuse) {
+		t.Fatalf("stale Plan on remapped runtime: err = %v, want ErrMisuse", err)
+	}
+
+	// A fresh Comm on the remapped runtime works.
+	ncomm := NewComm(nrt)
+	nrt.Run(func(th *pgas.Thread) {
+		out := make([]int64, 2)
+		ncomm.GetD(th, nd, []int64{int64(th.ID), 50}, out, Base(), nil)
+		if out[0] != int64(th.ID) || out[1] != 50 {
+			t.Errorf("thread %d: fresh Comm returned %v", th.ID, out)
+		}
+	})
+}

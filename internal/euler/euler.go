@@ -220,4 +220,6 @@ func accumulate(total, part *pgas.Result) {
 	total.CacheMisses += part.CacheMisses
 	total.Faults += part.Faults
 	total.Retries += part.Retries
+	total.Checkpoints += part.Checkpoints
+	total.CheckpointBytes += part.CheckpointBytes
 }

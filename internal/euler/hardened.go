@@ -6,6 +6,12 @@ import (
 	"pgasgraph/internal/pgas"
 )
 
+// Recoverable state (pgas.Registrar): none. The tour is a multi-phase
+// pipeline (successor linking, list ranking, prefix extraction) whose
+// intermediate arrays only mean anything relative to the phase that built
+// them; a cross-phase snapshot cut is unresumable. After an eviction the
+// tour recovers by full deterministic re-execution.
+
 // TourE is Tour returning classified runtime failures (see pgas.Error) as
 // error values instead of panics — the whole multi-phase pipeline unwinds
 // on the first classified failure. Kernel bugs still panic.

@@ -17,7 +17,13 @@ type Fig02 struct {
 	Rows []Fig02Row
 }
 
-// Fig02Row is one input graph's measurement.
+// Fig02Row is one input graph's measurement. The iteration counts double
+// as the racy-work measure behind the NS fields: naive CC's per-iteration
+// work is a fixed full edge scan, so its scheduling-dependent simulated
+// time is proportional to how many iterations the racy label propagation
+// took to converge. Benchmark records built from these rows carry the
+// count as RacyOps so their tolerance scales with the work the schedule
+// actually did.
 type Fig02Row struct {
 	Name       string
 	N, M       int64

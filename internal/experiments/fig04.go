@@ -20,12 +20,15 @@ type Fig04 struct {
 	Inputs  []Fig04Input
 }
 
-// Fig04Input is the t' sweep for one input graph.
+// Fig04Input is the t' sweep for one input graph. SMPIters is the naive
+// baseline's convergence iteration count — the racy-work measure behind
+// SMPNS (see Fig02Row).
 type Fig04Input struct {
-	Name  string
-	N, M  int64
-	SMPNS float64   // prior SMP implementation (naive, one node)
-	NS    []float64 // collectives time per t' in Fig04.TPrimes
+	Name     string
+	N, M     int64
+	SMPNS    float64   // prior SMP implementation (naive, one node)
+	SMPIters int       // racy iterations behind SMPNS
+	NS       []float64 // collectives time per t' in Fig04.TPrimes
 }
 
 // Best returns the index of the fastest t'.
@@ -60,7 +63,9 @@ func RunFig04(cfg Config) *Fig04 {
 		row := Fig04Input{Name: in.name, N: g.N, M: g.M()}
 
 		smpRT := cfg.Runtime(1, tpn)
-		row.SMPNS = cc.Naive(smpRT, g).Run.SimNS
+		smp := cc.Naive(smpRT, g)
+		row.SMPNS = smp.Run.SimNS
+		row.SMPIters = smp.Iterations
 
 		for _, tp := range f.TPrimes {
 			rt := cfg.Runtime(1, tpn)

@@ -7,6 +7,12 @@ import (
 
 // Error-returning variants: classified runtime failures (see pgas.Error)
 // come back as error values instead of panics. Kernel bugs still panic.
+//
+// Recoverable state (pgas.Registrar): none. Wyllie's rank and next arrays
+// must advance in lock step — restoring a cut where rank has absorbed a
+// jump that next has not (or vice versa) double-counts or loses distance.
+// After an eviction list ranking recovers by full deterministic
+// re-execution.
 
 // WyllieE is Wyllie returning classified runtime failures as errors.
 func WyllieE(rt *pgas.Runtime, comm *collective.Comm, l *List, colOpts *collective.Options) (res *Result, err error) {

@@ -6,6 +6,12 @@ import (
 	"pgasgraph/internal/pgas"
 )
 
+// Recoverable state (pgas.Registrar): none. Luby's per-round random
+// priorities and the in/out/undecided partition are coupled within a
+// round; a snapshot cut between the draw and the resolution is not a
+// state the algorithm ever quiesces in. After an eviction MIS recovers by
+// full deterministic re-execution.
+
 // LubyE is Luby returning classified runtime failures (see pgas.Error) as
 // error values instead of panics. Kernel bugs still panic.
 func LubyE(rt *pgas.Runtime, comm *collective.Comm, g *graph.Graph, colOpts *collective.Options) (res *Result, err error) {

@@ -8,6 +8,12 @@ import (
 
 // Error-returning variants: classified runtime failures (see pgas.Error)
 // come back as error values instead of panics. Kernel bugs still panic.
+//
+// Recoverable state (pgas.Registrar): none. Borůvka rounds accumulate
+// chosen edges in host-side slices outside any shared array; a restored
+// component labeling without the matching edge set would double-pick or
+// drop tree edges. After an eviction MST recovers by full deterministic
+// re-execution.
 
 // NaiveE is Naive returning classified runtime failures as errors.
 func NaiveE(rt *pgas.Runtime, g *graph.Graph) (res *Result, err error) {

@@ -46,6 +46,16 @@ type ChaosConfig struct {
 	// wait category).
 	StallRate float64
 	StallNS   float64
+	// KillRate is the probability a thread is permanently evicted at a
+	// fault point (a barrier arrival or a remote transfer): the thread
+	// panics with a classified ErrEvicted and never executes again on
+	// this runtime. Unlike every other fault kind there is no retry —
+	// recovery requires remapping the geometry and rolling back to a
+	// checkpoint (package recover). Zero (the default, including in
+	// DefaultChaos) disables eviction entirely; kill verdicts ride a
+	// salted stream off the existing draw counters, so arming kills does
+	// not shift any other fault kind's schedule.
+	KillRate float64
 	// MaxAttempts bounds transport retransmits and serve-phase replays.
 	// At least 1 (a single attempt, no retries).
 	MaxAttempts int
@@ -80,21 +90,26 @@ type ChaosStats struct {
 	Drops    int64
 	Corrupts int64
 	Stalls   int64
+	Kills    int64 // permanent thread evictions
 	Retries  int64 // backoff-and-retry rounds (transport and serve replays)
 }
 
 // Faults is the total number of injected faults across all kinds.
 func (s *ChaosStats) Faults() int64 {
-	return s.Delays + s.Dups + s.Drops + s.Corrupts + s.Stalls
+	return s.Delays + s.Dups + s.Drops + s.Corrupts + s.Stalls + s.Kills
 }
 
-func (s *ChaosStats) add(o *ChaosStats) {
+// Add accumulates o into s; recovery supervisors use it to total the
+// injector counters across eviction rounds (arming a remapped runtime
+// resets the live counters).
+func (s *ChaosStats) Add(o ChaosStats) {
 	s.Ops += o.Ops
 	s.Delays += o.Delays
 	s.Dups += o.Dups
 	s.Drops += o.Drops
 	s.Corrupts += o.Corrupts
 	s.Stalls += o.Stalls
+	s.Kills += o.Kills
 	s.Retries += o.Retries
 }
 
@@ -129,6 +144,16 @@ func (rt *Runtime) DisarmChaos() { rt.chaos = nil }
 // ChaosArmed reports whether fault injection is active.
 func (rt *Runtime) ChaosArmed() bool { return rt.chaos != nil }
 
+// ChaosConfig returns the armed injector configuration and whether one is
+// armed — recovery supervisors use it to re-arm a remapped runtime with
+// the same seed (the determinism guarantee spans eviction rounds).
+func (rt *Runtime) ChaosConfig() (ChaosConfig, bool) {
+	if rt.chaos == nil {
+		return ChaosConfig{}, false
+	}
+	return rt.chaos.cfg, true
+}
+
 // ChaosMaxAttempts returns the armed retry budget (1 when disarmed: a
 // single attempt, no retries).
 func (rt *Runtime) ChaosMaxAttempts() int {
@@ -145,7 +170,7 @@ func (rt *Runtime) ChaosStats() ChaosStats {
 		return total
 	}
 	for i := range rt.chaos.pts {
-		total.add(&rt.chaos.pts[i].stats)
+		total.Add(rt.chaos.pts[i].stats)
 	}
 	return total
 }
@@ -166,6 +191,12 @@ func (rt *Runtime) ChaosThreadStats() []ChaosStats {
 // chaosStallSalt separates the barrier-stall stream from the transfer
 // stream so tuning one rate never shifts the other's verdicts.
 const chaosStallSalt = 0xA5A5A5A55A5A5A5A
+
+// chaosKillSalt separates the eviction stream from both the transfer and
+// the stall streams: kill verdicts reuse the draw counter the enclosing
+// fault point already advanced, so KillRate can be armed or tuned without
+// moving a single drop/corrupt/dup/delay/stall verdict.
+const chaosKillSalt = 0x517CC1B727220A95
 
 // chaosHash is a splitmix64-style mix of (seed, thread, draw counter).
 func chaosHash(seed uint64, thread int, op uint64) uint64 {
@@ -199,6 +230,7 @@ func (th *Thread) TransportFault(cat sim.Category, payload []int64) error {
 	ct := &ch.pts[th.ID]
 	ct.ops++
 	ct.stats.Ops++
+	th.chaosKill(ch, ct, "transfer")
 	h := chaosHash(cfg.Seed, th.ID, ct.ops)
 	u := chaosUnit(h)
 	switch {
@@ -243,7 +275,8 @@ func (th *Thread) ChaosBackoff(attempt int) {
 }
 
 // chaosStall draws the straggler verdict for one barrier arrival, charging
-// the stall to the wait category before the thread rendezvous.
+// the stall to the wait category before the thread rendezvous, then the
+// eviction verdict for the same arrival.
 func (th *Thread) chaosStall(ch *chaosState) {
 	cfg := &ch.cfg
 	ct := &ch.pts[th.ID]
@@ -253,5 +286,25 @@ func (th *Thread) chaosStall(ch *chaosState) {
 	if chaosUnit(h) < cfg.StallRate {
 		ct.stats.Stalls++
 		th.Clock.Charge(sim.CatWait, cfg.StallNS)
+	}
+	th.chaosKill(ch, ct, "Barrier")
+}
+
+// chaosKill draws the eviction verdict for the fault point whose draw
+// counter ct.ops already names. A kill panics with a classified
+// ErrEvicted: the thread is gone for good, the barrier is poisoned by the
+// normal path, and RunE aggregates every kill in the region into one
+// EvictionError. Because the thread never executes past this point, its
+// draw stream ends here — every verdict it produced up to the kill is
+// already fixed, so the surviving threads' schedules are untouched.
+func (th *Thread) chaosKill(ch *chaosState, ct *chaosThread, op string) {
+	cfg := &ch.cfg
+	if cfg.KillRate <= 0 {
+		return
+	}
+	h := chaosHash(cfg.Seed^chaosKillSalt, th.ID, ct.ops)
+	if chaosUnit(h) < cfg.KillRate {
+		ct.stats.Kills++
+		panic(Errorf(ErrEvicted, th.ID, op, "thread killed (draw %d)", ct.ops))
 	}
 }

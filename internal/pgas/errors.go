@@ -31,6 +31,14 @@ var (
 	// the panic value is classified so RunE and the verify harness can
 	// tell it apart from a transport failure.
 	ErrMisuse = errors.New("runtime misuse")
+	// ErrEvicted is the permanent loss of a thread: the chaos injector's
+	// Kill fault (or a real node death, in the machine the model stands in
+	// for) removed it mid-superstep and it will never arrive at another
+	// barrier. Unlike the transient classes above there is nothing to
+	// retry; recovery means remapping the dead thread's block ownership
+	// onto the survivors and rolling back to the last checkpoint (package
+	// recover drives that loop).
+	ErrEvicted = errors.New("thread evicted")
 )
 
 // Error is a classified runtime failure: a class from the Err* set above
@@ -62,8 +70,40 @@ func Errorf(class error, thread int, op, format string, args ...interface{}) *Er
 	return &Error{Class: class, Thread: thread, Op: op, Detail: fmt.Sprintf(format, args...)}
 }
 
+// EvictionError is the region-level outcome RunE returns when one or more
+// threads were permanently evicted: every evicted thread's id, in
+// ascending order, regardless of which one happened to poison the barrier
+// first — so the survivor set (and everything downstream: the remapped
+// geometry, the recovery schedule, the soak digest) is a pure function of
+// the fault schedule, never of goroutine interleaving.
+type EvictionError struct {
+	Threads []int // evicted thread ids, ascending
+}
+
+// Error names the evicted threads.
+func (e *EvictionError) Error() string {
+	return fmt.Sprintf("pgas: %v: threads %v lost mid-superstep", ErrEvicted, e.Threads)
+}
+
+// Unwrap exposes ErrEvicted to errors.Is.
+func (e *EvictionError) Unwrap() error { return ErrEvicted }
+
+// Evicted returns the evicted thread ids when err is (or wraps) an
+// EvictionError, and nil otherwise. This is the dispatch point recovery
+// supervisors branch on: a non-nil result means the runtime geometry is
+// gone and the caller must remap before retrying.
+func Evicted(err error) []int {
+	var ev *EvictionError
+	if errors.As(err, &ev) {
+		return ev.Threads
+	}
+	return nil
+}
+
 // Classified reports whether a recovered panic value (or error) carries a
 // runtime classification, returning the classified error when it does.
+// An EvictionError counts as classified (class ErrEvicted) even though it
+// aggregates several threads' failures into one value.
 func Classified(v interface{}) (*Error, bool) {
 	err, ok := v.(error)
 	if !ok {
@@ -72,6 +112,14 @@ func Classified(v interface{}) (*Error, bool) {
 	var e *Error
 	if errors.As(err, &e) {
 		return e, true
+	}
+	var ev *EvictionError
+	if errors.As(err, &ev) {
+		t := -1
+		if len(ev.Threads) > 0 {
+			t = ev.Threads[0]
+		}
+		return Errorf(ErrEvicted, t, "Run", "%v", ev), true
 	}
 	return nil, false
 }
@@ -93,7 +141,8 @@ func Recover(err *error) {
 	}
 	if e, ok := r.(error); ok {
 		var ce *Error
-		if errors.As(e, &ce) {
+		var ev *EvictionError
+		if errors.As(e, &ce) || errors.As(e, &ev) {
 			*err = e
 			return
 		}

@@ -1,0 +1,212 @@
+package pgas
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// Direct unit tests for the failure-class taxonomy: every class must
+// survive errors.Is / errors.As dispatch, wrapping with %w, and the
+// Recover seam, with the root cause preserved end to end. The soak tests
+// exercise these paths statistically; these pin them one by one.
+
+var allClasses = []struct {
+	name  string
+	class error
+}{
+	{"transport", ErrTransport},
+	{"timeout", ErrTimeout},
+	{"corrupt", ErrCorrupt},
+	{"misuse", ErrMisuse},
+	{"evicted", ErrEvicted},
+}
+
+// TestClassDispatch: an Errorf-built failure answers errors.Is for its
+// own class only, and errors.As recovers the *Error with its fields.
+func TestClassDispatch(t *testing.T) {
+	for _, tc := range allClasses {
+		err := Errorf(tc.class, 3, "GetBulk", "detail %d", 42)
+		for _, other := range allClasses {
+			if got, want := errors.Is(err, other.class), other.class == tc.class; got != want {
+				t.Errorf("%s: errors.Is(err, %s) = %v, want %v", tc.name, other.name, got, want)
+			}
+		}
+		var ce *Error
+		if !errors.As(err, &ce) {
+			t.Fatalf("%s: errors.As(*Error) failed", tc.name)
+		}
+		if ce.Thread != 3 || ce.Op != "GetBulk" || ce.Detail != "detail 42" {
+			t.Errorf("%s: fields lost: %+v", tc.name, ce)
+		}
+	}
+}
+
+// TestClassDispatchWrapped: classification must survive arbitrary %w
+// wrapping layers — a caller annotating a classified failure keeps both
+// the class and the original *Error reachable.
+func TestClassDispatchWrapped(t *testing.T) {
+	for _, tc := range allClasses {
+		root := Errorf(tc.class, 1, "serve GetD", "root cause")
+		wrapped := fmt.Errorf("round 7: %w", fmt.Errorf("check cc/naive: %w", root))
+		if !errors.Is(wrapped, tc.class) {
+			t.Errorf("%s: class lost through wrapping", tc.name)
+		}
+		var ce *Error
+		if !errors.As(wrapped, &ce) {
+			t.Fatalf("%s: *Error lost through wrapping", tc.name)
+		}
+		if ce != root {
+			t.Errorf("%s: errors.As recovered a different *Error than the root", tc.name)
+		}
+	}
+}
+
+// TestEvictionError: the aggregate region outcome reports every evicted
+// thread, unwraps to ErrEvicted, and is visible through Evicted — with
+// and without wrapping.
+func TestEvictionError(t *testing.T) {
+	ev := &EvictionError{Threads: []int{1, 4, 6}}
+	if !errors.Is(ev, ErrEvicted) {
+		t.Fatal("EvictionError does not unwrap to ErrEvicted")
+	}
+	if errors.Is(ev, ErrTransport) || errors.Is(ev, ErrTimeout) {
+		t.Fatal("EvictionError matches a transient class")
+	}
+	if got := Evicted(ev); len(got) != 3 || got[0] != 1 || got[1] != 4 || got[2] != 6 {
+		t.Fatalf("Evicted(ev) = %v", got)
+	}
+	wrapped := fmt.Errorf("supervised run: %w", ev)
+	if got := Evicted(wrapped); len(got) != 3 {
+		t.Fatalf("Evicted(wrapped) = %v", got)
+	}
+	if Evicted(Errorf(ErrTimeout, 0, "x", "y")) != nil {
+		t.Fatal("Evicted matched a non-eviction error")
+	}
+	if Evicted(nil) != nil {
+		t.Fatal("Evicted(nil) non-nil")
+	}
+}
+
+// TestClassified: the panic-value classifier accepts *Error and
+// EvictionError (also wrapped), and rejects plain errors, strings, and
+// non-error values.
+func TestClassified(t *testing.T) {
+	if ce, ok := Classified(Errorf(ErrCorrupt, 2, "GetBulk", "bad crc")); !ok || !errors.Is(ce, ErrCorrupt) {
+		t.Fatalf("Classified(*Error) = %v, %v", ce, ok)
+	}
+	ev := &EvictionError{Threads: []int{5}}
+	ce, ok := Classified(ev)
+	if !ok || !errors.Is(ce, ErrEvicted) {
+		t.Fatalf("Classified(EvictionError) = %v, %v", ce, ok)
+	}
+	if ce.Thread != 5 {
+		t.Errorf("Classified(EvictionError).Thread = %d, want first evicted id", ce.Thread)
+	}
+	if wce, ok := Classified(fmt.Errorf("wrap: %w", ev)); !ok || !errors.Is(wce, ErrEvicted) {
+		t.Fatalf("Classified(wrapped EvictionError) = %v, %v", wce, ok)
+	}
+	for _, v := range []interface{}{nil, "a string panic", 42, errors.New("plain"), fmt.Errorf("w: %w", errors.New("plain"))} {
+		if _, ok := Classified(v); ok {
+			t.Errorf("Classified(%v) accepted an unclassified value", v)
+		}
+	}
+}
+
+// TestRecoverSeam: the deferred Recover converts classified panics —
+// *Error, EvictionError, and wrapped forms — into error returns with the
+// root cause intact, and re-panics everything else.
+func TestRecoverSeam(t *testing.T) {
+	catch := func(p interface{}) (err error) {
+		defer Recover(&err)
+		panic(p)
+	}
+	root := Errorf(ErrTimeout, 2, "GetBulk", "retries exhausted")
+	if err := catch(root); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Recover(*Error) = %v", err)
+	} else {
+		var ce *Error
+		if !errors.As(err, &ce) || ce != root {
+			t.Fatal("Recover lost the root *Error")
+		}
+	}
+	ev := &EvictionError{Threads: []int{0, 3}}
+	if err := catch(ev); Evicted(err) == nil {
+		t.Fatalf("Recover(EvictionError) = %v, eviction ids lost", err)
+	}
+	if err := catch(fmt.Errorf("annotated: %w", root)); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Recover(wrapped *Error) = %v", err)
+	}
+	for _, p := range []interface{}{"kernel bug", errors.New("plain error")} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Recover swallowed unclassified panic %v", p)
+				}
+			}()
+			_ = catch(p)
+		}()
+	}
+}
+
+// TestRunERootCause: a classified panic raised inside a region comes out
+// of RunE as an error preserving class, thread, op, and detail — the
+// whole chain, not a re-synthesized summary.
+func TestRunERootCause(t *testing.T) {
+	rt := testRT(t, 2, 2)
+	root := Errorf(ErrCorrupt, 2, "serve SetD", "checksum mismatch word 9")
+	_, err := rt.RunE(func(th *Thread) {
+		th.Barrier()
+		if th.ID == 2 {
+			panic(root)
+		}
+		th.Barrier() // survivors park here and unwind via the poisoned barrier
+	})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("RunE error lost its class: %v", err)
+	}
+	var ce *Error
+	if !errors.As(err, &ce) {
+		t.Fatalf("RunE error lost the *Error: %v", err)
+	}
+	if ce != root {
+		t.Errorf("RunE returned a different *Error than the panicking thread raised: %v", ce)
+	}
+}
+
+// TestRunEEviction: eviction panics from multiple threads aggregate into
+// one EvictionError listing every evicted id in ascending order, no
+// matter which thread poisoned the barrier first.
+func TestRunEEviction(t *testing.T) {
+	rt := testRT(t, 2, 3)
+	_, err := rt.RunE(func(th *Thread) {
+		th.Barrier()
+		if th.ID == 4 || th.ID == 1 {
+			panic(Errorf(ErrEvicted, th.ID, "Barrier", "thread killed"))
+		}
+		th.Barrier()
+	})
+	got := Evicted(err)
+	if len(got) != 2 || got[0] != 1 || got[1] != 4 {
+		t.Fatalf("Evicted(err) = %v, want [1 4]", got)
+	}
+	if !errors.Is(err, ErrEvicted) {
+		t.Fatalf("eviction outcome lost its class: %v", err)
+	}
+	// A classified non-eviction failure outranks evictions for the region
+	// verdict only when no eviction happened; with both present the
+	// eviction wins (the geometry is gone — that is the actionable fact).
+	_, err = rt.RunE(func(th *Thread) {
+		th.Barrier()
+		switch th.ID {
+		case 2:
+			panic(Errorf(ErrEvicted, th.ID, "transfer", "thread killed"))
+		case 3:
+			panic(Errorf(ErrTimeout, th.ID, "GetBulk", "retries exhausted"))
+		}
+		th.Barrier()
+	})
+	if got := Evicted(err); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("mixed failure: Evicted(err) = %v, want [2]", got)
+	}
+}

@@ -35,7 +35,10 @@ type Runtime struct {
 	s       int
 	threads []*Thread
 	bar     *barrier
-	chaos   *chaosState // fault injector; nil (free) when disarmed
+	chaos   *chaosState   // fault injector; nil (free) when disarmed
+	ckpt    *Checkpointer // superstep checkpoint manager; nil when disarmed
+	retired bool          // geometry invalidated by Evict; see Retired
+	evicted []int         // cumulative evicted thread ids (original numbering first)
 }
 
 // New validates cfg and returns a runtime with cfg.TotalThreads() threads.
@@ -77,6 +80,66 @@ func (rt *Runtime) Nodes() int { return rt.cfg.Nodes }
 // ThreadsPerNode returns t.
 func (rt *Runtime) ThreadsPerNode() int { return rt.cfg.ThreadsPerNode }
 
+// Retired reports whether this runtime's geometry has been invalidated by
+// Evict: its thread set no longer exists, so plans built against it must
+// be rebuilt on the remapped runtime and SPMD regions refuse to start.
+func (rt *Runtime) Retired() bool { return rt.retired }
+
+// EvictedThreads returns the ids of every thread evicted from this
+// runtime's lineage, in eviction order. Ids are numbered in the geometry
+// they were evicted from (eviction renumbers survivors densely).
+func (rt *Runtime) EvictedThreads() []int {
+	return append([]int(nil), rt.evicted...)
+}
+
+// Evict permanently removes the given threads and returns the remapped
+// runtime the survivors continue on: survivor ids are renumbered densely
+// (relative order preserved) and packed onto nodes t at a time, shared
+// arrays allocated on the new runtime re-block over the survivor count —
+// which is exactly the "remap the dead thread's block ownership onto
+// survivors" step, since recovery re-creates state arrays on the new
+// geometry and the checkpoint manager restores their contents by name —
+// and the cost model is unchanged (the machine still has the same nodes
+// and links; it just lost execution contexts). The receiver is retired:
+// its Run refuses to start and collectives bound to it refuse to execute
+// with a classified ErrMisuse, so a stale Plan can never silently serve
+// the old geometry. Chaos and checkpoint state do NOT carry over
+// automatically; the recovery supervisor re-arms both explicitly.
+func (rt *Runtime) Evict(dead []int) (*Runtime, error) {
+	gone := make(map[int]bool, len(dead))
+	for _, id := range dead {
+		if id < 0 || id >= rt.s {
+			return nil, Errorf(ErrMisuse, -1, "Evict", "thread %d out of range [0,%d)", id, rt.s)
+		}
+		if gone[id] {
+			return nil, Errorf(ErrMisuse, -1, "Evict", "thread %d evicted twice", id)
+		}
+		gone[id] = true
+	}
+	s := rt.s - len(gone)
+	if s < 1 {
+		return nil, Errorf(ErrMisuse, -1, "Evict", "no survivors (evicting %d of %d threads)", len(gone), rt.s)
+	}
+	rt.retired = true
+	nrt := &Runtime{
+		cfg:     rt.cfg,
+		model:   rt.model,
+		s:       s,
+		bar:     newBarrier(s),
+		evicted: append(rt.EvictedThreads(), dead...),
+	}
+	nrt.threads = make([]*Thread, s)
+	for i := 0; i < s; i++ {
+		nrt.threads[i] = &Thread{
+			rt:    nrt,
+			ID:    i,
+			Node:  i / rt.cfg.ThreadsPerNode,
+			Local: i % rt.cfg.ThreadsPerNode,
+		}
+	}
+	return nrt, nil
+}
+
 // Thread is one PGAS execution context. Each Thread is driven by exactly
 // one goroutine during Run; its clock and scratch state are unsynchronized
 // by design.
@@ -109,10 +172,15 @@ type Result struct {
 	CacheMisses float64
 	// Faults and Retries count the chaos injector's activity during the
 	// region: faults injected (drops, corruptions, duplicates, delays,
-	// stalls) and backoff-and-retry rounds they caused. Zero when chaos
-	// is disarmed.
+	// stalls, kills) and backoff-and-retry rounds they caused. Zero when
+	// chaos is disarmed.
 	Faults  int64
 	Retries int64
+	// Checkpoints and CheckpointBytes count the checkpoint manager's
+	// activity during the region: committed superstep snapshots and the
+	// payload copied into them. Zero when checkpointing is disarmed.
+	Checkpoints     int64
+	CheckpointBytes int64
 }
 
 // AvgByCategory returns the per-thread average category breakdown.
@@ -155,18 +223,35 @@ func (rt *Runtime) Run(fn func(th *Thread)) *Result {
 // operational faults through their signatures instead of tearing down the
 // process. Unclassified panics (a kernel bug, an index out of a private
 // slice's range) still propagate as panics.
+//
+// Failure causes are recorded in per-thread slots, not first-to-arrive
+// order, so the outcome of a multi-failure region is deterministic: an
+// unclassified panic (from the lowest-id panicking thread) outranks
+// everything; otherwise, if any thread was evicted (ErrEvicted), every
+// evicted thread in the region is collected — ascending id — into one
+// EvictionError; otherwise the lowest-id thread's classified error is
+// returned. Goroutine scheduling decides none of it.
 func (rt *Runtime) RunE(fn func(th *Thread)) (*Result, error) {
+	if rt.retired {
+		return nil, Errorf(ErrMisuse, -1, "Run",
+			"runtime retired by eviction (%d threads lost); run on the remapped runtime", len(rt.evicted))
+	}
 	var wg sync.WaitGroup
 	wg.Add(rt.s)
 	start := time.Now()
 	var mu sync.Mutex
-	var cause interface{}
+	var fallback interface{} // a peer's wrapped cause, if no breaker recorded
+	causes := make([]interface{}, rt.s)
 	var chaosBase []ChaosStats
 	if rt.chaos != nil {
 		chaosBase = make([]ChaosStats, rt.s)
 		for i := range rt.chaos.pts {
 			chaosBase[i] = rt.chaos.pts[i].stats
 		}
+	}
+	var ckptBase, ckptBytesBase int64
+	if rt.ckpt != nil {
+		ckptBase, ckptBytesBase = rt.ckpt.snapStats()
 	}
 	for _, th := range rt.threads {
 		th.Clock.Reset()
@@ -177,37 +262,63 @@ func (rt *Runtime) RunE(fn func(th *Thread)) (*Result, error) {
 				if r == nil {
 					return
 				}
-				// Record the root cause. A barrierBroken wrapper is a
-				// peer's unwind, not an independent failure: keep only
-				// its cause, and only if the breaker's own recover has
-				// not recorded it already (it normally has — the breaker
-				// records before poisoning the barrier).
-				mu.Lock()
-				if cause == nil {
-					if bb, ok := r.(barrierBroken); ok {
-						cause = bb.cause
-					} else {
-						cause = r
+				// A barrierBroken wrapper is a peer's unwind, not an
+				// independent failure: its cause matters only if the
+				// breaker's own recover never records it (it normally
+				// does — the breaker records before poisoning).
+				if bb, ok := r.(barrierBroken); ok {
+					mu.Lock()
+					if fallback == nil {
+						fallback = bb.cause
 					}
+					mu.Unlock()
+					return
 				}
-				mu.Unlock()
-				if _, ok := r.(barrierBroken); !ok {
-					rt.bar.breakBarrier(r)
-				}
+				causes[th.ID] = r
+				rt.bar.breakBarrier(r)
 			}()
 			fn(th)
 		}(th)
 	}
 	wg.Wait()
-	if cause != nil {
+	var evicted []int
+	var firstClassified error
+	var firstUnclassified interface{}
+	for id, r := range causes {
+		if r == nil {
+			continue
+		}
+		ce, ok := Classified(r)
+		switch {
+		case !ok:
+			if firstUnclassified == nil {
+				firstUnclassified = r
+			}
+		case errors.Is(ce, ErrEvicted):
+			evicted = append(evicted, id)
+		case firstClassified == nil:
+			firstClassified = r.(error)
+		}
+	}
+	if firstUnclassified != nil || len(evicted) > 0 || firstClassified != nil || fallback != nil {
 		rt.bar = newBarrier(rt.s)
-		if err, ok := cause.(error); ok {
+		switch {
+		case firstUnclassified != nil:
+			panic(firstUnclassified)
+		case len(evicted) > 0:
+			return nil, &EvictionError{Threads: evicted}
+		case firstClassified != nil:
+			return nil, firstClassified
+		}
+		// Only a wrapped peer cause was seen (defensive; the breaker
+		// normally records first): classify it like a direct cause.
+		if err, ok := fallback.(error); ok {
 			var ce *Error
 			if errors.As(err, &ce) {
 				return nil, err
 			}
 		}
-		panic(cause)
+		panic(fallback)
 	}
 	res := &Result{Wall: time.Since(start), Threads: rt.s}
 	for _, th := range rt.threads {
@@ -227,6 +338,11 @@ func (rt *Runtime) RunE(fn func(th *Thread)) (*Result, error) {
 			res.Retries += d.Retries - chaosBase[i].Retries
 		}
 	}
+	if rt.ckpt != nil {
+		seq, bytes := rt.ckpt.snapStats()
+		res.Checkpoints = seq - ckptBase
+		res.CheckpointBytes = bytes - ckptBytesBase
+	}
 	return res, nil
 }
 
@@ -236,11 +352,33 @@ func (rt *Runtime) RunE(fn func(th *Thread)) (*Result, error) {
 // Under armed chaos a thread may stall (charged to the wait category)
 // before arriving — the post-barrier clocks still all equal the
 // pre-barrier maximum, stalls included, plus the modeled barrier cost.
+//
+// With a checkpoint manager armed, a due barrier extends into a
+// checkpoint: the last arriver decides due-ness under the barrier lock
+// (so every thread sees the same verdict), each thread copies its own
+// block of every registered array into the inactive shadow buffer, and a
+// second rendezvous commits the snapshot — the copy window is bracketed
+// by two full barriers, so no thread can be mutating superstep k+1 state
+// while a peer still snapshots superstep k (no torn snapshots).
 func (th *Thread) Barrier() {
 	if ch := th.rt.chaos; ch != nil {
 		th.chaosStall(ch)
 	}
-	release := th.rt.bar.await(th.Clock.NS)
+	ck := th.rt.ckpt
+	if ck == nil {
+		release := th.rt.bar.await(th.Clock.NS, nil)
+		th.Clock.AdvanceTo(release)
+		th.Clock.Charge(sim.CatComm, th.rt.model.Barrier(th.rt.s))
+		return
+	}
+	release := th.rt.bar.await(th.Clock.NS, ck.onArrive)
+	th.Clock.AdvanceTo(release)
+	th.Clock.Charge(sim.CatComm, th.rt.model.Barrier(th.rt.s))
+	if !ck.due {
+		return
+	}
+	th.ckptCopy(ck)
+	release = th.rt.bar.await(th.Clock.NS, ck.onCommit)
 	th.Clock.AdvanceTo(release)
 	th.Clock.Charge(sim.CatComm, th.rt.model.Barrier(th.rt.s))
 }
@@ -281,7 +419,13 @@ func newBarrier(n int) *barrier {
 // barrier is (or becomes) broken, await panics instead of blocking
 // forever on a peer that will never arrive; the panic value carries the
 // breaking peer's own panic value as the root cause.
-func (b *barrier) await(clock float64) float64 {
+//
+// onComplete, when non-nil, is invoked exactly once per generation — by
+// the completing arriver, under the barrier lock, before any waiter is
+// released — which makes it the one place per-rendezvous bookkeeping
+// (the checkpoint manager's due-ness and commit transitions) can run
+// race-free and scheduling-independently.
+func (b *barrier) await(clock float64, onComplete func()) float64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.broken {
@@ -296,6 +440,9 @@ func (b *barrier) await(clock float64) float64 {
 		b.release = b.max
 		b.max = 0
 		b.gen++
+		if onComplete != nil {
+			onComplete()
+		}
 		b.cond.Broadcast()
 		return b.release
 	}

@@ -20,6 +20,14 @@ type BenchRecord struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	SimMS       float64 `json:"sim_ms,omitempty"`
 	Async       bool    `json:"async,omitempty"`
+	// RacyOps is the measured racy-work count behind an Async record (the
+	// naive kernels' convergence iteration count). It lets CompareBench
+	// derive the record's tolerance from how much work the run's schedule
+	// actually did instead of a fixed loosened bound: a run that did 1.5x
+	// the baseline's racy work is allowed ~1.5x the per-unit budget, while
+	// a run with identical racy work gets no extra headroom beyond the
+	// per-unit factor (Tolerances.SimRacy).
+	RacyOps float64 `json:"racy_ops,omitempty"`
 }
 
 // BenchReport is the schema of BENCH_collectives.json: the committed
@@ -69,12 +77,19 @@ func ReadBenchReport(path string) (*BenchReport, error) {
 // is loose (CI uses 3x); simulated time is deterministic, so Sim is tight.
 // AllocSlack absorbs the few amortized setup allocations that land
 // differently run to run around an allocs/op near zero. SimAsync applies
-// to records marked Async (scheduling-dependent simulated time); zero
-// falls back to Sim.
+// to records marked Async (scheduling-dependent simulated time) that lack
+// RacyOps on either side; zero falls back to Sim. Async records carrying
+// RacyOps in both baseline and current use a computed tolerance instead:
+// SimRacy scaled by the racy-work ratio (floored at 1), so the bound
+// tracks the schedule the run actually took rather than a worst case.
+// SimRacy sits between Sim and SimAsync: it absorbs the within-iteration
+// variance of a racy schedule (cache behavior depends on the racing
+// values) but not iteration-count swings, which the ratio covers.
 type Tolerances struct {
 	Wall       float64 // current ns/op may be up to Wall x baseline
 	Sim        float64 // current sim_ms may be up to Sim x baseline
 	SimAsync   float64 // like Sim, for Async records (0 = use Sim)
+	SimRacy    float64 // per-racy-work-unit factor for Async records with RacyOps (0 = use Sim)
 	AllocSlack float64 // current allocs/op may exceed Wall x baseline by this
 }
 
@@ -103,7 +118,18 @@ func CompareBench(baseline, current *BenchReport, tol Tolerances) []string {
 				b.Name, c.AllocsPerOp, tol.Wall, b.AllocsPerOp, tol.AllocSlack))
 		}
 		simTol := tol.Sim
-		if b.Async && tol.SimAsync > 0 {
+		switch {
+		case b.Async && b.RacyOps > 0 && c.RacyOps > 0:
+			// Scheduling-dependent record with measured racy work on both
+			// sides: the per-unit budget grows with the racy-work ratio
+			// (never shrinks below one baseline's worth).
+			if tol.SimRacy > 0 {
+				simTol = tol.SimRacy
+			}
+			if ratio := c.RacyOps / b.RacyOps; ratio > 1 {
+				simTol *= ratio
+			}
+		case b.Async && tol.SimAsync > 0:
 			simTol = tol.SimAsync
 		}
 		if b.SimMS > 0 && c.SimMS > b.SimMS*simTol {

@@ -6,6 +6,12 @@ import (
 	"pgasgraph/internal/pgas"
 )
 
+// Recoverable state (pgas.Registrar): none. Delta-stepping's tentative
+// distances are monotone, but the bucket structure is derived state the
+// loop would re-enter empty after a restore — the scan finds no bucket to
+// settle and terminates with unrelaxed vertices. After an eviction SSSP
+// recovers by full deterministic re-execution.
+
 // DeltaSteppingE is DeltaStepping returning classified runtime failures
 // (see pgas.Error) as error values instead of panics. Kernel bugs still
 // panic.

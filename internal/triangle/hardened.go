@@ -8,6 +8,13 @@ import (
 
 // Error-returning variants: classified runtime failures (see pgas.Error)
 // come back as error values instead of panics. Kernel bugs still panic.
+//
+// Recoverable state (pgas.Registrar): none. Triangle counting carries
+// per-thread partial counts in host scalars folded at the end; there is
+// no shared-array state worth snapshotting, and a restored count without
+// its edge cursor would double-count. After an eviction the count
+// recovers by full deterministic re-execution (it is a single pass, so
+// re-execution is the checkpoint-optimal policy anyway).
 
 // DegreesE is Degrees returning classified runtime failures as errors.
 func DegreesE(rt *pgas.Runtime, comm *collective.Comm, g *graph.Graph, colOpts *collective.Options) (deg []int64, run *pgas.Result, err error) {

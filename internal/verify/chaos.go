@@ -8,6 +8,7 @@ import (
 
 	"pgasgraph/internal/collective"
 	"pgasgraph/internal/pgas"
+	recovery "pgasgraph/internal/recover"
 	"pgasgraph/internal/xrand"
 )
 
@@ -35,6 +36,12 @@ const (
 	ChaosWrongAnswer
 	// ChaosHang: the trial exceeded the watchdog timeout. Always a bug.
 	ChaosHang
+	// ChaosRecoveredByRollback: one or more threads were permanently
+	// evicted mid-trial, the recovery supervisor remapped and rolled back,
+	// and the final answer still matched the oracle exactly. Only emitted
+	// in kill mode. (Declared after ChaosHang so older outcome values —
+	// and digests built from them — keep their encodings.)
+	ChaosRecoveredByRollback
 )
 
 func (o ChaosOutcome) String() string {
@@ -47,6 +54,8 @@ func (o ChaosOutcome) String() string {
 		return "WRONG-ANSWER"
 	case ChaosHang:
 		return "HANG"
+	case ChaosRecoveredByRollback:
+		return "recovered-by-rollback"
 	}
 	return "unknown"
 }
@@ -63,6 +72,12 @@ type ChaosTrialResult struct {
 	Err error
 	// Stats counts the faults actually injected and retries spent.
 	Stats pgas.ChaosStats
+	// Rollbacks counts checkpoint rollbacks the trial recovered through
+	// (kill mode only).
+	Rollbacks int
+	// Evicted lists the thread ids evicted across the trial's recovery
+	// rounds (kill mode only).
+	Evicted []int
 	// Trial is the sampled matrix point.
 	Trial *Trial
 }
@@ -79,6 +94,12 @@ type ChaosRunConfig struct {
 	// Timeout is the per-trial watchdog; a trial still running after
 	// this long is reported as a hang. Defaults to 60s.
 	Timeout time.Duration
+	// Kill arms the kill rotation: trials additionally sample a thread
+	// eviction rate and run under the checkpoint/rollback recovery
+	// supervisor. Every evicted trial must end RecoveredByRollback or
+	// cleanly Classified. With Kill false no extra random draws happen,
+	// so non-kill soaks replay their historical schedules exactly.
+	Kill bool
 	// Log, when non-nil, receives per-trial progress lines.
 	Log io.Writer
 }
@@ -87,11 +108,15 @@ type ChaosRunConfig struct {
 type ChaosReport struct {
 	// Trials holds every trial result in order.
 	Trials []ChaosTrialResult
-	// Recovered / Classified / Wrong / Hangs count outcomes.
-	Recovered  int
-	Classified int
-	Wrong      int
-	Hangs      int
+	// Recovered / Classified / Wrong / Hangs / RecoveredByRollback count
+	// outcomes.
+	Recovered           int
+	Classified          int
+	Wrong               int
+	Hangs               int
+	RecoveredByRollback int
+	// Rollbacks totals checkpoint rollbacks across all trials (kill mode).
+	Rollbacks int
 	// Stats sums fault counters across all completed trials.
 	Stats pgas.ChaosStats
 }
@@ -124,14 +149,22 @@ func (r *ChaosReport) Digest() uint64 {
 		mix(uint64(tr.Stats.Corrupts))
 		mix(uint64(tr.Stats.Stalls))
 		mix(uint64(tr.Stats.Retries))
+		mix(uint64(tr.Stats.Kills))
+		mix(uint64(tr.Rollbacks))
+		for _, id := range tr.Evicted {
+			mix(uint64(id))
+		}
 	}
 	return h
 }
 
 // sampleChaosConfig draws a fault schedule for one trial: the default
 // rates scaled by a sampled hostility factor, with an occasional starved
-// retry budget so the classified-failure path gets exercised too.
-func sampleChaosConfig(rng *xrand.Rand) pgas.ChaosConfig {
+// retry budget so the classified-failure path gets exercised too. With
+// kill set it additionally samples a thread-eviction rate; the extra draw
+// happens only in kill mode, so non-kill soaks keep their historical
+// sampling streams bit-for-bit.
+func sampleChaosConfig(rng *xrand.Rand, kill bool) pgas.ChaosConfig {
 	cfg := pgas.DefaultChaos(rng.Uint64())
 	scale := []float64{0.25, 1, 1, 2, 4}[rng.Intn(5)]
 	cfg.DropRate *= scale
@@ -143,6 +176,11 @@ func sampleChaosConfig(rng *xrand.Rand) pgas.ChaosConfig {
 		// Starve the retry budget: a single drawn fault now exhausts
 		// delivery attempts, forcing the loud ErrTimeout path.
 		cfg.MaxAttempts = 1 + rng.Intn(2)
+	}
+	if kill {
+		// Rates span "kills are rare" to "most trials lose a thread":
+		// both the straight-through and the rollback paths get exercised.
+		cfg.KillRate = []float64{0.0002, 0.0005, 0.001, 0.002}[rng.Intn(4)]
 	}
 	return cfg
 }
@@ -176,6 +214,37 @@ func RunCheckChaos(c Check, t *Trial, ccfg pgas.ChaosConfig) (stats pgas.ChaosSt
 	return stats, err
 }
 
+// RunCheckRecover is RunCheckChaos under the eviction-recovery
+// supervisor: the chaos schedule may permanently kill threads, and the
+// supervisor remaps the dead threads' blocks onto the survivors, rolls
+// registered kernel state back to the last committed superstep
+// checkpoint, and re-executes the check body on the degraded geometry.
+// The report carries the rollback count and evicted ids for the outcome
+// ladder and the soak digest.
+func RunCheckRecover(c Check, t *Trial, ccfg pgas.ChaosConfig, rcfg *recovery.Config) (rep *recovery.Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = fmt.Errorf("panic: %w", e)
+			} else {
+				err = fmt.Errorf("panic: %v", r)
+			}
+		}
+		if rep == nil {
+			rep = &recovery.Report{}
+		}
+	}()
+	rt, e := pgas.New(t.Machine)
+	if e != nil {
+		return &recovery.Report{}, fmt.Errorf("machine config: %v", e)
+	}
+	rt.ArmChaos(ccfg)
+	rep, err = recovery.Run(rt, rcfg, func(rt *pgas.Runtime, comm *collective.Comm) error {
+		return c.Run(t, rt, comm)
+	})
+	return rep, err
+}
+
 // ChaosRun executes the chaos soak: each trial samples a matrix point
 // and a fault schedule, rotates to the next applicable battery check,
 // and runs it under a watchdog. Determinism: everything derives from
@@ -196,7 +265,7 @@ func ChaosRun(cfg ChaosRunConfig) *ChaosReport {
 	for round := 0; round < cfg.Trials; round++ {
 		rng := xrand.New(cfg.Seed).Split(0xC4A05 ^ uint64(round))
 		t := SampleTrial(rng, round, cfg.MaxN)
-		ccfg := sampleChaosConfig(rng)
+		ccfg := sampleChaosConfig(rng, cfg.Kill)
 
 		var c Check
 		found := false
@@ -213,35 +282,42 @@ func ChaosRun(cfg ChaosRunConfig) *ChaosReport {
 
 		res := ChaosTrialResult{Round: round, Check: c.Name, Trial: t}
 		type finished struct {
-			stats pgas.ChaosStats
-			err   error
+			stats     pgas.ChaosStats
+			rollbacks int
+			evicted   []int
+			err       error
 		}
 		done := make(chan finished, 1)
 		go func() {
+			if cfg.Kill {
+				rrep, err := RunCheckRecover(c, t, ccfg, nil)
+				done <- finished{rrep.Chaos, rrep.Rollbacks, rrep.Evicted, err}
+				return
+			}
 			stats, err := RunCheckChaos(c, t, ccfg)
-			done <- finished{stats, err}
+			done <- finished{stats: stats, err: err}
 		}()
 		select {
 		case fin := <-done:
 			res.Stats = fin.stats
+			res.Rollbacks = fin.rollbacks
+			res.Evicted = fin.evicted
 			res.Err = fin.err
 			switch {
+			case fin.err == nil && fin.rollbacks > 0:
+				res.Outcome = ChaosRecoveredByRollback
 			case fin.err == nil:
 				res.Outcome = ChaosRecovered
 			case errors.Is(fin.err, pgas.ErrTransport),
 				errors.Is(fin.err, pgas.ErrTimeout),
-				errors.Is(fin.err, pgas.ErrCorrupt):
+				errors.Is(fin.err, pgas.ErrCorrupt),
+				errors.Is(fin.err, pgas.ErrEvicted):
 				res.Outcome = ChaosClassified
 			default:
 				res.Outcome = ChaosWrongAnswer
 			}
-			rep.Stats.Ops += fin.stats.Ops
-			rep.Stats.Delays += fin.stats.Delays
-			rep.Stats.Dups += fin.stats.Dups
-			rep.Stats.Drops += fin.stats.Drops
-			rep.Stats.Corrupts += fin.stats.Corrupts
-			rep.Stats.Stalls += fin.stats.Stalls
-			rep.Stats.Retries += fin.stats.Retries
+			rep.Stats.Add(fin.stats)
+			rep.Rollbacks += fin.rollbacks
 		case <-time.After(cfg.Timeout):
 			res.Outcome = ChaosHang
 			res.Err = fmt.Errorf("trial still running after %v watchdog", cfg.Timeout)
@@ -256,10 +332,16 @@ func ChaosRun(cfg ChaosRunConfig) *ChaosReport {
 			rep.Wrong++
 		case ChaosHang:
 			rep.Hangs++
+		case ChaosRecoveredByRollback:
+			rep.RecoveredByRollback++
 		}
 		if cfg.Log != nil {
 			line := fmt.Sprintf("chaos %d: %s %s faults=%d retries=%d",
 				round, c.Name, res.Outcome, res.Stats.Faults(), res.Stats.Retries)
+			if res.Stats.Kills > 0 || res.Rollbacks > 0 {
+				line += fmt.Sprintf(" kills=%d rollbacks=%d evicted=%v",
+					res.Stats.Kills, res.Rollbacks, res.Evicted)
+			}
 			if res.Err != nil && res.Outcome != ChaosClassified {
 				line += fmt.Sprintf(" err=%v", res.Err)
 			}

@@ -95,6 +95,54 @@ func TestChaosSoakSmall(t *testing.T) {
 	}
 }
 
+// TestChaosKillSoak: a kill-rotation soak must see zero hangs and zero
+// silent wrong answers; at least one trial must actually evict a thread
+// and recover by rollback (otherwise the rotation is inert), and the
+// whole soak must replay digest-identical.
+func TestChaosKillSoak(t *testing.T) {
+	trials := 12
+	if !testing.Short() {
+		trials = 30
+	}
+	cfg := ChaosRunConfig{Seed: 0x51CC, Trials: trials, MaxN: 200, Kill: true}
+	a := ChaosRun(cfg)
+	if !a.OK() {
+		for i := range a.Trials {
+			tr := &a.Trials[i]
+			if tr.Outcome == ChaosWrongAnswer || tr.Outcome == ChaosHang {
+				t.Errorf("trial %d (%s): %s: %v\n  trial: %s", tr.Round, tr.Check, tr.Outcome, tr.Err, tr.Trial)
+			}
+		}
+	}
+	if a.Stats.Kills == 0 {
+		t.Fatal("kill soak never killed a thread — kill rotation inert")
+	}
+	if a.RecoveredByRollback == 0 {
+		t.Fatal("no trial recovered by rollback")
+	}
+	b := ChaosRun(cfg)
+	if a.Digest() != b.Digest() {
+		t.Fatalf("kill soak digests differ: %#x vs %#x", a.Digest(), b.Digest())
+	}
+}
+
+// TestChaosKillOffPreservesSchedules: with Kill false the soak must
+// replay the exact pre-kill-mode schedule — the kill feature must not
+// shift the sampling stream or the per-trial fault schedules of existing
+// soaks (their digests are regression anchors).
+func TestChaosKillOffPreservesSchedules(t *testing.T) {
+	cfg := ChaosRunConfig{Seed: 99, Trials: 8, MaxN: 150}
+	a := ChaosRun(cfg)
+	if a.Stats.Kills != 0 {
+		t.Fatalf("kill-off soak recorded %d kills", a.Stats.Kills)
+	}
+	for i := range a.Trials {
+		if a.Trials[i].Rollbacks != 0 {
+			t.Fatalf("kill-off trial %d rolled back", i)
+		}
+	}
+}
+
 // TestRunCheckChaosClassified: with a starved retry budget and vicious
 // drop rate, a multi-node trial must fail loudly with a classified
 // transport error — never silently, never unclassified.
