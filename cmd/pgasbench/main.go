@@ -97,6 +97,8 @@ func main() {
 	baseline := flag.String("baseline", "", "compare the -json run against this baseline file")
 	tol := flag.Float64("tol", 3, "wall-clock tolerance factor for -baseline")
 	calls := flag.Int("calls", 256, "collective calls per thread in -json mode")
+	transport := flag.String("transport", "inproc", "fabric backend: inproc, or wire for the in-process vs unix-socket comparison table")
+	wireRounds := flag.Int("wirerounds", 2, "sampled graphs per kernel with -transport wire")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, usageLine())
 		fmt.Fprintln(os.Stderr, "       pgasbench -json [-out f] [-baseline f [-tol x]]")
@@ -106,6 +108,25 @@ func main() {
 
 	if *jsonMode {
 		os.Exit(runJSON(*out, *baseline, *tol, *calls, *seed))
+	}
+
+	switch *transport {
+	case "inproc":
+	case "wire":
+		emit := func(t *report.Table) error {
+			switch {
+			case *csv:
+				return t.CSV(os.Stdout)
+			case *markdown:
+				return t.Markdown(os.Stdout)
+			default:
+				return t.Fprint(os.Stdout)
+			}
+		}
+		os.Exit(runWireTable(*seed, *nodes, *wireRounds, emit))
+	default:
+		fmt.Fprintf(os.Stderr, "pgasbench: unknown -transport %q (inproc or wire)\n", *transport)
+		os.Exit(2)
 	}
 
 	if flag.NArg() == 0 {

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"pgasgraph/internal/bfs"
+	"pgasgraph/internal/cc"
+	"pgasgraph/internal/collective"
+	"pgasgraph/internal/mst"
+	"pgasgraph/internal/pgas"
+	"pgasgraph/internal/report"
+	"pgasgraph/internal/verify"
+	"pgasgraph/internal/xrand"
+)
+
+// runWireTable is `pgasbench -transport wire`: the coalesced BFS/CC/MST
+// kernels on sampled graphs, once on the shared in-process fabric and once
+// on a real unix-socket cluster hosted in this process. Simulated time must
+// be bit-identical — the cost model charges below the transport seam — so
+// the table's interesting columns are the wall-clock ratio (real framing,
+// CRC, syscalls) and the answer-identity verdict.
+func runWireTable(seed uint64, nodes, rounds int, emit func(*report.Table) error) int {
+	if nodes < 2 {
+		nodes = 2
+	}
+	if nodes > 4 {
+		nodes = 4 // the conformance geometries top out at 4 seats
+	}
+	const tpn = 2
+
+	type kernel struct {
+		name string
+		run  func(t *verify.Trial, rt *pgas.Runtime, comm *collective.Comm) (sum int64, run *pgas.Result)
+	}
+	kernels := []kernel{
+		{"bfs/coalesced", func(t *verify.Trial, rt *pgas.Runtime, comm *collective.Comm) (int64, *pgas.Result) {
+			r := bfs.Coalesced(rt, comm, t.Graph, t.Src, &t.Opts)
+			return sum64(r.Dist), r.Run
+		}},
+		{"cc/coalesced", func(t *verify.Trial, rt *pgas.Runtime, comm *collective.Comm) (int64, *pgas.Result) {
+			r := cc.Coalesced(rt, comm, t.Graph, &cc.Options{Col: &t.Opts, Compact: t.Compact})
+			return sum64(r.Labels), r.Run
+		}},
+		{"mst/coalesced", func(t *verify.Trial, rt *pgas.Runtime, comm *collective.Comm) (int64, *pgas.Result) {
+			r := mst.Coalesced(rt, comm, t.WGraph, &mst.Options{Col: &t.Opts, Compact: t.Compact})
+			return int64(r.Weight), r.Run
+		}},
+	}
+
+	tb := report.NewTable(
+		fmt.Sprintf("Transport comparison: in-process vs %d-node unix-socket wire (tpn=%d)", nodes, tpn),
+		"round", "kernel", "n", "m", "sim_ms", "wall_inproc", "wall_wire", "identical")
+	tb.AddNote("sim time is charged below the transport seam and must match exactly;")
+	tb.AddNote("wire wall-clock includes mesh connect and per-region replica sync.")
+	tb.AddNote("identity: BFS distance sum / CC label sum per node, MST weight summed over nodes.")
+
+	failures := 0
+	for round := 0; round < rounds; round++ {
+		rng := xrand.New(seed).Split(0xbe7c ^ uint64(round))
+		t := verify.SampleTrial(rng, round, 1200).WithMachine(nodes, tpn)
+		for _, k := range kernels {
+			rt, err := pgas.New(t.Machine)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pgasbench: %v\n", err)
+				return 1
+			}
+			inStart := time.Now()
+			wantSum, wantRun := k.run(t, rt, collective.NewComm(rt))
+			inWall := time.Since(inStart)
+
+			// The wire cluster: every node computes, node sums fold the
+			// distributed MST result; any divergence fails the row.
+			sums := make([]int64, nodes)
+			var simDiverged bool
+			wireStart := time.Now()
+			errs := verify.RunWireCluster(t, nil, verify.WireTimeout,
+				func(node int, rt *pgas.Runtime, comm *collective.Comm) error {
+					s, run := k.run(t, rt, comm)
+					sums[node] = s
+					if run.SimNS != wantRun.SimNS {
+						simDiverged = true
+					}
+					return nil
+				})
+			wireWall := time.Since(wireStart)
+
+			identical := !simDiverged && verifyWireSums(k.name, sums, wantSum)
+			if err := firstErr(errs); err != nil {
+				identical = false
+				fmt.Fprintf(os.Stderr, "pgasbench: wire %s round %d: %v\n", k.name, round, err)
+			}
+			if !identical {
+				failures++
+			}
+			g := t.Graph
+			if k.name == "mst/coalesced" {
+				g = t.WGraph
+			}
+			tb.AddRow(
+				fmt.Sprintf("%d", round),
+				k.name,
+				fmt.Sprintf("%d", g.N),
+				fmt.Sprintf("%d", len(g.U)),
+				fmt.Sprintf("%.3f", float64(wantRun.SimNS)/1e6),
+				inWall.Round(10*time.Microsecond).String(),
+				wireWall.Round(10*time.Microsecond).String(),
+				fmt.Sprintf("%v", identical),
+			)
+		}
+	}
+	if err := emit(tb); err != nil {
+		fmt.Fprintf(os.Stderr, "pgasbench: writing wire table: %v\n", err)
+		return 1
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "pgasbench: %d wire rows diverged from in-process\n", failures)
+		return 1
+	}
+	return 0
+}
+
+// verifyWireSums folds per-node identity sums into the comparison each
+// kernel calls for: BFS and CC produce the full answer on every node (the
+// replicas are synchronized), MST's forest is partitioned so the weights add.
+func verifyWireSums(name string, sums []int64, want int64) bool {
+	if name == "mst/coalesced" {
+		var total int64
+		for _, s := range sums {
+			total += s
+		}
+		return total == want
+	}
+	for _, s := range sums {
+		if s != want {
+			return false
+		}
+	}
+	return true
+}
+
+func sum64(xs []int64) int64 {
+	var s int64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+// Command pgasnode is one node of a multi-process PGAS cluster: it joins
+// the unix-socket mesh under a shared rendezvous directory and runs the
+// wire battery — the transport-conformance subset of the verification
+// harness — as its seat of the SPMD program. Every process samples the
+// same trials from the same seed, so the cluster executes one battery in
+// lockstep with real inter-process data movement.
+//
+// Usage:
+//
+//	pgasnode -launch -nodes 2 -tpn 2 -checks bfs/coalesced,cc/coalesced
+//	    spawn a whole cluster of this binary and wait for it
+//
+//	pgasnode -node 0 -nodes 2 -dir /tmp/mesh ...
+//	    run one seat (what -launch execs p times)
+//
+// The process exits 0 only when every check on every sampled trial passed
+// on this node; a harness mismatch, an unclassified panic, or a wire
+// failure exits 1 and aborts the mesh so peer processes unwind instead of
+// waiting out their deadlines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+
+	"pgasgraph/internal/collective"
+	"pgasgraph/internal/pgas"
+	"pgasgraph/internal/pgas/wiretransport"
+	"pgasgraph/internal/verify"
+	"pgasgraph/internal/xrand"
+)
+
+func main() {
+	launch := flag.Bool("launch", false, "spawn the whole cluster (execs this binary once per node) and wait")
+	nodes := flag.Int("nodes", 2, "cluster size p")
+	tpn := flag.Int("tpn", 2, "threads per node t")
+	node := flag.Int("node", -1, "this process's seat in [0,p) (worker mode)")
+	dir := flag.String("dir", "", "shared rendezvous directory holding the node sockets (worker mode)")
+	seed := flag.Uint64("seed", 1, "trial seed; every node must use the same value")
+	rounds := flag.Int("rounds", 2, "sampled trials to run")
+	maxN := flag.Int64("maxn", 200, "max input size (vertices / list nodes)")
+	checks := flag.String("checks", "", "comma-separated wire battery subset (default: all; see verifyrun -list)")
+	timeout := flag.Duration("timeout", 20*time.Second, "per-operation wire deadline")
+	flag.Parse()
+
+	if *launch {
+		os.Exit(runLauncher(*nodes, *tpn, *seed, *rounds, *maxN, *checks, *timeout))
+	}
+	if *node < 0 || *dir == "" {
+		fmt.Fprintln(os.Stderr, "pgasnode: worker mode needs -node and -dir (or use -launch)")
+		os.Exit(2)
+	}
+	os.Exit(runWorker(*nodes, *tpn, *node, *dir, *seed, *rounds, *maxN, *checks, *timeout))
+}
+
+// runLauncher execs this binary once per seat over a fresh mesh directory
+// and waits; the cluster's verdict is the worst per-node exit code.
+func runLauncher(nodes, tpn int, seed uint64, rounds int, maxN int64, checks string, timeout time.Duration) int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pgasnode: resolve executable: %v\n", err)
+		return 2
+	}
+	dir, err := os.MkdirTemp("", "pgasnode")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pgasnode: mesh dir: %v\n", err)
+		return 2
+	}
+	defer os.RemoveAll(dir)
+
+	cmds := make([]*exec.Cmd, nodes)
+	for nd := 0; nd < nodes; nd++ {
+		cmds[nd] = exec.Command(self,
+			"-node", strconv.Itoa(nd),
+			"-nodes", strconv.Itoa(nodes),
+			"-tpn", strconv.Itoa(tpn),
+			"-dir", dir,
+			"-seed", strconv.FormatUint(seed, 10),
+			"-rounds", strconv.Itoa(rounds),
+			"-maxn", strconv.FormatInt(maxN, 10),
+			"-checks", checks,
+			"-timeout", timeout.String(),
+		)
+		cmds[nd].Stdout = os.Stdout
+		cmds[nd].Stderr = os.Stderr
+		if err := cmds[nd].Start(); err != nil {
+			fmt.Fprintf(os.Stderr, "pgasnode: start node %d: %v\n", nd, err)
+			return 2
+		}
+	}
+	code := 0
+	for nd, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			fmt.Fprintf(os.Stderr, "pgasnode: node %d: %v\n", nd, err)
+			if ec := cmd.ProcessState.ExitCode(); ec > code {
+				code = ec
+			} else if code == 0 {
+				code = 1
+			}
+		}
+	}
+	if code == 0 {
+		fmt.Printf("pgasnode: %d-node cluster passed (%d rounds, tpn=%d)\n", nodes, rounds, tpn)
+	}
+	return code
+}
+
+// runWorker is one seat: join the mesh, then run every sampled trial's
+// applicable checks in the same deterministic order as every other seat.
+// Each check gets a fresh runtime on the shared transport — window names
+// and rendezvous generations stay aligned because every allocation is
+// replayed identically on every node.
+func runWorker(nodes, tpn, node int, dir string, seed uint64, rounds int, maxN int64, checks string, timeout time.Duration) int {
+	filter := map[string]bool{}
+	for _, name := range strings.Split(checks, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			filter[name] = true
+		}
+	}
+	tr, err := wiretransport.Connect(wiretransport.Config{
+		Nodes: nodes, Node: node, Dir: dir, Timeout: timeout,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pgasnode %d: connect: %v\n", node, err)
+		return 1
+	}
+	defer tr.Close()
+
+	battery := verify.WireChecks()
+	for round := 0; round < rounds; round++ {
+		rng := xrand.New(seed).Split(0x31e70 ^ uint64(round))
+		t := verify.SampleTrial(rng, round, maxN).WithMachine(nodes, tpn)
+		for _, c := range battery {
+			if len(filter) > 0 && !filter[c.Name] {
+				continue
+			}
+			if !c.Applicable(t) {
+				continue
+			}
+			if err := runOneCheck(c, t, tr); err != nil {
+				class := "UNCLASSIFIED"
+				if ce, ok := pgas.Classified(err); ok {
+					class = ce.Class.Error()
+				}
+				fmt.Fprintf(os.Stderr, "pgasnode %d: FAIL round %d %s [%s]: %v\n",
+					node, round, c.Name, class, err)
+				tr.Abort(fmt.Sprintf("node %d: %s failed: %v", node, c.Name, err))
+				return 1
+			}
+			if node == 0 {
+				fmt.Printf("pgasnode: round %d %s ok (%dx%d)\n", round, c.Name, nodes, tpn)
+			}
+		}
+	}
+	return 0
+}
+
+// runOneCheck executes one battery check on a fresh runtime over the
+// shared mesh, converting classified panics into errors like the in-process
+// harness does.
+func runOneCheck(c verify.Check, t *verify.Trial, tr pgas.Transport) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = fmt.Errorf("panic: %w", e)
+			} else {
+				err = fmt.Errorf("panic: %v", r)
+			}
+		}
+	}()
+	rt, err := pgas.NewOnTransport(t.Machine, tr)
+	if err != nil {
+		return fmt.Errorf("machine config: %v", err)
+	}
+	return c.Run(t, rt, collective.NewComm(rt))
+}

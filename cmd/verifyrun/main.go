@@ -13,6 +13,9 @@
 //	verifyrun -chaos -trials 200                   # fault-injection soak
 //	verifyrun -chaos -kill -trials 200             # + thread evictions and
 //	                                               #   checkpoint recovery
+//	verifyrun -transport wire -rounds 4            # transport conformance:
+//	                                               #   the wire battery plus
+//	                                               #   the dual-backend soak
 package main
 
 import (
@@ -39,6 +42,7 @@ func main() {
 	watchdog := flag.Duration("watchdog", 60*time.Second, "per-trial hang timeout (with -chaos)")
 	quiet := flag.Bool("quiet", false, "suppress per-round progress lines")
 	list := flag.Bool("list", false, "list check names and exit")
+	transport := flag.String("transport", "inproc", "fabric backend: inproc (shared memory) or wire (unix-socket cluster conformance sweep)")
 	flag.Parse()
 
 	if *list {
@@ -50,6 +54,39 @@ func main() {
 			fmt.Printf("%s%s\n", c.Name, tag)
 		}
 		return
+	}
+
+	switch *transport {
+	case "inproc":
+	case "wire":
+		wcfg := verify.WireRunConfig{
+			Seed:     *seed,
+			Rounds:   *rounds,
+			MaxN:     *maxN,
+			Watchdog: *watchdog,
+		}
+		if *chaos {
+			// Scale the dual-backend soak with -trials; without -chaos the
+			// sweep keeps its small default conformance budget.
+			wcfg.ChaosTrials = *trials
+		}
+		if !*quiet {
+			wcfg.Log = os.Stdout
+		}
+		rep := verify.WireRun(wcfg)
+		fmt.Printf("verifyrun: wire clean=%d/%d chaos=%d recovered=%d classified=%d mismatches=%d hangs=%d\n",
+			rep.CleanRuns-rep.CleanFailures, rep.CleanRuns, rep.ChaosRuns,
+			rep.Recovered, rep.Classified, rep.Mismatches, rep.Hangs)
+		if !rep.OK() {
+			for _, f := range rep.Failures {
+				fmt.Fprintf(os.Stderr, "FAIL %s\n", f)
+			}
+			os.Exit(1)
+		}
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "verifyrun: unknown -transport %q (inproc or wire)\n", *transport)
+		os.Exit(2)
 	}
 
 	if *chaos {

@@ -203,6 +203,7 @@ type threadState struct {
 	packed     []int64 // (owner, position) keys for the QuickSort path
 	cursor     []int64 // bucket cursors for the count-sort, len s
 	snap       []int64 // pre-serve local-block snapshot for chaos replay (grown only when chaos is armed)
+	stage      []int64 // wire-transport staging for a remote peer's request segment (grown only on a wire fabric)
 	segs       []segment
 	scr        sched.Scratch
 	scr2       sched.Scratch // second first-touch tracker for GetDPair
@@ -272,6 +273,10 @@ type Comm struct {
 	rt          *pgas.Runtime
 	s           int
 	par         int // host worker goroutines per thread for serve/permute data movement
+	tr          pgas.Transport
+	wire        bool // the fabric spans processes: peer plan buffers need transport access
+	tpn         int  // threads per node, cached for peer -> node mapping
+	node        int  // this process's node id
 	ts          []threadState
 	splan       *Plan // scratch plan rebuilt by every one-shot collective
 	tracer      Tracer
@@ -330,7 +335,8 @@ func NewComm(rt *pgas.Runtime) *Comm {
 	if err := ValidateGeometry(s); err != nil {
 		panic(err.Error())
 	}
-	c := &Comm{rt: rt, s: s}
+	c := &Comm{rt: rt, s: s, tr: rt.Transport(), tpn: rt.ThreadsPerNode(), node: rt.LocalNode()}
+	c.wire = !c.tr.Shared()
 	c.ts = make([]threadState, s)
 	for i := range c.ts {
 		c.ts[i].cursor = make([]int64, s)

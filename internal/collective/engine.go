@@ -12,6 +12,8 @@
 package collective
 
 import (
+	"errors"
+
 	"pgasgraph/internal/pgas"
 	"pgasgraph/internal/sched"
 	"pgasgraph/internal/sim"
@@ -91,6 +93,9 @@ func (c *Comm) exec(th *pgas.Thread, p *Plan, op *serveOp, d1, d2 *pgas.SharedAr
 		// Second receive buffer, aligned with pt.val, sized before peers
 		// can deliver into it.
 		pt.val2 = sched.Grow64(pt.val2, k, &st.growths)
+		if c.wire {
+			c.tr.Expose(pgas.Win{Kind: pgas.WinPlanVal2, ID: p.wid, Sub: int32(th.ID)}, pt.val2[:k])
+		}
 	}
 	if c.planTracer != nil && pt.execs >= 1 {
 		c.planTracer.PlanReuse(th.ID, int64(k))
@@ -166,6 +171,71 @@ func (c *Comm) xferFault(th *pgas.Thread, peer int, dst []int64) error {
 	return th.TransportFault(sim.CatComm, dst)
 }
 
+// sameProcess reports whether peer's plan buffers live in this process's
+// memory: always on a shared fabric, node-locally on a wire one.
+func (c *Comm) sameProcess(peer int) bool {
+	return !c.wire || peer/c.tpn == c.node
+}
+
+// peerReq returns the peer's request segment for direct reading: the plan
+// buffer itself when the peer shares this process, a wire read into the
+// thread's staging scratch otherwise. The charge and the chaos verdict for
+// the pull stay at the call sites (pullSegment), exactly as on the shared
+// fabric; a real wire failure is classified and aborts the serve attempt.
+func (c *Comm) peerReq(th *pgas.Thread, p *Plan, st *threadState, seg segment) ([]int64, error) {
+	if c.sameProcess(int(seg.peer)) {
+		return p.pts[seg.peer].req[seg.off : seg.off+seg.k], nil
+	}
+	st.stage = st.grow(st.stage, int(seg.k))
+	dst := st.stage[:seg.k]
+	err := c.tr.Get(th, int(seg.peer)/c.tpn, pgas.Win{Kind: pgas.WinPlanReq, ID: p.wid, Sub: seg.peer}, seg.off, dst)
+	return dst, err
+}
+
+// peerCopy copies the peer's plan-window segment into dst: a memory copy
+// when the peer shares this process, one wire read otherwise.
+func (c *Comm) peerCopy(th *pgas.Thread, p *Plan, seg segment, kind pgas.WinKind, dst []int64) error {
+	if c.sameProcess(int(seg.peer)) {
+		pt := &p.pts[seg.peer]
+		src := pt.req
+		if kind == pgas.WinPlanVal {
+			src = pt.val
+		}
+		copy(dst, src[seg.off:seg.off+seg.k])
+		return nil
+	}
+	return c.tr.Get(th, int(seg.peer)/c.tpn, pgas.Win{Kind: kind, ID: p.wid, Sub: seg.peer}, seg.off, dst)
+}
+
+// pushPeer delivers src into the peer's plan receive window (val or val2).
+// When the peer shares this process the words are copied and the chaos
+// verdict lands on the destination, as always. Over the wire the verdict
+// is drawn on the staged source before the frame leaves: a drop withholds
+// the frame entirely, a corruption sends the damaged payload (the peer's
+// CRC catches it — delivered-but-detected), and the serve replay re-sends
+// clean words either way. The draw order and count are identical to the
+// shared fabric, so the fault schedule is backend-independent.
+func (c *Comm) pushPeer(th *pgas.Thread, p *Plan, seg segment, kind pgas.WinKind, src []int64) error {
+	if c.sameProcess(int(seg.peer)) {
+		pt := &p.pts[seg.peer]
+		buf := pt.val
+		if kind == pgas.WinPlanVal2 {
+			buf = pt.val2
+		}
+		dst := buf[seg.off : seg.off+seg.k]
+		copy(dst, src)
+		return c.xferFault(th, int(seg.peer), dst)
+	}
+	verdict := c.xferFault(th, int(seg.peer), src)
+	if verdict != nil && errors.Is(verdict, pgas.ErrTransport) {
+		return verdict
+	}
+	if err := c.tr.Put(th, int(seg.peer)/c.tpn, pgas.Win{Kind: kind, ID: p.wid, Sub: seg.peer}, seg.off, src); err != nil {
+		panic(err)
+	}
+	return verdict
+}
+
 // planSegments fills st.segs with the peer segments thread th serves under
 // the plan's published matrices, in schedule order, and returns the total
 // element count. The stale-matrix fault perturbs a reused plan's offsets
@@ -228,7 +298,10 @@ func serveGather(c *Comm, th *pgas.Thread, p *Plan, d1, d2 *pgas.SharedArray, op
 	st.local = st.grow(st.local, int(total))
 	st.vals = st.grow(st.vals, int(total))
 	for _, seg := range st.segs {
-		reqSeg := p.pts[seg.peer].req[seg.off : seg.off+seg.k]
+		reqSeg, err := c.peerReq(th, p, st, seg)
+		if err != nil {
+			return err
+		}
 		if err := c.pullSegment(th, reqSeg, st.local[seg.pos:seg.pos+seg.k], lo, int(seg.peer), opts); err != nil {
 			return err
 		}
@@ -241,9 +314,7 @@ func serveGather(c *Comm, th *pgas.Thread, p *Plan, d1, d2 *pgas.SharedArray, op
 
 	for _, seg := range st.segs {
 		c.transferCost(th, int(seg.peer), seg.k, false, opts)
-		dst := p.pts[seg.peer].val[seg.off : seg.off+seg.k]
-		copy(dst, st.vals[seg.pos:seg.pos+seg.k])
-		if err := c.xferFault(th, int(seg.peer), dst); err != nil {
+		if err := c.pushPeer(th, p, seg, pgas.WinPlanVal, st.vals[seg.pos:seg.pos+seg.k]); err != nil {
 			return err
 		}
 	}
@@ -263,14 +334,19 @@ func (c *Comm) serveScatter(th *pgas.Thread, p *Plan, d *pgas.SharedArray, opts 
 	st.local = st.grow(st.local, int(total))
 	st.inVal = st.grow(st.inVal, int(total))
 	for _, seg := range st.segs {
-		pt := &p.pts[seg.peer]
-		if err := c.pullSegment(th, pt.req[seg.off:seg.off+seg.k], st.local[seg.pos:seg.pos+seg.k], lo, int(seg.peer), opts); err != nil {
+		reqSeg, err := c.peerReq(th, p, st, seg)
+		if err != nil {
+			return err
+		}
+		if err := c.pullSegment(th, reqSeg, st.local[seg.pos:seg.pos+seg.k], lo, int(seg.peer), opts); err != nil {
 			return err
 		}
 		// Pull the peer's value segment alongside the indices.
 		c.transferCost(th, int(seg.peer), seg.k, true, opts)
 		dst := st.inVal[seg.pos : seg.pos+seg.k]
-		copy(dst, pt.val[seg.off:seg.off+seg.k])
+		if err := c.peerCopy(th, p, seg, pgas.WinPlanVal, dst); err != nil {
+			return err
+		}
 		if err := c.xferFault(th, int(seg.peer), dst); err != nil {
 			return err
 		}
@@ -313,27 +389,26 @@ func servePair(c *Comm, th *pgas.Thread, p *Plan, d1, d2 *pgas.SharedArray, opts
 	st.scr.Reset(hi - lo)
 	st.scr2.Reset(hi - lo)
 	for _, seg := range st.segs {
-		pt := &p.pts[seg.peer]
 		k := seg.k
 		st.local = st.grow(st.local, int(k))
-		if err := c.pullSegment(th, pt.req[seg.off:seg.off+k], st.local[:k], lo, int(seg.peer), opts); err != nil {
+		reqSeg, err := c.peerReq(th, p, st, seg)
+		if err != nil {
+			return err
+		}
+		if err := c.pullSegment(th, reqSeg, st.local[:k], lo, int(seg.peer), opts); err != nil {
 			return err
 		}
 
 		st.vals = st.grow(st.vals, int(k))
 		sched.GatherPar(th, local1, st.local[:k], st.vals[:k], opts.VirtualThreads, opts.LocalCpy, &st.scr, c.par)
 		c.transferCost(th, int(seg.peer), k, false, opts)
-		dst1 := pt.val[seg.off : seg.off+k]
-		copy(dst1, st.vals[:k])
-		if err := c.xferFault(th, int(seg.peer), dst1); err != nil {
+		if err := c.pushPeer(th, p, seg, pgas.WinPlanVal, st.vals[:k]); err != nil {
 			return err
 		}
 
 		sched.GatherPar(th, local2, st.local[:k], st.vals[:k], opts.VirtualThreads, opts.LocalCpy, &st.scr2, c.par)
 		c.transferCost(th, int(seg.peer), k, false, opts)
-		dst2 := pt.val2[seg.off : seg.off+k]
-		copy(dst2, st.vals[:k])
-		if err := c.xferFault(th, int(seg.peer), dst2); err != nil {
+		if err := c.pushPeer(th, p, seg, pgas.WinPlanVal2, st.vals[:k]); err != nil {
 			return err
 		}
 	}
@@ -351,7 +426,9 @@ func serveRoute(c *Comm, th *pgas.Thread, p *Plan, d1, d2 *pgas.SharedArray, opt
 	for _, seg := range st.segs {
 		c.transferCost(th, int(seg.peer), seg.k, true, opts)
 		dst := st.inVal[seg.pos : seg.pos+seg.k]
-		copy(dst, p.pts[seg.peer].req[seg.off:seg.off+seg.k])
+		if err := c.peerCopy(th, p, seg, pgas.WinPlanReq, dst); err != nil {
+			return err
+		}
 		th.ChargeSeq(sim.CatCopy, seg.k)
 		if err := c.xferFault(th, int(seg.peer), dst); err != nil {
 			return err
@@ -369,11 +446,14 @@ func serveRoutePairs(c *Comm, th *pgas.Thread, p *Plan, d1, d2 *pgas.SharedArray
 	st.local = st.grow(st.local, int(total))
 	st.inVal = st.grow(st.inVal, int(total))
 	for _, seg := range st.segs {
-		pt := &p.pts[seg.peer]
 		c.transferCost(th, int(seg.peer), 2*seg.k, true, opts)
-		copy(st.local[seg.pos:seg.pos+seg.k], pt.req[seg.off:seg.off+seg.k])
+		if err := c.peerCopy(th, p, seg, pgas.WinPlanReq, st.local[seg.pos:seg.pos+seg.k]); err != nil {
+			return err
+		}
 		dstVal := st.inVal[seg.pos : seg.pos+seg.k]
-		copy(dstVal, pt.val[seg.off:seg.off+seg.k])
+		if err := c.peerCopy(th, p, seg, pgas.WinPlanVal, dstVal); err != nil {
+			return err
+		}
 		th.ChargeSeq(sim.CatCopy, 2*seg.k)
 		// One combined message carries indices and values; one verdict
 		// covers it (damage lands in the value half).

@@ -38,6 +38,7 @@ type Plan struct {
 	pts  []planThread
 	smat []int64 // smat[server*s+requester] = element count
 	pmat []int64 // pmat[server*s+requester] = segment offset in requester's req
+	wid  uint32  // symmetric transport window id; 0 on a shared fabric
 }
 
 // planThread is one thread's slice of a Plan: the grouped request layout
@@ -63,6 +64,9 @@ type planThread struct {
 }
 
 // NewPlan allocates an empty Plan bound to c. Build it with PlanRequests.
+// Plan allocation is host-side and SPMD-symmetric, so on a wire fabric
+// every process draws the same window id for the same plan and the
+// publish matrices are addressable across processes without negotiation.
 func (c *Comm) NewPlan() *Plan {
 	p := &Plan{
 		c:    c,
@@ -72,6 +76,11 @@ func (c *Comm) NewPlan() *Plan {
 	}
 	for i := range p.pts {
 		p.pts[i].offs = make([]int64, c.s+1)
+	}
+	if c.wire {
+		p.wid = c.rt.NewWinID()
+		c.tr.Expose(pgas.Win{Kind: pgas.WinMatS, ID: p.wid}, p.smat)
+		c.tr.Expose(pgas.Win{Kind: pgas.WinMatP, ID: p.wid}, p.pmat)
 	}
 	return p
 }
@@ -119,7 +128,14 @@ func (p *Plan) planInto(th *pgas.Thread, d *pgas.SharedArray, indices []int64, o
 	// The value buffer is sized with the plan so peers can deliver into it
 	// right after the first barrier; its contents are per-execution.
 	pt.val = sched.Grow64(pt.val, k, &st.growths)
-	c.publishInto(th, pt.offs, p.smat, p.pmat)
+	if c.wire {
+		// (Re-)expose this thread's grouped buffers: Grow64 may have
+		// reallocated them, and peers address them by window name during
+		// the serve phase.
+		c.tr.Expose(pgas.Win{Kind: pgas.WinPlanReq, ID: p.wid, Sub: int32(th.ID)}, pt.req[:k])
+		c.tr.Expose(pgas.Win{Kind: pgas.WinPlanVal, ID: p.wid, Sub: int32(th.ID)}, pt.val[:k])
+	}
+	c.publishInto(th, p, pt.offs)
 	if c.planTracer != nil {
 		c.planTracer.PlanBuild(th.ID, int64(k))
 	}
@@ -207,9 +223,17 @@ func (c *Comm) groupInto(th *pgas.Thread, indices []int64, opts *Options, st *th
 }
 
 // publishInto writes this thread's per-peer counts and offsets into the
-// given matrices — the all-to-all setup of Algorithm 2, step 3.
-func (c *Comm) publishInto(th *pgas.Thread, offs, smat, pmat []int64) {
+// plan's matrices — the all-to-all setup of Algorithm 2, step 3. On a wire
+// fabric each cell destined to a remote server row is additionally pushed
+// to that server's process (the physical realization of the small-message
+// all-to-all the charges already model); the puts coalesce into the
+// transport's per-destination buffers and are ordered before the
+// execution's first barrier rendezvous, so every server reads its complete
+// row. The hierarchical-A2A charge branch only changes the modeled cost —
+// the data still moves per cell on the reference wire.
+func (c *Comm) publishInto(th *pgas.Thread, p *Plan, offs []int64) {
 	i := th.ID
+	smat, pmat := p.smat, p.pmat
 	hier := th.Runtime().Config().HierarchicalA2A
 	tpn := th.Runtime().ThreadsPerNode()
 	for j := 0; j < c.s; j++ {
@@ -218,6 +242,17 @@ func (c *Comm) publishInto(th *pgas.Thread, offs, smat, pmat []int64) {
 		if th.SameNode(j) {
 			th.ChargeOps(sim.CatSetup, 2)
 			continue
+		}
+		if c.wire {
+			cell := int64(j*c.s + i)
+			buf := [1]int64{smat[cell]}
+			if err := c.tr.Put(th, j/tpn, pgas.Win{Kind: pgas.WinMatS, ID: p.wid}, cell, buf[:]); err != nil {
+				panic(err)
+			}
+			buf[0] = pmat[cell]
+			if err := c.tr.Put(th, j/tpn, pgas.Win{Kind: pgas.WinMatP, ID: p.wid}, cell, buf[:]); err != nil {
+				panic(err)
+			}
 		}
 		if hier {
 			// Node-level aggregation: threads stage into node-local

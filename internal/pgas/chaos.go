@@ -60,7 +60,10 @@ type ChaosConfig struct {
 	// At least 1 (a single attempt, no retries).
 	MaxAttempts int
 	// BackoffNS is the base simulated backoff charged before retry r,
-	// doubling with each further attempt.
+	// doubling with each further attempt. The doubling is clamped at
+	// chaosBackoffShiftCap, so no single retry ever charges more than
+	// BackoffNS * 2^chaosBackoffShiftCap regardless of how large
+	// MaxAttempts is.
 	BackoffNS float64
 }
 
@@ -258,20 +261,32 @@ func (th *Thread) TransportFault(cat sim.Category, payload []int64) error {
 	return nil
 }
 
-// ChaosBackoff charges the exponential retry backoff before attempt+1 and
-// counts one retry. No-op when disarmed.
+// chaosBackoffShiftCap clamps the exponential backoff doubling: attempt
+// chaosBackoffShiftCap+1 and beyond all charge BackoffNS << chaosBackoffShiftCap.
+// The cap keeps the charged backoff finite even when MaxAttempts is set far
+// above DefaultChaos's budget (a 2^16 multiplier already dwarfs any modeled
+// transfer).
+const chaosBackoffShiftCap = 16
+
+// ChaosBackoff charges the exponential retry backoff before the next
+// attempt and counts one retry. Callers invoke it only once they have
+// decided a retransmit (or serve replay) WILL be issued — after the
+// attempt-budget check — so Retries counts retries actually taken, never a
+// final failing attempt. No-op when disarmed.
 func (th *Thread) ChaosBackoff(attempt int) {
 	ch := th.rt.chaos
 	if ch == nil {
 		return
 	}
-	ct := &ch.pts[th.ID]
-	ct.stats.Retries++
 	shift := attempt - 1
-	if shift > 16 {
-		shift = 16
+	if shift < 0 {
+		shift = 0
+	}
+	if shift > chaosBackoffShiftCap {
+		shift = chaosBackoffShiftCap
 	}
 	th.Clock.Charge(sim.CatComm, ch.cfg.BackoffNS*float64(int64(1)<<shift))
+	ch.pts[th.ID].stats.Retries++
 }
 
 // chaosStall draws the straggler verdict for one barrier arrival, charging

@@ -47,7 +47,7 @@ var (
 // convert a thread blow-up into an error return while genuinely unknown
 // panics keep crashing through.
 type Error struct {
-	Class  error  // one of ErrTransport, ErrTimeout, ErrCorrupt, ErrMisuse
+	Class  error  // one of ErrTransport, ErrTimeout, ErrCorrupt, ErrMisuse, ErrEvicted
 	Thread int    // issuing thread id, or -1 when not thread-bound
 	Op     string // the operation that failed ("GetBulk", "serve GetD", ...)
 	Detail string

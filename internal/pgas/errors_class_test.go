@@ -1,0 +1,121 @@
+package pgas
+
+import (
+	"errors"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// errorClasses is the complete failure-class set. The exhaustiveness test
+// below cross-checks it against both the exported Err* variables in this
+// package and the Error.Class field comment, so neither list can rot when
+// a new class is added.
+var errorClasses = map[string]error{
+	"ErrTransport": ErrTransport,
+	"ErrTimeout":   ErrTimeout,
+	"ErrCorrupt":   ErrCorrupt,
+	"ErrMisuse":    ErrMisuse,
+	"ErrEvicted":   ErrEvicted,
+}
+
+// exportedErrVars parses errors.go and returns the names of every exported
+// package-level Err* variable.
+func exportedErrVars(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "errors.go", nil, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse errors.go: %v", err)
+	}
+	var names []string
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, id := range vs.Names {
+				if strings.HasPrefix(id.Name, "Err") && ast.IsExported(id.Name) {
+					names = append(names, id.Name)
+				}
+			}
+		}
+	}
+	return names
+}
+
+// classFieldComment parses errors.go and returns the line comment on the
+// Error.Class struct field.
+func classFieldComment(t *testing.T) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "errors.go", nil, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse errors.go: %v", err)
+	}
+	var comment string
+	ast.Inspect(f, func(n ast.Node) bool {
+		ts, ok := n.(*ast.TypeSpec)
+		if !ok || ts.Name.Name != "Error" {
+			return true
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, field := range st.Fields.List {
+			for _, id := range field.Names {
+				if id.Name == "Class" && field.Comment != nil {
+					comment = field.Comment.Text()
+				}
+			}
+		}
+		return false
+	})
+	if comment == "" {
+		t.Fatal("Error.Class has no line comment")
+	}
+	return comment
+}
+
+// TestErrorClassExhaustive pins the failure-class taxonomy: every exported
+// Err* variable is in the documented set, round-trips through Errorf and
+// errors.Is, and appears verbatim in the Error.Class field comment.
+func TestErrorClassExhaustive(t *testing.T) {
+	vars := exportedErrVars(t)
+	if len(vars) != len(errorClasses) {
+		t.Errorf("errors.go exports %d Err* variables %v, test set has %d",
+			len(vars), vars, len(errorClasses))
+	}
+	comment := classFieldComment(t)
+	for _, name := range vars {
+		class, ok := errorClasses[name]
+		if !ok {
+			t.Errorf("exported class %s missing from the documented set; update errorClasses and the Error.Class comment", name)
+			continue
+		}
+		if !strings.Contains(comment, name) {
+			t.Errorf("Error.Class comment omits %s: %q", name, strings.TrimSpace(comment))
+		}
+		e := Errorf(class, 3, "TestOp", "detail %d", 7)
+		if !errors.Is(e, class) {
+			t.Errorf("Errorf(%s, ...) does not satisfy errors.Is(err, %s)", name, name)
+		}
+		for other, oc := range errorClasses {
+			if other != name && errors.Is(e, oc) {
+				t.Errorf("Errorf(%s, ...) also matches %s", name, other)
+			}
+		}
+		ce, ok := Classified(e)
+		if !ok || !errors.Is(ce, class) {
+			t.Errorf("Classified(Errorf(%s, ...)) = %v, %v; want class %s", name, ce, ok, name)
+		}
+	}
+}

@@ -33,7 +33,12 @@ type Runtime struct {
 	cfg     machine.Config
 	model   sim.Model
 	s       int
-	threads []*Thread
+	threads []*Thread      // all s thread contexts (metadata for every node)
+	locals  []*Thread      // the threads this process actually drives
+	tr      Transport      // the fabric; shared (in-process) by default
+	node    int            // this process's node id (0 on a shared transport)
+	winc    uint32         // symmetric window-id counter (host-side allocation only)
+	arrays  []*SharedArray // wire replicas to refresh after each region (nil when shared)
 	bar     *barrier
 	chaos   *chaosState   // fault injector; nil (free) when disarmed
 	ckpt    *Checkpointer // superstep checkpoint manager; nil when disarmed
@@ -41,17 +46,45 @@ type Runtime struct {
 	evicted []int         // cumulative evicted thread ids (original numbering first)
 }
 
-// New validates cfg and returns a runtime with cfg.TotalThreads() threads.
+// New validates cfg and returns a runtime with cfg.TotalThreads() threads
+// on the in-process shared-memory fabric.
 func New(cfg machine.Config) (*Runtime, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	return NewOnTransport(cfg, NewInprocTransport(cfg.Nodes))
+}
+
+// NewOnTransport returns a runtime whose cross-node data movement rides tr.
+// On a shared transport this is identical to New. On a non-shared (wire)
+// transport the runtime is one SPMD replica: it holds metadata for all
+// cfg.TotalThreads() threads but drives only the cfg.ThreadsPerNode threads
+// of tr.Node(), every cross-process access goes through tr, every barrier
+// extends into a transport rendezvous, and shared arrays are full-size
+// local replicas whose remote blocks are refreshed from their owners after
+// each successful Run region. Every process of the cluster must execute the
+// same host-side allocation and region sequence (the SPMD discipline the
+// kernels already follow), which is what lets window ids and rendezvous
+// generations stay symmetric without communication.
+func NewOnTransport(cfg machine.Config, tr Transport) (*Runtime, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if tr.Nodes() != cfg.Nodes {
+		return nil, Errorf(ErrMisuse, -1, "NewOnTransport",
+			"transport spans %d nodes, machine has %d", tr.Nodes(), cfg.Nodes)
+	}
+	if tr.Node() < 0 || tr.Node() >= cfg.Nodes {
+		return nil, Errorf(ErrMisuse, -1, "NewOnTransport",
+			"transport node %d out of range [0,%d)", tr.Node(), cfg.Nodes)
 	}
 	s := cfg.TotalThreads()
 	rt := &Runtime{
 		cfg:   cfg,
 		model: sim.NewModel(cfg),
 		s:     s,
-		bar:   newBarrier(s),
+		tr:    tr,
+		node:  tr.Node(),
 	}
 	rt.threads = make([]*Thread, s)
 	for i := 0; i < s; i++ {
@@ -62,7 +95,24 @@ func New(cfg machine.Config) (*Runtime, error) {
 			Local: i % cfg.ThreadsPerNode,
 		}
 	}
+	if tr.Shared() {
+		rt.locals = rt.threads
+	} else {
+		lo := rt.node * cfg.ThreadsPerNode
+		rt.locals = rt.threads[lo : lo+cfg.ThreadsPerNode]
+	}
+	rt.bar = rt.newRegionBarrier()
 	return rt, nil
+}
+
+// newRegionBarrier builds the barrier for the threads this process drives,
+// hooked into the transport rendezvous when the fabric spans processes.
+func (rt *Runtime) newRegionBarrier() *barrier {
+	b := newBarrier(len(rt.locals))
+	if !rt.tr.Shared() {
+		b.rdv = rt.tr.Rendezvous
+	}
+	return b
 }
 
 // Config returns the machine configuration.
@@ -79,6 +129,63 @@ func (rt *Runtime) Nodes() int { return rt.cfg.Nodes }
 
 // ThreadsPerNode returns t.
 func (rt *Runtime) ThreadsPerNode() int { return rt.cfg.ThreadsPerNode }
+
+// Transport returns the fabric under this runtime.
+func (rt *Runtime) Transport() Transport { return rt.tr }
+
+// LocalNode returns the node id this process drives (0 on a shared
+// transport, where the process drives every node).
+func (rt *Runtime) LocalNode() int { return rt.node }
+
+// IsLocal reports whether thread id executes in this process. Always true
+// on a shared transport. Host-side code that compares per-thread state
+// after a region (the verify harness's law checks) must restrict itself to
+// local threads on a wire runtime: remote threads' private buffers were
+// written in another process.
+func (rt *Runtime) IsLocal(id int) bool {
+	return rt.tr.Shared() || id/rt.cfg.ThreadsPerNode == rt.node
+}
+
+// NewWinID draws the next symmetric window id. Allocation sites (shared
+// arrays, collective plans, reducers) are all host-side and execute in the
+// same order in every SPMD replica, so the counter names the same object in
+// every process without communication. Only meaningful on a wire transport;
+// callers skip window registration entirely on a shared fabric.
+func (rt *Runtime) NewWinID() uint32 {
+	rt.winc++
+	return rt.winc
+}
+
+// syncReplicas refreshes every shared array's remote blocks from their
+// owning processes after a successful region: one rendezvous to quiesce the
+// region everywhere, one coalesced Get per (array, remote node), one more
+// rendezvous so no process re-enters host code while a peer still serves.
+// This is what keeps host-side verification and initialization code —
+// which reads and writes arrays via Raw() without charges — working
+// unchanged on a wire runtime.
+func (rt *Runtime) syncReplicas() error {
+	if _, err := rt.tr.Rendezvous(0); err != nil {
+		return err
+	}
+	for _, a := range rt.arrays {
+		for nd := 0; nd < rt.cfg.Nodes; nd++ {
+			if nd == rt.node {
+				continue
+			}
+			lo, hi := a.nodeRange(nd)
+			if lo >= hi {
+				continue
+			}
+			if err := rt.tr.Get(nil, nd, a.win, lo, a.data[lo:hi]); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := rt.tr.Rendezvous(0); err != nil {
+		return err
+	}
+	return nil
+}
 
 // Retired reports whether this runtime's geometry has been invalidated by
 // Evict: its thread set no longer exists, so plans built against it must
@@ -106,6 +213,13 @@ func (rt *Runtime) EvictedThreads() []int {
 // the old geometry. Chaos and checkpoint state do NOT carry over
 // automatically; the recovery supervisor re-arms both explicitly.
 func (rt *Runtime) Evict(dead []int) (*Runtime, error) {
+	if !rt.tr.Shared() {
+		// Eviction renumbers the surviving threads densely, which would
+		// desynchronize the node-to-process mapping the wire replicas were
+		// built on. Recovery on a wire cluster means restarting processes,
+		// not remapping in place; see DESIGN.md.
+		return nil, Errorf(ErrMisuse, -1, "Evict", "eviction remap unsupported on a wire transport")
+	}
 	gone := make(map[int]bool, len(dead))
 	for _, id := range dead {
 		if id < 0 || id >= rt.s {
@@ -125,6 +239,7 @@ func (rt *Runtime) Evict(dead []int) (*Runtime, error) {
 		cfg:     rt.cfg,
 		model:   rt.model,
 		s:       s,
+		tr:      rt.tr,
 		bar:     newBarrier(s),
 		evicted: append(rt.EvictedThreads(), dead...),
 	}
@@ -137,6 +252,7 @@ func (rt *Runtime) Evict(dead []int) (*Runtime, error) {
 			Local: i % rt.cfg.ThreadsPerNode,
 		}
 	}
+	nrt.locals = nrt.threads
 	return nrt, nil
 }
 
@@ -236,8 +352,19 @@ func (rt *Runtime) RunE(fn func(th *Thread)) (*Result, error) {
 		return nil, Errorf(ErrMisuse, -1, "Run",
 			"runtime retired by eviction (%d threads lost); run on the remapped runtime", len(rt.evicted))
 	}
+	if !rt.tr.Shared() {
+		// Region-entry rendezvous: host-side code exposes this region's
+		// windows without communication (SPMD-symmetric IDs), so a fast
+		// peer's first coalesced frames could otherwise arrive while a slow
+		// process still has a previous runtime's slices registered under
+		// the same names. No wire op may leave a node before every node has
+		// entered the region.
+		if _, err := rt.tr.Rendezvous(0); err != nil {
+			return nil, err
+		}
+	}
 	var wg sync.WaitGroup
-	wg.Add(rt.s)
+	wg.Add(len(rt.locals))
 	start := time.Now()
 	var mu sync.Mutex
 	var fallback interface{} // a peer's wrapped cause, if no breaker recorded
@@ -253,7 +380,7 @@ func (rt *Runtime) RunE(fn func(th *Thread)) (*Result, error) {
 	if rt.ckpt != nil {
 		ckptBase, ckptBytesBase = rt.ckpt.snapStats()
 	}
-	for _, th := range rt.threads {
+	for _, th := range rt.locals {
 		th.Clock.Reset()
 		go func(th *Thread) {
 			defer wg.Done()
@@ -301,7 +428,14 @@ func (rt *Runtime) RunE(fn func(th *Thread)) (*Result, error) {
 		}
 	}
 	if firstUnclassified != nil || len(evicted) > 0 || firstClassified != nil || fallback != nil {
-		rt.bar = newBarrier(rt.s)
+		rt.bar = rt.newRegionBarrier()
+		if !rt.tr.Shared() {
+			// Poison the cluster: peers blocked in a rendezvous this
+			// process will never reach must unwind with a classified error
+			// rather than wait out their deadlines. The transport stays
+			// poisoned; a failed wire region retires the whole cluster.
+			rt.tr.Abort(fmt.Sprintf("node %d: region failed", rt.node))
+		}
 		switch {
 		case firstUnclassified != nil:
 			panic(firstUnclassified)
@@ -320,8 +454,14 @@ func (rt *Runtime) RunE(fn func(th *Thread)) (*Result, error) {
 		}
 		panic(fallback)
 	}
-	res := &Result{Wall: time.Since(start), Threads: rt.s}
-	for _, th := range rt.threads {
+	if !rt.tr.Shared() {
+		if err := rt.syncReplicas(); err != nil {
+			rt.bar = rt.newRegionBarrier()
+			return nil, err
+		}
+	}
+	res := &Result{Wall: time.Since(start), Threads: len(rt.locals)}
+	for _, th := range rt.locals {
 		if th.Clock.NS > res.SimNS {
 			res.SimNS = th.Clock.NS
 		}
@@ -395,11 +535,18 @@ func (b barrierBroken) String() string {
 }
 
 // barrier is a reusable rendezvous for n goroutines that also computes the
-// maximum simulated clock among arrivers.
+// maximum simulated clock among arrivers. When rdv is set (wire transport),
+// the completing arriver extends every generation into a cross-process
+// rendezvous: it trades local maxima with the peer processes and releases
+// waiters at the global maximum, so barrier clock semantics are identical
+// across backends. A failed rendezvous (peer death, deadline, abort)
+// poisons the barrier exactly like a participant panic, with the
+// transport's classified error as the cause.
 type barrier struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	n       int
+	rdv     func(localMax float64) (float64, error)
 	arrived int
 	gen     uint64
 	max     float64
@@ -437,8 +584,24 @@ func (b *barrier) await(clock float64, onComplete func()) float64 {
 	b.arrived++
 	if b.arrived == b.n {
 		b.arrived = 0
-		b.release = b.max
+		release := b.max
 		b.max = 0
+		if b.rdv != nil {
+			// The cross-process leg. Holding b.mu here is deliberate: every
+			// local peer is parked in cond.Wait (releasing the lock), and
+			// the lock order local-thread -> b.mu -> transport internals is
+			// the happens-before chain that publishes pre-barrier writes to
+			// the transport's frame handlers and vice versa.
+			g, err := b.rdv(release)
+			if err != nil {
+				b.broken = true
+				b.cause = err
+				b.cond.Broadcast()
+				panic(err)
+			}
+			release = g
+		}
+		b.release = release
 		b.gen++
 		if onComplete != nil {
 			onComplete()
@@ -514,6 +677,7 @@ type SharedArray struct {
 	blk  int64
 	data []int64
 	name string
+	win  Win // transport window name; zero on a shared fabric
 }
 
 // NewSharedArray allocates a shared array of n elements (zero-initialized)
@@ -527,7 +691,30 @@ func (rt *Runtime) NewSharedArray(name string, n int64) *SharedArray {
 	if n > 0 {
 		blk = (n + int64(rt.s) - 1) / int64(rt.s)
 	}
-	return &SharedArray{rt: rt, n: n, blk: blk, data: make([]int64, n), name: name}
+	a := &SharedArray{rt: rt, n: n, blk: blk, data: make([]int64, n), name: name}
+	if !rt.tr.Shared() {
+		// Wire: the slice is a full-size replica, authoritative only for
+		// this node's blocks. Register it so remote processes can address
+		// it, and track it for the post-region refresh.
+		a.win = Win{Kind: WinArray, ID: rt.NewWinID()}
+		rt.tr.Expose(a.win, a.data)
+		rt.arrays = append(rt.arrays, a)
+	}
+	return a
+}
+
+// nodeRange returns the half-open element range owned by node nd's threads.
+func (a *SharedArray) nodeRange(nd int) (lo, hi int64) {
+	t := int64(a.rt.cfg.ThreadsPerNode)
+	lo = int64(nd) * t * a.blk
+	hi = lo + t*a.blk
+	if lo > a.n {
+		lo = a.n
+	}
+	if hi > a.n {
+		hi = a.n
+	}
+	return lo, hi
 }
 
 // Len returns the element count.
@@ -634,6 +821,13 @@ func (th *Thread) Get(a *SharedArray, i int64, cat sim.Category) int64 {
 		th.Clock.Messages++
 		th.Clock.Bytes += sim.ElemBytes
 		th.Clock.RemoteOps++
+		if !th.rt.tr.Shared() {
+			var buf [1]int64
+			if err := th.rt.tr.Get(th, a.OwnerNode(i), a.win, i, buf[:]); err != nil {
+				panic(err)
+			}
+			return buf[0]
+		}
 	} else {
 		ns, misses := m.IrregularAccess(1, a.NodeSpan())
 		th.Clock.Charge(cat, ns)
@@ -651,6 +845,13 @@ func (th *Thread) Put(a *SharedArray, i int64, v int64, cat sim.Category) {
 		th.Clock.Messages++
 		th.Clock.Bytes += sim.ElemBytes
 		th.Clock.RemoteOps++
+		if !th.rt.tr.Shared() {
+			buf := [1]int64{v}
+			if err := th.rt.tr.Put(th, a.OwnerNode(i), a.win, i, buf[:]); err != nil {
+				panic(err)
+			}
+			return
+		}
 	} else {
 		ns, misses := m.IrregularAccess(1, a.NodeSpan())
 		th.Clock.Charge(cat, ns)
@@ -665,7 +866,16 @@ func (th *Thread) Put(a *SharedArray, i int64, v int64, cat sim.Category) {
 // element was updated.
 func (th *Thread) PutMin(a *SharedArray, i int64, v int64, cat sim.Category) bool {
 	m := th.rt.model
-	stored, _ := a.MinRaw(i, v)
+	var stored bool
+	if th.remote(a, i) && !th.rt.tr.Shared() {
+		var err error
+		stored, err = th.rt.tr.PutMin(th, a.OwnerNode(i), a.win, i, v)
+		if err != nil {
+			panic(err)
+		}
+	} else {
+		stored, _ = a.MinRaw(i, v)
+	}
 	if th.remote(a, i) {
 		th.Clock.Charge(cat, m.SmallOp(th.rt.cfg.ThreadsPerNode, th.rt.s, 1))
 		th.Clock.Messages++
@@ -685,7 +895,18 @@ func (th *Thread) PutMin(a *SharedArray, i int64, v int64, cat sim.Category) boo
 // element was updated.
 func (th *Thread) AtomicMin(a *SharedArray, i int64, v int64, cat sim.Category) bool {
 	m := th.rt.model
-	stored, contended := a.MinRaw(i, v)
+	var stored, contended bool
+	if th.remote(a, i) && !th.rt.tr.Shared() {
+		// The owner process applies the min; contention is not observable
+		// from here, so the lock charge models the uncontended case.
+		var err error
+		stored, err = th.rt.tr.PutMin(th, a.OwnerNode(i), a.win, i, v)
+		if err != nil {
+			panic(err)
+		}
+	} else {
+		stored, contended = a.MinRaw(i, v)
+	}
 	if th.remote(a, i) {
 		// Remote lock + read + conditional write: two round trips.
 		th.Clock.Charge(cat, m.SmallOp(th.rt.cfg.ThreadsPerNode, th.rt.s, 2)+
@@ -716,20 +937,14 @@ func (th *Thread) GetBulk(a *SharedArray, start int64, dst []int64, cat sim.Cate
 		return
 	}
 	th.checkRange("GetBulk", a, start, k)
-	m := th.rt.model
 	isRemote := th.remote(a, start)
 	if isRemote {
-		bytes := k * sim.ElemBytes
-		th.Clock.Charge(cat, m.Message(bytes, th.rt.cfg.ThreadsPerNode)+th.rt.cfg.NetLatency)
-		th.Clock.Messages++
-		th.Clock.Bytes += bytes
+		th.chargeTransfer(cat, k, true)
 		th.Clock.RemoteOps++
 	} else {
-		th.Clock.Charge(cat, m.SeqScan(k))
+		th.Clock.Charge(cat, th.rt.model.SeqScan(k))
 	}
-	for j := int64(0); j < k; j++ {
-		dst[j] = a.LoadRaw(start + j)
-	}
+	th.deliverGet(a, start, dst)
 	if th.rt.chaos == nil || !isRemote {
 		return
 	}
@@ -745,13 +960,56 @@ func (th *Thread) GetBulk(a *SharedArray, start int64, dst []int64, cat sim.Cate
 		}
 		th.ChaosBackoff(attempt)
 		// Retransmit: recharge the wire and redeliver the payload.
-		bytes := k * sim.ElemBytes
-		th.Clock.Charge(cat, m.Message(bytes, th.rt.cfg.ThreadsPerNode)+th.rt.cfg.NetLatency)
-		th.Clock.Messages++
-		th.Clock.Bytes += bytes
-		for j := int64(0); j < k; j++ {
-			dst[j] = a.LoadRaw(start + j)
+		th.chargeTransfer(cat, k, true)
+		th.deliverGet(a, start, dst)
+	}
+}
+
+// chargeTransfer charges one coalesced bulk transfer of k elements to the
+// wire: the modeled message time (plus the request leg's latency when the
+// transfer is a round trip, as a read is), one message, and the payload
+// bytes. GetBulk and PutBulk share it between the initial send and every
+// retransmit, so the two paths' transfer accounting cannot drift.
+// RemoteOps is deliberately not counted here: it counts logical one-sided
+// operations, which a retransmit repeats rather than adds to.
+func (th *Thread) chargeTransfer(cat sim.Category, k int64, roundTrip bool) {
+	bytes := k * sim.ElemBytes
+	ns := th.rt.model.Message(bytes, th.rt.cfg.ThreadsPerNode)
+	if roundTrip {
+		ns += th.rt.cfg.NetLatency
+	}
+	th.Clock.Charge(cat, ns)
+	th.Clock.Messages++
+	th.Clock.Bytes += bytes
+}
+
+// deliverGet moves a bulk read's payload: direct atomic loads when the
+// owner shares this process's memory, one coalesced wire read otherwise.
+// A real wire failure is already classified and raises through the
+// barrier-poisoning path — unlike an injected verdict it is not
+// retryable, because a failed wire region poisons the whole cluster.
+func (th *Thread) deliverGet(a *SharedArray, start int64, dst []int64) {
+	if !th.rt.tr.Shared() && a.OwnerNode(start) != th.rt.node {
+		if err := th.rt.tr.Get(th, a.OwnerNode(start), a.win, start, dst); err != nil {
+			panic(err)
 		}
+		return
+	}
+	for j := range dst {
+		dst[j] = a.LoadRaw(start + int64(j))
+	}
+}
+
+// deliverPut is deliverGet's write-side twin.
+func (th *Thread) deliverPut(a *SharedArray, start int64, src []int64) {
+	if !th.rt.tr.Shared() && a.OwnerNode(start) != th.rt.node {
+		if err := th.rt.tr.Put(th, a.OwnerNode(start), a.win, start, src); err != nil {
+			panic(err)
+		}
+		return
+	}
+	for j := range src {
+		a.StoreRaw(start+int64(j), src[j])
 	}
 }
 
@@ -767,20 +1025,14 @@ func (th *Thread) PutBulk(a *SharedArray, start int64, src []int64, cat sim.Cate
 		return
 	}
 	th.checkRange("PutBulk", a, start, k)
-	m := th.rt.model
 	isRemote := th.remote(a, start)
 	if isRemote {
-		bytes := k * sim.ElemBytes
-		th.Clock.Charge(cat, m.Message(bytes, th.rt.cfg.ThreadsPerNode))
-		th.Clock.Messages++
-		th.Clock.Bytes += bytes
+		th.chargeTransfer(cat, k, false)
 		th.Clock.RemoteOps++
 	} else {
-		th.Clock.Charge(cat, m.SeqScan(k))
+		th.Clock.Charge(cat, th.rt.model.SeqScan(k))
 	}
-	for j := int64(0); j < k; j++ {
-		a.StoreRaw(start+j, src[j])
-	}
+	th.deliverPut(a, start, src)
 	if th.rt.chaos == nil || !isRemote {
 		return
 	}
@@ -799,13 +1051,8 @@ func (th *Thread) PutBulk(a *SharedArray, start int64, src []int64, cat sim.Cate
 				"%s[%d,%d): no clean delivery after %d attempts: %v", a.name, start, start+k, attempt, err))
 		}
 		th.ChaosBackoff(attempt)
-		bytes := k * sim.ElemBytes
-		th.Clock.Charge(cat, m.Message(bytes, th.rt.cfg.ThreadsPerNode))
-		th.Clock.Messages++
-		th.Clock.Bytes += bytes
-		for j := int64(0); j < k; j++ {
-			a.StoreRaw(start+j, src[j])
-		}
+		th.chargeTransfer(cat, k, false)
+		th.deliverPut(a, start, src)
 	}
 }
 

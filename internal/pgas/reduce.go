@@ -10,18 +10,29 @@ import "pgasgraph/internal/sim"
 // Flag vectors are double-buffered by round parity so one barrier per
 // reduction suffices: a thread racing ahead into round r+1 writes the
 // other buffer, never the one its peers are still scanning.
+//
+// On a wire transport each process holds a replica of both slot vectors:
+// a thread publishes its slot locally and pushes the single word to every
+// peer process before arriving at the barrier, whose rendezvous orders the
+// deliveries before any reader's scan. The pushes ride the same barrier the
+// reduction already pays for, so no extra simulated time is charged.
 type OrReducer struct {
 	flags [2][]int64
 	round []int64 // per-thread round counter (each slot written by one thread)
+	wins  [2]Win  // transport windows; zero on a shared fabric
+	rt    *Runtime
 }
 
 // NewOrReducer returns a reducer for rt's thread count.
 func NewOrReducer(rt *Runtime) *OrReducer {
 	s := rt.NumThreads()
-	return &OrReducer{
+	r := &OrReducer{
 		flags: [2][]int64{make([]int64, s), make([]int64, s)},
 		round: make([]int64, s),
+		rt:    rt,
 	}
+	r.wins = exposeReducer(rt, r.flags)
+	return r
 }
 
 // SumReducer is a barrier-based global sum over all threads, used for
@@ -30,23 +41,66 @@ func NewOrReducer(rt *Runtime) *OrReducer {
 type SumReducer struct {
 	vals  [2][]int64
 	round []int64
+	wins  [2]Win
+	rt    *Runtime
 }
 
 // NewSumReducer returns a reducer for rt's thread count.
 func NewSumReducer(rt *Runtime) *SumReducer {
 	s := rt.NumThreads()
-	return &SumReducer{
+	r := &SumReducer{
 		vals:  [2][]int64{make([]int64, s), make([]int64, s)},
 		round: make([]int64, s),
+		rt:    rt,
+	}
+	r.wins = exposeReducer(rt, r.vals)
+	return r
+}
+
+// exposeReducer registers a reducer's double-buffered slot vectors with a
+// wire transport (no-op on a shared fabric) and returns their window names.
+func exposeReducer(rt *Runtime, bufs [2][]int64) [2]Win {
+	var wins [2]Win
+	if rt.tr.Shared() {
+		return wins
+	}
+	id := rt.NewWinID()
+	for b := 0; b < 2; b++ {
+		wins[b] = Win{Kind: WinReduce, ID: id, Sub: int32(b)}
+		rt.tr.Expose(wins[b], bufs[b])
+	}
+	return wins
+}
+
+// publishSlot pushes a thread's freshly written reducer slot to every peer
+// process's replica of the active buffer. No-op on a shared fabric. The
+// wire traffic is the physical realization of the reduction the cost model
+// already charges as a scan plus the enclosing barrier, so it charges
+// nothing extra.
+func publishSlot(th *Thread, w Win, v int64) {
+	tr := th.rt.tr
+	if tr.Shared() {
+		return
+	}
+	src := [1]int64{v}
+	for nd := 0; nd < tr.Nodes(); nd++ {
+		if nd == tr.Node() {
+			continue
+		}
+		if err := tr.Put(th, nd, w, int64(th.ID), src[:]); err != nil {
+			panic(err)
+		}
 	}
 }
 
 // Reduce publishes local and returns the sum over all threads. All
 // threads must call it the same number of times (it contains a barrier).
 func (r *SumReducer) Reduce(th *Thread, local int64) int64 {
-	buf := r.vals[r.round[th.ID]&1]
+	parity := r.round[th.ID] & 1
+	buf := r.vals[parity]
 	r.round[th.ID]++
 	buf[th.ID] = local
+	publishSlot(th, r.wins[parity], local)
 	th.Barrier()
 	var sum int64
 	for _, v := range buf {
@@ -60,7 +114,8 @@ func (r *SumReducer) Reduce(th *Thread, local int64) int64 {
 // must call it the same number of times (it contains a barrier). The scan
 // over the flag vector is charged as local work.
 func (r *OrReducer) Reduce(th *Thread, local bool) bool {
-	buf := r.flags[r.round[th.ID]&1]
+	parity := r.round[th.ID] & 1
+	buf := r.flags[parity]
 	r.round[th.ID]++
 	v := int64(0)
 	if local {
@@ -69,6 +124,7 @@ func (r *OrReducer) Reduce(th *Thread, local bool) bool {
 	// Disjoint plain writes; the barrier's lock provides the
 	// happens-before edge to the readers below.
 	buf[th.ID] = v
+	publishSlot(th, r.wins[parity], v)
 	th.Barrier()
 	any := false
 	for _, f := range buf {
@@ -87,23 +143,30 @@ func (r *OrReducer) Reduce(th *Thread, local bool) bool {
 type MinReducer struct {
 	vals  [2][]int64
 	round []int64
+	wins  [2]Win
+	rt    *Runtime
 }
 
 // NewMinReducer returns a reducer for rt's thread count.
 func NewMinReducer(rt *Runtime) *MinReducer {
 	s := rt.NumThreads()
-	return &MinReducer{
+	r := &MinReducer{
 		vals:  [2][]int64{make([]int64, s), make([]int64, s)},
 		round: make([]int64, s),
+		rt:    rt,
 	}
+	r.wins = exposeReducer(rt, r.vals)
+	return r
 }
 
 // Reduce publishes local and returns the minimum over all threads. All
 // threads must call it the same number of times (it contains a barrier).
 func (r *MinReducer) Reduce(th *Thread, local int64) int64 {
-	buf := r.vals[r.round[th.ID]&1]
+	parity := r.round[th.ID] & 1
+	buf := r.vals[parity]
 	r.round[th.ID]++
 	buf[th.ID] = local
+	publishSlot(th, r.wins[parity], local)
 	th.Barrier()
 	min := buf[0]
 	for _, v := range buf[1:] {

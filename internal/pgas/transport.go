@@ -1,0 +1,213 @@
+// The transport seam: the fabric operations the runtime actually issues,
+// abstracted so the in-process shared-memory fabric and a real multi-process
+// wire backend are interchangeable underneath the same kernels.
+//
+// The seam sits below the cost model and below the chaos injector: simulated
+// time, message/byte counters, and fault verdicts are charged by the runtime
+// and the collective engine exactly as before, independent of which backend
+// moves the bytes. A backend only moves data and reports *real* failures
+// through the classified error taxonomy (ErrTransport, ErrTimeout,
+// ErrCorrupt), so retry loops, barrier poisoning, and the verify harness
+// treat a wire fault exactly like an injected one.
+package pgas
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// WinKind classifies the memory windows a runtime exposes to its transport.
+// Remote processes address memory as (kind, id, sub) triples rather than
+// pointers; the id is drawn from a per-runtime counter advanced only by
+// host-side allocation calls, so SPMD-replicated processes agree on every
+// window's name without communicating.
+type WinKind uint8
+
+const (
+	// WinArray is a SharedArray's backing store (Sub unused).
+	WinArray WinKind = iota + 1
+	// WinPlanReq is one thread's published request-key buffer of a
+	// collective plan (Sub = owning thread id).
+	WinPlanReq
+	// WinPlanVal is one thread's value receive/serve buffer of a plan
+	// (Sub = owning thread id).
+	WinPlanVal
+	// WinPlanVal2 is one thread's secondary value buffer, used by the
+	// pair-receiving collectives (Sub = owning thread id).
+	WinPlanVal2
+	// WinMatS is a plan's SMatrix (request counts, Sub unused).
+	WinMatS
+	// WinMatP is a plan's PMatrix (request offsets, Sub unused).
+	WinMatP
+	// WinReduce is a barrier reducer's slot vector (Sub = buffer parity).
+	WinReduce
+)
+
+// Win names one exposed memory window.
+type Win struct {
+	Kind WinKind
+	ID   uint32
+	Sub  int32
+}
+
+// Transport is the fabric under the runtime: bulk one-sided get/put against
+// remote windows, a min-combining word store (the matrix publish and
+// reducer broadcasts ride Put; PutMin backs the single-element atomic min),
+// and barrier rendezvous across processes.
+//
+// A shared transport (Shared() == true) means every node lives in this
+// process and the runtime keeps its direct-memory fast paths; the data
+// plane methods still work (they are the reference implementation the
+// conformance suite checks the wire backend against) but the runtime never
+// needs them. A non-shared transport holds only this process's node; the
+// runtime routes every cross-process access through it.
+//
+// Contract:
+//   - Expose registers a window before any remote access; callers only
+//     re-Expose a window when its backing slice is reallocated.
+//   - Get/Put/PutMin address element offsets within the window; th is the
+//     issuing thread for error attribution and may be nil for host-side
+//     calls. Errors are always classified (ErrTransport for a lost or
+//     failed exchange, ErrTimeout for a missed deadline, ErrCorrupt for a
+//     checksum mismatch); the runtime raises them through the
+//     barrier-poisoning path.
+//   - Rendezvous is the cross-process leg of a barrier: every process calls
+//     it in the same sequence with its local clock maximum and receives the
+//     global maximum. It must not hang: a peer that never arrives surfaces
+//     as ErrTimeout.
+//   - Abort poisons the transport after a local region failure so peers
+//     blocked in Rendezvous or Get unwind with a classified error instead
+//     of waiting out their deadlines; a poisoned transport stays poisoned.
+type Transport interface {
+	// Shared reports whether all nodes share this process's memory.
+	Shared() bool
+	// Nodes returns the node count p.
+	Nodes() int
+	// Node returns this process's node id (0 when Shared).
+	Node() int
+	// Expose registers (or re-registers, after reallocation) a window.
+	Expose(w Win, data []int64)
+	// Get reads len(dst) elements of node's window w starting at off.
+	Get(th *Thread, node int, w Win, off int64, dst []int64) error
+	// Put writes src into node's window w starting at off. Delivery may be
+	// buffered; it is ordered before any later Rendezvous with that node.
+	Put(th *Thread, node int, w Win, off int64, src []int64) error
+	// PutMin atomically lowers node's window element to v if smaller,
+	// reporting whether it stored.
+	PutMin(th *Thread, node int, w Win, off int64, v int64) (bool, error)
+	// Rendezvous blocks until every process arrives, returning the global
+	// maximum of the values passed in.
+	Rendezvous(localMax float64) (float64, error)
+	// Abort poisons the transport with a cause, unblocking local and
+	// remote waiters with classified errors.
+	Abort(cause string)
+	// Close releases the transport's resources.
+	Close() error
+}
+
+// winTable is the window registry backends share.
+type winTable struct {
+	mu sync.RWMutex
+	m  map[Win][]int64
+}
+
+func newWinTable() *winTable {
+	return &winTable{m: make(map[Win][]int64)}
+}
+
+func (t *winTable) expose(w Win, data []int64) {
+	t.mu.Lock()
+	t.m[w] = data
+	t.mu.Unlock()
+}
+
+func (t *winTable) lookup(w Win) ([]int64, bool) {
+	t.mu.RLock()
+	data, ok := t.m[w]
+	t.mu.RUnlock()
+	return data, ok
+}
+
+// inprocTransport is the reference Transport: all nodes in one process, all
+// windows in one registry, data moved with the same atomics the direct fast
+// paths use, rendezvous a no-op (the runtime's own barrier already spans
+// every thread). It never fails: the in-process fabric is reliable by
+// construction, so the only error source above it is the chaos injector.
+type inprocTransport struct {
+	nodes int
+	wins  *winTable
+}
+
+// NewInprocTransport returns the in-process reference transport for p nodes.
+// Runtime.New installs one implicitly; the constructor exists so the
+// transport conformance suite can drive the reference implementation through
+// the same interface as a wire backend.
+func NewInprocTransport(nodes int) Transport {
+	return &inprocTransport{nodes: nodes, wins: newWinTable()}
+}
+
+func (t *inprocTransport) Shared() bool { return true }
+func (t *inprocTransport) Nodes() int   { return t.nodes }
+func (t *inprocTransport) Node() int    { return 0 }
+
+func (t *inprocTransport) Expose(w Win, data []int64) { t.wins.expose(w, data) }
+
+func (t *inprocTransport) window(th *Thread, op string, node int, w Win, off, k int64) ([]int64, error) {
+	id := -1
+	if th != nil {
+		id = th.ID
+	}
+	if node < 0 || node >= t.nodes {
+		return nil, Errorf(ErrMisuse, id, op, "node %d out of range [0,%d)", node, t.nodes)
+	}
+	data, ok := t.wins.lookup(w)
+	if !ok {
+		return nil, Errorf(ErrMisuse, id, op, "window %+v not exposed", w)
+	}
+	if off < 0 || off+k > int64(len(data)) {
+		return nil, Errorf(ErrMisuse, id, op, "range [%d,%d) out of window %+v len %d", off, off+k, w, len(data))
+	}
+	return data, nil
+}
+
+func (t *inprocTransport) Get(th *Thread, node int, w Win, off int64, dst []int64) error {
+	data, err := t.window(th, "transport Get", node, w, off, int64(len(dst)))
+	if err != nil {
+		return err
+	}
+	for j := range dst {
+		dst[j] = atomic.LoadInt64(&data[off+int64(j)])
+	}
+	return nil
+}
+
+func (t *inprocTransport) Put(th *Thread, node int, w Win, off int64, src []int64) error {
+	data, err := t.window(th, "transport Put", node, w, off, int64(len(src)))
+	if err != nil {
+		return err
+	}
+	for j := range src {
+		atomic.StoreInt64(&data[off+int64(j)], src[j])
+	}
+	return nil
+}
+
+func (t *inprocTransport) PutMin(th *Thread, node int, w Win, off int64, v int64) (bool, error) {
+	data, err := t.window(th, "transport PutMin", node, w, off, 1)
+	if err != nil {
+		return false, err
+	}
+	for {
+		cur := atomic.LoadInt64(&data[off])
+		if v >= cur {
+			return false, nil
+		}
+		if atomic.CompareAndSwapInt64(&data[off], cur, v) {
+			return true, nil
+		}
+	}
+}
+
+func (t *inprocTransport) Rendezvous(localMax float64) (float64, error) { return localMax, nil }
+func (t *inprocTransport) Abort(cause string)                           {}
+func (t *inprocTransport) Close() error                                 { return nil }

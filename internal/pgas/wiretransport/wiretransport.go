@@ -1,0 +1,881 @@
+// Package wiretransport is the multi-process pgas.Transport: every node is
+// its own OS process and the fabric is a full mesh of unix-domain sockets
+// under a shared rendezvous directory. It carries exactly the operations the
+// transport seam names — bulk get/put against exposed windows, the
+// min-combining word store, barrier rendezvous — and nothing else: simulated
+// time, message counters, and chaos verdicts are charged above the seam, so
+// a kernel run observes the same schedule of charges and injected faults on
+// the wire as in process.
+//
+// Wire protocol. Every frame is a fixed 40-byte little-endian header and an
+// optional payload of 8-byte words:
+//
+//	[0]     frame type
+//	[1]     window kind
+//	[2:4]   status / flags (responses)
+//	[4:8]   window id
+//	[8:12]  window sub
+//	[12:20] offset (elements); rendezvous generation for BARRIER
+//	[20:28] payload count (elements; bytes for ABORT)
+//	[28:36] request id; float64 bits of the clock maximum for BARRIER
+//	[36:40] CRC-32C of the payload
+//
+// PUT frames coalesce: they are buffered per destination connection and
+// flushed by the next frame on that connection that needs an answer (GET,
+// PUTMIN) or orders delivery (BARRIER, ABORT), so a serve phase's pushes to
+// one peer ride the wire together. Per-connection FIFO plus the
+// flush-before-BARRIER rule realizes the seam's ordering contract: a Put is
+// applied at its destination before any later Rendezvous completes.
+//
+// Failure model. Real wire failures surface through the runtime's classified
+// taxonomy and the transport never hangs: a dead connection or a peer's
+// abort is ErrTransport, a missed deadline is ErrTimeout, a checksum
+// mismatch is ErrCorrupt. Any failure poisons the whole transport (Abort) —
+// a multi-process region cannot be locally unwound the way the in-process
+// barrier poisons a region, so the cluster fails loudly and the supervisor
+// restarts it. Thread eviction and live remapping are therefore unsupported
+// on the wire; wire soaks run with KillRate = 0.
+package wiretransport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pgasgraph/internal/pgas"
+)
+
+// frame types
+const (
+	frHello uint8 = iota + 1
+	frGet
+	frGetResp
+	frPut
+	frPutMin
+	frPutMinResp
+	frBarrier
+	frAbort
+	frGoodbye
+)
+
+// response status codes ([2:4] of the header)
+const (
+	stOK uint16 = iota
+	stStored
+	stBadWindow
+)
+
+const headerLen = 40
+
+// DefaultTimeout bounds every blocking wire operation when Config.Timeout
+// is zero. It is deliberately generous: it only fires when a peer process
+// is dead or wedged, and then it converts a hang into a classified
+// ErrTimeout.
+const DefaultTimeout = 30 * time.Second
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Config describes one node's seat in the cluster.
+type Config struct {
+	// Nodes is the cluster size p; Node is this process's seat in [0,p).
+	Nodes int
+	Node  int
+	// Dir is the rendezvous directory all p processes share; node i
+	// listens on Dir/node-<i>.sock.
+	Dir string
+	// Timeout bounds every blocking operation (connect, get, putmin,
+	// rendezvous). Zero means DefaultTimeout.
+	Timeout time.Duration
+}
+
+// SocketPath returns the listening socket path of node in dir.
+func SocketPath(dir string, node int) string {
+	return filepath.Join(dir, fmt.Sprintf("node-%d.sock", node))
+}
+
+// peerConn is one mesh edge: the connection, its buffered writer, and the
+// scratch the writer reuses. wmu serializes frame writes from the node's
+// threads and from reader goroutines answering GETs.
+type peerConn struct {
+	conn net.Conn
+	wmu  sync.Mutex
+	bw   *bufio.Writer
+	hdr  [headerLen]byte
+	pay  []byte
+}
+
+// rdvState accumulates one rendezvous generation: how many peers have
+// arrived and the running maximum of their clock values.
+type rdvState struct {
+	got  int
+	max  float64
+	done chan struct{}
+}
+
+type wireResp struct {
+	vals   []int64
+	status uint16
+	err    error
+}
+
+// Transport is one node's endpoint of the unix-socket mesh. It implements
+// pgas.Transport with Shared() == false.
+type Transport struct {
+	cfg   Config
+	ln    net.Listener
+	peers []*peerConn // indexed by node; nil at cfg.Node
+
+	winMu sync.RWMutex
+	wins  map[pgas.Win][]int64
+
+	// rmu serializes inbound frame application across the per-connection
+	// reader goroutines. Together with per-connection FIFO and the
+	// rendezvous channel close it forms the happens-before chain that
+	// makes replica reads after a barrier race-free: apply (under rmu) →
+	// barrier arrival (under rdvMu) → done close → waiting caller.
+	rmu sync.Mutex
+
+	rdvMu  sync.Mutex
+	rdvGen uint64
+	rdv    map[uint64]*rdvState
+
+	pendMu sync.Mutex
+	reqSeq uint64
+	pend   map[uint64]chan wireResp
+
+	abortOnce sync.Once
+	abortCh   chan struct{}
+	causeMu   sync.Mutex
+	cause     string
+
+	closed   atomic.Bool
+	departed []atomic.Bool // peers that announced a clean shutdown
+}
+
+// Connect joins the mesh: listen on this node's socket, dial every lower
+// seat, accept every higher seat, and start one reader per connection. It
+// returns once all p-1 edges are up, or a classified error when the
+// cluster does not assemble within the timeout.
+func Connect(cfg Config) (*Transport, error) {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+	if cfg.Nodes < 1 || cfg.Node < 0 || cfg.Node >= cfg.Nodes {
+		return nil, pgas.Errorf(pgas.ErrMisuse, -1, "wire Connect",
+			"node %d out of range [0,%d)", cfg.Node, cfg.Nodes)
+	}
+	t := &Transport{
+		cfg:      cfg,
+		peers:    make([]*peerConn, cfg.Nodes),
+		wins:     make(map[pgas.Win][]int64),
+		rdv:      make(map[uint64]*rdvState),
+		pend:     make(map[uint64]chan wireResp),
+		abortCh:  make(chan struct{}),
+		departed: make([]atomic.Bool, cfg.Nodes),
+	}
+	path := SocketPath(cfg.Dir, cfg.Node)
+	_ = os.Remove(path)
+	ln, err := net.Listen("unix", path)
+	if err != nil {
+		return nil, pgas.Errorf(pgas.ErrTransport, -1, "wire Connect", "listen %s: %v", path, err)
+	}
+	t.ln = ln
+
+	deadline := time.Now().Add(cfg.Timeout)
+
+	// Accept the higher seats concurrently with dialing the lower ones —
+	// both directions progress at every node, so the mesh cannot deadlock
+	// on connect order.
+	accErr := make(chan error, 1)
+	go func() { accErr <- t.acceptPeers(deadline) }()
+
+	for nd := 0; nd < cfg.Node; nd++ {
+		if err := t.dialPeer(nd, deadline); err != nil {
+			ln.Close()
+			return nil, err
+		}
+	}
+	if err := <-accErr; err != nil {
+		ln.Close()
+		return nil, err
+	}
+	for nd, p := range t.peers {
+		if nd != cfg.Node {
+			go t.readLoop(nd, p)
+		}
+	}
+	return t, nil
+}
+
+func (t *Transport) dialPeer(nd int, deadline time.Time) error {
+	path := SocketPath(t.cfg.Dir, nd)
+	var conn net.Conn
+	var err error
+	for {
+		conn, err = net.DialTimeout("unix", path, time.Until(deadline))
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return pgas.Errorf(pgas.ErrTimeout, -1, "wire Connect",
+				"node %d never came up at %s: %v", nd, path, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	p := &peerConn{conn: conn, bw: bufio.NewWriter(conn)}
+	t.peers[nd] = p
+	// Identify this seat to the acceptor.
+	return t.sendFrame(nd, frHello, pgas.Win{Sub: int32(t.cfg.Node)}, 0, 0, 0, nil, true)
+}
+
+func (t *Transport) acceptPeers(deadline time.Time) error {
+	want := t.cfg.Nodes - 1 - t.cfg.Node // seats above ours dial us
+	for got := 0; got < want; got++ {
+		if d, ok := t.ln.(*net.UnixListener); ok {
+			d.SetDeadline(deadline)
+		}
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return pgas.Errorf(pgas.ErrTimeout, -1, "wire Connect",
+				"node %d: %d of %d higher seats connected: %v", t.cfg.Node, got, want, err)
+		}
+		conn.SetReadDeadline(deadline)
+		var hdr [headerLen]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil || hdr[0] != frHello {
+			conn.Close()
+			return pgas.Errorf(pgas.ErrTransport, -1, "wire Connect",
+				"bad hello from peer: %v", err)
+		}
+		conn.SetReadDeadline(time.Time{})
+		nd := int(int32(binary.LittleEndian.Uint32(hdr[8:12])))
+		if nd <= t.cfg.Node || nd >= t.cfg.Nodes || t.peers[nd] != nil {
+			conn.Close()
+			return pgas.Errorf(pgas.ErrTransport, -1, "wire Connect",
+				"hello names invalid seat %d", nd)
+		}
+		t.peers[nd] = &peerConn{conn: conn, bw: bufio.NewWriter(conn)}
+	}
+	return nil
+}
+
+func (t *Transport) Shared() bool { return false }
+func (t *Transport) Nodes() int   { return t.cfg.Nodes }
+func (t *Transport) Node() int    { return t.cfg.Node }
+
+func (t *Transport) Expose(w pgas.Win, data []int64) {
+	t.winMu.Lock()
+	t.wins[w] = data
+	t.winMu.Unlock()
+}
+
+func (t *Transport) window(w pgas.Win, off, k int64) ([]int64, bool) {
+	t.winMu.RLock()
+	data, ok := t.wins[w]
+	t.winMu.RUnlock()
+	if !ok || off < 0 || off+k > int64(len(data)) {
+		return nil, false
+	}
+	return data, true
+}
+
+func tid(th *pgas.Thread) int {
+	if th == nil {
+		return -1
+	}
+	return th.ID
+}
+
+// sendFrame encodes and writes one frame to nd under its connection's write
+// lock. flush pushes the connection's buffered frames (earlier coalesced
+// PUTs included) onto the wire with a write deadline, so a wedged peer
+// surfaces as an error here rather than a hang.
+func (t *Transport) sendFrame(nd int, typ uint8, w pgas.Win, off, count int64, reqID uint64, payload []int64, flush bool) error {
+	p := t.peers[nd]
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+
+	var crc uint32
+	if len(payload) > 0 {
+		need := len(payload) * 8
+		if cap(p.pay) < need {
+			p.pay = make([]byte, need)
+		}
+		buf := p.pay[:need]
+		for j, v := range payload {
+			binary.LittleEndian.PutUint64(buf[j*8:], uint64(v))
+		}
+		crc = crc32.Checksum(buf, castagnoli)
+	}
+	hdr := p.hdr[:]
+	hdr[0] = typ
+	hdr[1] = byte(w.Kind)
+	binary.LittleEndian.PutUint16(hdr[2:4], 0)
+	binary.LittleEndian.PutUint32(hdr[4:8], w.ID)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(w.Sub))
+	binary.LittleEndian.PutUint64(hdr[12:20], uint64(off))
+	binary.LittleEndian.PutUint64(hdr[20:28], uint64(count))
+	binary.LittleEndian.PutUint64(hdr[28:36], reqID)
+	binary.LittleEndian.PutUint32(hdr[36:40], crc)
+	if _, err := p.bw.Write(hdr); err != nil {
+		return pgas.Errorf(pgas.ErrTransport, -1, "wire send", "to node %d: %v", nd, err)
+	}
+	if len(payload) > 0 {
+		if _, err := p.bw.Write(p.pay[:len(payload)*8]); err != nil {
+			return pgas.Errorf(pgas.ErrTransport, -1, "wire send", "to node %d: %v", nd, err)
+		}
+	}
+	if flush {
+		p.conn.SetWriteDeadline(time.Now().Add(t.cfg.Timeout))
+		if err := p.bw.Flush(); err != nil {
+			return pgas.Errorf(pgas.ErrTransport, -1, "wire send", "flush to node %d: %v", nd, err)
+		}
+	}
+	return nil
+}
+
+// sendStatus is sendFrame for responses, which carry a status code.
+func (t *Transport) sendStatus(nd int, typ uint8, status uint16, count int64, reqID uint64, payload []int64) error {
+	p := t.peers[nd]
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+
+	var crc uint32
+	if len(payload) > 0 {
+		need := len(payload) * 8
+		if cap(p.pay) < need {
+			p.pay = make([]byte, need)
+		}
+		buf := p.pay[:need]
+		for j, v := range payload {
+			binary.LittleEndian.PutUint64(buf[j*8:], uint64(v))
+		}
+		crc = crc32.Checksum(buf, castagnoli)
+	}
+	hdr := p.hdr[:]
+	for j := range hdr {
+		hdr[j] = 0
+	}
+	hdr[0] = typ
+	binary.LittleEndian.PutUint16(hdr[2:4], status)
+	binary.LittleEndian.PutUint64(hdr[20:28], uint64(count))
+	binary.LittleEndian.PutUint64(hdr[28:36], reqID)
+	binary.LittleEndian.PutUint32(hdr[36:40], crc)
+	if _, err := p.bw.Write(hdr); err != nil {
+		return pgas.Errorf(pgas.ErrTransport, -1, "wire send", "to node %d: %v", nd, err)
+	}
+	if len(payload) > 0 {
+		if _, err := p.bw.Write(p.pay[:len(payload)*8]); err != nil {
+			return pgas.Errorf(pgas.ErrTransport, -1, "wire send", "to node %d: %v", nd, err)
+		}
+	}
+	p.conn.SetWriteDeadline(time.Now().Add(t.cfg.Timeout))
+	if err := p.bw.Flush(); err != nil {
+		return pgas.Errorf(pgas.ErrTransport, -1, "wire send", "flush to node %d: %v", nd, err)
+	}
+	return nil
+}
+
+func (t *Transport) register() (uint64, chan wireResp) {
+	ch := make(chan wireResp, 1)
+	t.pendMu.Lock()
+	t.reqSeq++
+	id := t.reqSeq
+	t.pend[id] = ch
+	t.pendMu.Unlock()
+	return id, ch
+}
+
+func (t *Transport) resolve(id uint64, r wireResp) {
+	t.pendMu.Lock()
+	ch, ok := t.pend[id]
+	if ok {
+		delete(t.pend, id)
+	}
+	t.pendMu.Unlock()
+	if ok {
+		ch <- r
+	}
+}
+
+func (t *Transport) drop(id uint64) {
+	t.pendMu.Lock()
+	delete(t.pend, id)
+	t.pendMu.Unlock()
+}
+
+func (t *Transport) aborted() bool {
+	select {
+	case <-t.abortCh:
+		return true
+	default:
+		return false
+	}
+}
+
+func (t *Transport) abortErr(th *pgas.Thread, op string) error {
+	t.causeMu.Lock()
+	cause := t.cause
+	t.causeMu.Unlock()
+	return pgas.Errorf(pgas.ErrTransport, tid(th), op, "transport aborted: %s", cause)
+}
+
+// Get reads len(dst) elements of node's window w starting at off.
+func (t *Transport) Get(th *pgas.Thread, node int, w pgas.Win, off int64, dst []int64) error {
+	const op = "wire Get"
+	if node == t.cfg.Node {
+		return t.localGet(th, op, w, off, dst)
+	}
+	if node < 0 || node >= t.cfg.Nodes {
+		return pgas.Errorf(pgas.ErrMisuse, tid(th), op, "node %d out of range [0,%d)", node, t.cfg.Nodes)
+	}
+	if t.aborted() {
+		return t.abortErr(th, op)
+	}
+	id, ch := t.register()
+	if err := t.sendFrame(node, frGet, w, off, int64(len(dst)), id, nil, true); err != nil {
+		t.drop(id)
+		t.Abort(err.Error())
+		return err
+	}
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return r.err
+		}
+		if r.status == stBadWindow || len(r.vals) != len(dst) {
+			return pgas.Errorf(pgas.ErrMisuse, tid(th), op,
+				"node %d rejected window %+v [%d,%d)", node, w, off, off+int64(len(dst)))
+		}
+		copy(dst, r.vals)
+		return nil
+	case <-t.abortCh:
+		t.drop(id)
+		return t.abortErr(th, op)
+	case <-time.After(t.cfg.Timeout):
+		t.drop(id)
+		err := pgas.Errorf(pgas.ErrTimeout, tid(th), op,
+			"no response from node %d within %v", node, t.cfg.Timeout)
+		t.Abort(err.Error())
+		return err
+	}
+}
+
+// Put writes src into node's window w starting at off. The frame is
+// buffered on the destination's connection and flushed by the next
+// ordering frame (GET, PUTMIN, BARRIER, ABORT) to that node.
+func (t *Transport) Put(th *pgas.Thread, node int, w pgas.Win, off int64, src []int64) error {
+	const op = "wire Put"
+	if node == t.cfg.Node {
+		return t.localPut(th, op, w, off, src)
+	}
+	if node < 0 || node >= t.cfg.Nodes {
+		return pgas.Errorf(pgas.ErrMisuse, tid(th), op, "node %d out of range [0,%d)", node, t.cfg.Nodes)
+	}
+	if t.aborted() {
+		return t.abortErr(th, op)
+	}
+	if err := t.sendFrame(node, frPut, w, off, int64(len(src)), 0, src, false); err != nil {
+		t.Abort(err.Error())
+		return err
+	}
+	return nil
+}
+
+// PutMin atomically lowers node's window element to v if smaller.
+func (t *Transport) PutMin(th *pgas.Thread, node int, w pgas.Win, off int64, v int64) (bool, error) {
+	const op = "wire PutMin"
+	if node == t.cfg.Node {
+		return t.localPutMin(th, op, w, off, v)
+	}
+	if node < 0 || node >= t.cfg.Nodes {
+		return false, pgas.Errorf(pgas.ErrMisuse, tid(th), op, "node %d out of range [0,%d)", node, t.cfg.Nodes)
+	}
+	if t.aborted() {
+		return false, t.abortErr(th, op)
+	}
+	id, ch := t.register()
+	if err := t.sendFrame(node, frPutMin, w, off, 1, id, []int64{v}, true); err != nil {
+		t.drop(id)
+		t.Abort(err.Error())
+		return false, err
+	}
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return false, r.err
+		}
+		if r.status == stBadWindow {
+			return false, pgas.Errorf(pgas.ErrMisuse, tid(th), op,
+				"node %d rejected window %+v off %d", node, w, off)
+		}
+		return r.status == stStored, nil
+	case <-t.abortCh:
+		t.drop(id)
+		return false, t.abortErr(th, op)
+	case <-time.After(t.cfg.Timeout):
+		t.drop(id)
+		err := pgas.Errorf(pgas.ErrTimeout, tid(th), op,
+			"no response from node %d within %v", node, t.cfg.Timeout)
+		t.Abort(err.Error())
+		return false, err
+	}
+}
+
+// rdvGet returns generation gen's accumulator, creating it on first touch
+// from either side (a fast peer's arrival may precede the local call).
+// Caller holds rdvMu.
+func (t *Transport) rdvGet(gen uint64) *rdvState {
+	st, ok := t.rdv[gen]
+	if !ok {
+		st = &rdvState{max: math.Inf(-1), done: make(chan struct{})}
+		if t.cfg.Nodes == 1 {
+			close(st.done)
+		}
+		t.rdv[gen] = st
+	}
+	return st
+}
+
+// Rendezvous is the cross-process barrier leg: broadcast the local clock
+// maximum under the next generation number (every process calls Rendezvous
+// in the same SPMD sequence, so generations align without negotiation),
+// wait for all peers, and fold the global maximum.
+func (t *Transport) Rendezvous(localMax float64) (float64, error) {
+	const op = "wire Rendezvous"
+	if t.aborted() {
+		return 0, t.abortErr(nil, op)
+	}
+	t.rdvMu.Lock()
+	t.rdvGen++
+	gen := t.rdvGen
+	st := t.rdvGet(gen)
+	t.rdvMu.Unlock()
+
+	for nd := range t.peers {
+		if nd == t.cfg.Node {
+			continue
+		}
+		if err := t.sendFrame(nd, frBarrier, pgas.Win{}, int64(gen), 0, math.Float64bits(localMax), nil, true); err != nil {
+			t.Abort(err.Error())
+			return 0, err
+		}
+	}
+	select {
+	case <-st.done:
+		t.rdvMu.Lock()
+		g := st.max
+		delete(t.rdv, gen)
+		t.rdvMu.Unlock()
+		if localMax > g {
+			g = localMax
+		}
+		return g, nil
+	case <-t.abortCh:
+		return 0, t.abortErr(nil, op)
+	case <-time.After(t.cfg.Timeout):
+		err := pgas.Errorf(pgas.ErrTimeout, -1, op,
+			"rendezvous gen %d incomplete after %v (%d of %d peers)", gen, t.cfg.Timeout, st.got, t.cfg.Nodes-1)
+		t.Abort(err.Error())
+		return 0, err
+	}
+}
+
+// Abort poisons the transport: local waiters unblock with ErrTransport and
+// every peer is told (best effort) so the whole cluster unwinds instead of
+// waiting out deadlines. The first cause wins; a poisoned transport stays
+// poisoned.
+func (t *Transport) Abort(cause string) {
+	t.abortOnce.Do(func() {
+		t.causeMu.Lock()
+		t.cause = cause
+		t.causeMu.Unlock()
+		close(t.abortCh)
+		payload := make([]int64, (len(cause)+7)/8)
+		b := make([]byte, len(payload)*8)
+		copy(b, cause)
+		for j := range payload {
+			payload[j] = int64(binary.LittleEndian.Uint64(b[j*8:]))
+		}
+		for nd := range t.peers {
+			if nd == t.cfg.Node || t.peers[nd] == nil {
+				continue
+			}
+			_ = t.sendFrame(nd, frAbort, pgas.Win{}, int64(len(cause)), int64(len(payload)), 0, payload, true)
+		}
+	})
+}
+
+// Close tears the mesh down: announce a clean departure to every peer
+// (best effort), then close the sockets. The GOODBYE lets a peer that is
+// still draining its final frames tell an orderly end-of-trial shutdown
+// apart from a crash — EOF after GOODBYE is silence, EOF without it is a
+// dead process and poisons the peer's cluster.
+func (t *Transport) Close() error {
+	t.closed.Store(true)
+	for nd, p := range t.peers {
+		if nd != t.cfg.Node && p != nil {
+			_ = t.sendFrame(nd, frGoodbye, pgas.Win{}, 0, 0, 0, nil, true)
+		}
+	}
+	if t.ln != nil {
+		t.ln.Close()
+	}
+	for nd, p := range t.peers {
+		if nd != t.cfg.Node && p != nil {
+			p.conn.Close()
+		}
+	}
+	return nil
+}
+
+// --- local (self-node) data plane, shared with the serve paths ---
+
+func (t *Transport) localGet(th *pgas.Thread, op string, w pgas.Win, off int64, dst []int64) error {
+	t.rmu.Lock()
+	defer t.rmu.Unlock()
+	data, ok := t.window(w, off, int64(len(dst)))
+	if !ok {
+		return pgas.Errorf(pgas.ErrMisuse, tid(th), op, "window %+v [%d,%d) not exposed", w, off, off+int64(len(dst)))
+	}
+	readWin(w, data, off, dst)
+	return nil
+}
+
+func (t *Transport) localPut(th *pgas.Thread, op string, w pgas.Win, off int64, src []int64) error {
+	t.rmu.Lock()
+	defer t.rmu.Unlock()
+	data, ok := t.window(w, off, int64(len(src)))
+	if !ok {
+		return pgas.Errorf(pgas.ErrMisuse, tid(th), op, "window %+v [%d,%d) not exposed", w, off, off+int64(len(src)))
+	}
+	writeWin(w, data, off, src)
+	return nil
+}
+
+func (t *Transport) localPutMin(th *pgas.Thread, op string, w pgas.Win, off int64, v int64) (bool, error) {
+	t.rmu.Lock()
+	defer t.rmu.Unlock()
+	data, ok := t.window(w, off, 1)
+	if !ok {
+		return false, pgas.Errorf(pgas.ErrMisuse, tid(th), op, "window %+v off %d not exposed", w, off)
+	}
+	return minWin(data, off, v), nil
+}
+
+// readWin snapshots window words. SharedArray windows are concurrently
+// touched by the owner's threads through the runtime's atomic fast paths,
+// so they are read atomically; plan and reducer windows are only accessed
+// in barrier-separated phases and copy plainly under rmu.
+func readWin(w pgas.Win, data []int64, off int64, dst []int64) {
+	if w.Kind == pgas.WinArray {
+		for j := range dst {
+			dst[j] = atomic.LoadInt64(&data[off+int64(j)])
+		}
+		return
+	}
+	copy(dst, data[off:off+int64(len(dst))])
+}
+
+func writeWin(w pgas.Win, data []int64, off int64, src []int64) {
+	if w.Kind == pgas.WinArray {
+		for j, v := range src {
+			atomic.StoreInt64(&data[off+int64(j)], v)
+		}
+		return
+	}
+	copy(data[off:off+int64(len(src))], src)
+}
+
+func minWin(data []int64, off, v int64) bool {
+	for {
+		cur := atomic.LoadInt64(&data[off])
+		if v >= cur {
+			return false
+		}
+		if atomic.CompareAndSwapInt64(&data[off], cur, v) {
+			return true
+		}
+	}
+}
+
+// connDown handles a broken mesh edge: silent after our own Close or the
+// peer's announced departure, otherwise the cluster is poisoned — a
+// missing peer can never rendezvous again.
+func (t *Transport) connDown(nd int, err error) {
+	if t.closed.Load() || t.departed[nd].Load() {
+		return
+	}
+	t.Abort(fmt.Sprintf("connection to node %d down: %v", nd, err))
+}
+
+// readLoop drains one mesh edge. Every frame is applied under rmu; answers
+// (GETRESP, PUTMINRESP) are sent from fresh goroutines over snapshots so a
+// reader never blocks on a send — the mesh cannot deadlock on mutual
+// bulk responses.
+func (t *Transport) readLoop(nd int, p *peerConn) {
+	br := bufio.NewReader(p.conn)
+	hdr := make([]byte, headerLen)
+	for {
+		if _, err := io.ReadFull(br, hdr); err != nil {
+			t.connDown(nd, err)
+			return
+		}
+		typ := hdr[0]
+		w := pgas.Win{
+			Kind: pgas.WinKind(hdr[1]),
+			ID:   binary.LittleEndian.Uint32(hdr[4:8]),
+			Sub:  int32(binary.LittleEndian.Uint32(hdr[8:12])),
+		}
+		status := binary.LittleEndian.Uint16(hdr[2:4])
+		off := int64(binary.LittleEndian.Uint64(hdr[12:20]))
+		count := int64(binary.LittleEndian.Uint64(hdr[20:28]))
+		reqID := binary.LittleEndian.Uint64(hdr[28:36])
+		crc := binary.LittleEndian.Uint32(hdr[36:40])
+
+		var payload []int64
+		hasPayload := typ == frPut || typ == frPutMin || typ == frAbort || (typ == frGetResp && count > 0)
+		if hasPayload {
+			if count < 0 || count > (1<<31) {
+				t.connDown(nd, fmt.Errorf("frame type %d count %d out of range", typ, count))
+				return
+			}
+			n := int(count)
+			raw := make([]byte, n*8)
+			if _, err := io.ReadFull(br, raw); err != nil {
+				t.connDown(nd, err)
+				return
+			}
+			if crc32.Checksum(raw, castagnoli) != crc {
+				t.frameCorrupt(nd, typ, reqID)
+				continue
+			}
+			payload = make([]int64, n)
+			for j := range payload {
+				payload[j] = int64(binary.LittleEndian.Uint64(raw[j*8:]))
+			}
+		}
+
+		switch typ {
+		case frPut:
+			t.applyPut(nd, w, off, payload)
+		case frGet:
+			t.serveGet(nd, w, off, count, reqID)
+		case frPutMin:
+			t.servePutMin(nd, w, off, payload, reqID)
+		case frGetResp:
+			t.resolve(reqID, wireResp{vals: payload, status: status})
+		case frPutMinResp:
+			t.resolve(reqID, wireResp{status: status})
+		case frBarrier:
+			t.applyBarrier(uint64(off), math.Float64frombits(reqID))
+		case frAbort:
+			b := make([]byte, len(payload)*8)
+			for j, v := range payload {
+				binary.LittleEndian.PutUint64(b[j*8:], uint64(v))
+			}
+			n := off // byte length rides the offset field
+			if n < 0 || n > int64(len(b)) {
+				n = int64(len(b))
+			}
+			t.Abort(fmt.Sprintf("node %d aborted: %s", nd, string(b[:n])))
+		case frGoodbye:
+			t.departed[nd].Store(true)
+		case frHello:
+			// Late HELLO is a protocol violation.
+			t.connDown(nd, fmt.Errorf("unexpected HELLO"))
+			return
+		default:
+			t.connDown(nd, fmt.Errorf("unknown frame type %d", typ))
+			return
+		}
+	}
+}
+
+// frameCorrupt reports a checksum mismatch. A corrupt response is delivered
+// to its waiter as ErrCorrupt (the caller decides whether to retry above
+// the seam); a corrupt one-way frame poisons the transport — its effect is
+// lost and the region cannot be trusted.
+func (t *Transport) frameCorrupt(nd int, typ uint8, reqID uint64) {
+	err := pgas.Errorf(pgas.ErrCorrupt, -1, "wire recv",
+		"checksum mismatch on frame type %d from node %d", typ, nd)
+	if typ == frGetResp {
+		t.resolve(reqID, wireResp{err: err})
+		return
+	}
+	t.Abort(err.Error())
+}
+
+func (t *Transport) applyPut(nd int, w pgas.Win, off int64, src []int64) {
+	t.rmu.Lock()
+	data, ok := t.window(w, off, int64(len(src)))
+	if ok {
+		writeWin(w, data, off, src)
+	}
+	t.rmu.Unlock()
+	if !ok {
+		t.Abort(fmt.Sprintf("node %d put to unexposed window %+v [%d,%d)", nd, w, off, off+int64(len(src))))
+	}
+}
+
+func (t *Transport) serveGet(nd int, w pgas.Win, off, count int64, reqID uint64) {
+	t.rmu.Lock()
+	data, ok := t.window(w, off, count)
+	var snap []int64
+	if ok {
+		snap = make([]int64, count)
+		readWin(w, data, off, snap)
+	}
+	t.rmu.Unlock()
+	// Answer off the reader goroutine over the snapshot: the reader keeps
+	// draining while bulk responses flow the other way.
+	go func() {
+		if !ok {
+			_ = t.sendStatus(nd, frGetResp, stBadWindow, 0, reqID, nil)
+			return
+		}
+		_ = t.sendStatus(nd, frGetResp, stOK, count, reqID, snap)
+	}()
+}
+
+func (t *Transport) servePutMin(nd int, w pgas.Win, off int64, payload []int64, reqID uint64) {
+	status := stBadWindow
+	if len(payload) == 1 {
+		t.rmu.Lock()
+		data, ok := t.window(w, off, 1)
+		if ok {
+			if minWin(data, off, payload[0]) {
+				status = stStored
+			} else {
+				status = stOK
+			}
+		}
+		t.rmu.Unlock()
+	}
+	go func() {
+		_ = t.sendStatus(nd, frPutMinResp, status, 0, reqID, nil)
+	}()
+}
+
+func (t *Transport) applyBarrier(gen uint64, v float64) {
+	t.rdvMu.Lock()
+	st := t.rdvGet(gen)
+	if v > st.max {
+		st.max = v
+	}
+	st.got++
+	if st.got == t.cfg.Nodes-1 {
+		close(st.done)
+	}
+	t.rdvMu.Unlock()
+}
+
+var _ pgas.Transport = (*Transport)(nil)

@@ -1,0 +1,209 @@
+package wiretransport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"pgasgraph/internal/pgas"
+)
+
+// connectMesh assembles an n-node mesh in one process (the transport is
+// process-agnostic: each instance only talks through its sockets).
+func connectMesh(t *testing.T, n int, timeout time.Duration) []*Transport {
+	t.Helper()
+	dir := t.TempDir()
+	trs := make([]*Transport, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for nd := 0; nd < n; nd++ {
+		wg.Add(1)
+		go func(nd int) {
+			defer wg.Done()
+			trs[nd], errs[nd] = Connect(Config{Nodes: n, Node: nd, Dir: dir, Timeout: timeout})
+		}(nd)
+	}
+	wg.Wait()
+	for nd, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: Connect: %v", nd, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, tr := range trs {
+			tr.Close()
+		}
+	})
+	return trs
+}
+
+func TestMeshIdentity(t *testing.T) {
+	trs := connectMesh(t, 3, 10*time.Second)
+	for nd, tr := range trs {
+		if tr.Shared() {
+			t.Fatalf("node %d: wire transport claims Shared", nd)
+		}
+		if tr.Nodes() != 3 || tr.Node() != nd {
+			t.Fatalf("node %d: identity %d/%d", nd, tr.Node(), tr.Nodes())
+		}
+	}
+}
+
+// TestPutVisibleAfterRendezvous is the seam's core ordering law: a buffered
+// Put to a peer is applied before any later Rendezvous completes.
+func TestPutVisibleAfterRendezvous(t *testing.T) {
+	const n = 3
+	trs := connectMesh(t, n, 10*time.Second)
+	bufs := make([][]int64, n)
+	for nd, tr := range trs {
+		bufs[nd] = make([]int64, n)
+		tr.Expose(pgas.Win{Kind: pgas.WinReduce, ID: 1}, bufs[nd])
+	}
+	var wg sync.WaitGroup
+	for nd := 0; nd < n; nd++ {
+		wg.Add(1)
+		go func(nd int) {
+			defer wg.Done()
+			tr := trs[nd]
+			bufs[nd][nd] = int64(100 + nd)
+			for peer := 0; peer < n; peer++ {
+				if peer == nd {
+					continue
+				}
+				if err := tr.Put(nil, peer, pgas.Win{Kind: pgas.WinReduce, ID: 1}, int64(nd), []int64{int64(100 + nd)}); err != nil {
+					t.Errorf("node %d: Put to %d: %v", nd, peer, err)
+					return
+				}
+			}
+			if _, err := tr.Rendezvous(0); err != nil {
+				t.Errorf("node %d: Rendezvous: %v", nd, err)
+				return
+			}
+			for j := 0; j < n; j++ {
+				if bufs[nd][j] != int64(100+j) {
+					t.Errorf("node %d: slot %d = %d, want %d", nd, j, bufs[nd][j], 100+j)
+				}
+			}
+		}(nd)
+	}
+	wg.Wait()
+}
+
+func TestRendezvousGlobalMax(t *testing.T) {
+	const n = 3
+	trs := connectMesh(t, n, 10*time.Second)
+	var wg sync.WaitGroup
+	for nd := 0; nd < n; nd++ {
+		wg.Add(1)
+		go func(nd int) {
+			defer wg.Done()
+			for round := 0; round < 4; round++ {
+				local := float64(10*round + nd)
+				want := float64(10*round + n - 1)
+				g, err := trs[nd].Rendezvous(local)
+				if err != nil {
+					t.Errorf("node %d round %d: %v", nd, round, err)
+					return
+				}
+				if g != want {
+					t.Errorf("node %d round %d: global %v, want %v", nd, round, g, want)
+				}
+			}
+		}(nd)
+	}
+	wg.Wait()
+}
+
+func TestGetRemoteWindow(t *testing.T) {
+	trs := connectMesh(t, 2, 10*time.Second)
+	src := []int64{7, 11, 13, 17}
+	trs[1].Expose(pgas.Win{Kind: pgas.WinPlanReq, ID: 5, Sub: 2}, src)
+	dst := make([]int64, 3)
+	if err := trs[0].Get(nil, 1, pgas.Win{Kind: pgas.WinPlanReq, ID: 5, Sub: 2}, 1, dst); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if dst[0] != 11 || dst[1] != 13 || dst[2] != 17 {
+		t.Fatalf("Get returned %v", dst)
+	}
+}
+
+func TestGetUnexposedIsMisuse(t *testing.T) {
+	trs := connectMesh(t, 2, 10*time.Second)
+	dst := make([]int64, 1)
+	err := trs[0].Get(nil, 1, pgas.Win{Kind: pgas.WinArray, ID: 99}, 0, dst)
+	if !errors.Is(err, pgas.ErrMisuse) {
+		t.Fatalf("Get of unexposed window: %v, want ErrMisuse", err)
+	}
+}
+
+func TestPutMinStores(t *testing.T) {
+	trs := connectMesh(t, 2, 10*time.Second)
+	data := []int64{100}
+	w := pgas.Win{Kind: pgas.WinArray, ID: 3}
+	trs[1].Expose(w, data)
+	stored, err := trs[0].PutMin(nil, 1, w, 0, 42)
+	if err != nil || !stored {
+		t.Fatalf("PutMin 42 over 100: stored=%v err=%v", stored, err)
+	}
+	stored, err = trs[0].PutMin(nil, 1, w, 0, 77)
+	if err != nil || stored {
+		t.Fatalf("PutMin 77 over 42: stored=%v err=%v", stored, err)
+	}
+	dst := make([]int64, 1)
+	if err := trs[0].Get(nil, 1, w, 0, dst); err != nil || dst[0] != 42 {
+		t.Fatalf("after PutMin: %v err=%v", dst, err)
+	}
+}
+
+// TestRendezvousTimeout: a peer that never arrives surfaces as a classified
+// ErrTimeout, not a hang.
+func TestRendezvousTimeout(t *testing.T) {
+	trs := connectMesh(t, 2, 500*time.Millisecond)
+	_, err := trs[0].Rendezvous(1)
+	if !errors.Is(err, pgas.ErrTimeout) {
+		t.Fatalf("lonely rendezvous: %v, want ErrTimeout", err)
+	}
+	// The timeout poisoned the transport; later operations fail fast with
+	// a classified error instead of waiting out another deadline.
+	if _, err := trs[0].Rendezvous(1); !errors.Is(err, pgas.ErrTransport) {
+		t.Fatalf("rendezvous after poison: %v, want ErrTransport", err)
+	}
+}
+
+// TestAbortUnblocksPeer: one node's abort reaches a peer blocked in
+// Rendezvous as a classified transport error.
+func TestAbortUnblocksPeer(t *testing.T) {
+	trs := connectMesh(t, 2, 10*time.Second)
+	done := make(chan error, 1)
+	go func() {
+		_, err := trs[1].Rendezvous(0)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	trs[0].Abort("node 0: region failed")
+	select {
+	case err := <-done:
+		if !errors.Is(err, pgas.ErrTransport) {
+			t.Fatalf("peer rendezvous after abort: %v, want ErrTransport", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer rendezvous still blocked after abort")
+	}
+}
+
+// TestConnDownAborts: a closed peer process poisons the survivors with a
+// classified error rather than leaving them to hang.
+func TestConnDownAborts(t *testing.T) {
+	trs := connectMesh(t, 2, 2*time.Second)
+	trs[1].closed.Store(false) // ensure the hard close is seen as a failure
+	for _, p := range trs[1].peers {
+		if p != nil {
+			p.conn.Close()
+		}
+	}
+	_, err := trs[0].Rendezvous(0)
+	if !errors.Is(err, pgas.ErrTransport) && !errors.Is(err, pgas.ErrTimeout) {
+		t.Fatalf("rendezvous against dead peer: %v, want classified", err)
+	}
+}

@@ -1,0 +1,171 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"pgasgraph/internal/bfs"
+	"pgasgraph/internal/cc"
+	"pgasgraph/internal/collective"
+	"pgasgraph/internal/mst"
+	"pgasgraph/internal/pgas"
+	"pgasgraph/internal/xrand"
+)
+
+// wireTrial samples a matrix point and forces a genuinely multi-process
+// geometry onto it.
+func wireTrial(seed uint64, round int, maxN int64, nodes, tpn int) *Trial {
+	rng := xrand.New(seed).Split(0x31e7 ^ uint64(round))
+	return SampleTrial(rng, round, maxN).WithMachine(nodes, tpn)
+}
+
+// TestWireBattery: every wire-eligible battery check passes on a wire
+// cluster — the oracle comparisons run on every node against that node's
+// replica, so this pins both answers and replica synchronization.
+func TestWireBattery(t *testing.T) {
+	geoms := [][2]int{{2, 2}, {3, 1}}
+	for round, geom := range geoms {
+		tr := wireTrial(0x9a7, round, 200, geom[0], geom[1])
+		for _, c := range WireChecks() {
+			if !c.Applicable(tr) {
+				continue
+			}
+			if err := RunWireCheck(c, tr, WireTimeout); err != nil {
+				t.Fatalf("wire %dx%d %s: %v", geom[0], geom[1], c.Name, err)
+			}
+		}
+	}
+}
+
+// TestWireKernelIdentity: BFS, CC (both schemes), and MST computed on a
+// wire cluster are identical to the in-process run on the same graph and
+// seed — distances and labels element-for-element on every node, the MST
+// forest as the union of the nodes' chosen edges.
+func TestWireKernelIdentity(t *testing.T) {
+	tr := wireTrial(0x51de, 3, 300, 2, 2)
+	rt, err := pgas.New(tr.Machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm := collective.NewComm(rt)
+	o := tr.Opts
+	ccO := &cc.Options{Col: &o, Compact: tr.Compact}
+	wantCC := cc.Coalesced(rt, comm, tr.Graph, ccO).Labels
+	wantSV := cc.SV(rt, comm, tr.Graph, ccO).Labels
+	wantBFS := bfs.Coalesced(rt, comm, tr.Graph, tr.Src, &o).Dist
+	wantMST := mst.Coalesced(rt, comm, tr.WGraph, &mst.Options{Col: &o, Compact: tr.Compact})
+
+	type nodeOut struct {
+		mstEdges []int64
+		mstW     uint64
+	}
+	outs := make([]nodeOut, tr.Machine.Nodes)
+	errs := RunWireCluster(tr, nil, WireTimeout, func(node int, rt *pgas.Runtime, comm *collective.Comm) error {
+		o := tr.Opts
+		ccO := &cc.Options{Col: &o, Compact: tr.Compact}
+		if got := cc.Coalesced(rt, comm, tr.Graph, ccO).Labels; !eq64(got, wantCC) {
+			return fmt.Errorf("cc/coalesced labels diverge from in-process")
+		}
+		if got := cc.SV(rt, comm, tr.Graph, ccO).Labels; !eq64(got, wantSV) {
+			return fmt.Errorf("cc/sv labels diverge from in-process")
+		}
+		if got := bfs.Coalesced(rt, comm, tr.Graph, tr.Src, &o).Dist; !eq64(got, wantBFS) {
+			return fmt.Errorf("bfs distances diverge from in-process")
+		}
+		m := mst.Coalesced(rt, comm, tr.WGraph, &mst.Options{Col: &o, Compact: tr.Compact})
+		outs[node] = nodeOut{mstEdges: m.Edges, mstW: m.Weight}
+		return nil
+	})
+	if err := firstNodeError(errs); err != nil {
+		t.Fatal(err)
+	}
+
+	// The MST result is assembled host-side from per-thread choices, so on
+	// a wire cluster each node holds its local threads' share; the union
+	// across nodes must be the in-process forest.
+	var union []int64
+	for _, out := range outs {
+		union = append(union, out.mstEdges...)
+	}
+	want := append([]int64(nil), wantMST.Edges...)
+	sort.Slice(union, func(i, j int) bool { return union[i] < union[j] })
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if !eq64(union, want) {
+		t.Fatalf("mst edge union diverges: %d edges on wire, %d in-process", len(union), len(want))
+	}
+	var unionW uint64
+	for _, out := range outs {
+		unionW += out.mstW
+	}
+	if unionW != wantMST.Weight {
+		t.Fatalf("mst weight diverges: wire %d, in-process %d", unionW, wantMST.Weight)
+	}
+}
+
+func eq64(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestWireChaosConformance is the transport conformance soak: the same
+// trials under the same chaos schedules on both backends. Every trial must
+// end in an acceptable state on both (recovered, or loudly classified), and
+// a trial both backends survive must report identical fault counters — the
+// per-thread draw streams are backend-independent by construction.
+func TestWireChaosConformance(t *testing.T) {
+	battery := WireChecks()
+	const rounds = 6
+	for round := 0; round < rounds; round++ {
+		rng := xrand.New(0xc0fa7e).Split(uint64(round))
+		tr := SampleTrial(rng, round, 160).WithMachine(2, 2)
+		ccfg := sampleChaosConfig(rng, false)
+		c := battery[round%len(battery)]
+		if !c.Applicable(tr) {
+			continue
+		}
+
+		inStats, inErr := RunCheckChaos(c, tr, ccfg)
+		type wireDone struct {
+			stats pgas.ChaosStats
+			err   error
+		}
+		done := make(chan wireDone, 1)
+		go func() {
+			s, e := RunWireCheckChaos(c, tr, ccfg, WireTimeout)
+			done <- wireDone{s, e}
+		}()
+		var wire wireDone
+		select {
+		case wire = <-done:
+		case <-time.After(90 * time.Second):
+			t.Fatalf("round %d %s: wire trial hung", round, c.Name)
+		}
+
+		if (inErr == nil) != (wire.err == nil) {
+			t.Fatalf("round %d %s: outcomes diverge: in-process err=%v, wire err=%v",
+				round, c.Name, inErr, wire.err)
+		}
+		if inErr != nil {
+			if !classifiedErr(inErr) {
+				t.Fatalf("round %d %s: in-process failure unclassified: %v", round, c.Name, inErr)
+			}
+			if !classifiedErr(wire.err) {
+				t.Fatalf("round %d %s: wire failure unclassified: %v", round, c.Name, wire.err)
+			}
+			continue
+		}
+		if inStats != wire.stats {
+			t.Fatalf("round %d %s: fault counters diverge:\n  in-process %+v\n  wire       %+v",
+				round, c.Name, inStats, wire.stats)
+		}
+	}
+}
