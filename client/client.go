@@ -1,0 +1,135 @@
+// Package client is the Go client for a pgasd graph service: it dials the
+// server's unix socket, speaks the length-prefixed frame protocol, and
+// exposes the batched query API as plain method calls. The request and
+// payload types are shared with the server (aliases into internal/serve),
+// so a query batch built against this package is byte-identical to one
+// the Service answers in-process, and classified errors round-trip —
+// errors.Is(err, pgas.ErrMisuse) holds across the socket. One Client is
+// one connection; it is not goroutine-safe (the protocol is strictly
+// request/response). See docs/SERVING.md.
+package client
+
+import (
+	"encoding/json"
+	"net"
+
+	"pgasgraph/internal/serve"
+)
+
+// Re-exported request/response currency, shared with the server.
+type (
+	// Query is one point lookup in a batch.
+	Query = serve.Query
+	// Op selects a query kind.
+	Op = serve.Op
+	// Edge is one inserted edge.
+	Edge = serve.Edge
+	// KernelSpec names a kernel run on the server's resident graph.
+	KernelSpec = serve.KernelSpec
+	// LoadReq describes the generator graph to load.
+	LoadReq = serve.LoadReq
+	// LoadResp confirms a load.
+	LoadResp = serve.LoadResp
+	// RunResp summarizes a kernel run (arrays stay server-resident).
+	RunResp = serve.RunResp
+	// InsertResp reports how an insertion batch was applied.
+	InsertResp = serve.InsertResp
+	// InfoResp describes the server's resident state.
+	InfoResp = serve.InfoResp
+)
+
+// Query kinds.
+const (
+	SameComponent = serve.SameComponent
+	ComponentSize = serve.ComponentSize
+	Distance      = serve.Distance
+	TreeParent    = serve.TreeParent
+)
+
+// Client is one connection to a pgasd server.
+type Client struct {
+	conn net.Conn
+}
+
+// Dial connects to the pgasd unix socket.
+func Dial(socket string) (*Client, error) {
+	conn, err := net.Dial("unix", socket)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close hangs up.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip performs one request/response exchange. A FrameError response
+// is reconstructed with its error class intact.
+func (c *Client) roundTrip(typ byte, req, resp interface{}) error {
+	if err := serve.WriteMsg(c.conn, typ, req); err != nil {
+		return err
+	}
+	rtyp, payload, err := serve.ReadFrame(c.conn)
+	if err != nil {
+		return err
+	}
+	if rtyp == serve.FrameError {
+		var e serve.ErrorResp
+		if err := json.Unmarshal(payload, &e); err != nil {
+			return err
+		}
+		return e.AsError()
+	}
+	return json.Unmarshal(payload, resp)
+}
+
+// Load asks the server to generate and load a graph, replacing any
+// resident one.
+func (c *Client) Load(req LoadReq) (*LoadResp, error) {
+	var resp LoadResp
+	if err := c.roundTrip(serve.FrameLoad, &req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Run dispatches a kernel on the resident graph. Result arrays stay
+// resident server-side for querying; the response carries the summary and
+// a deterministic content checksum.
+func (c *Client) Run(spec KernelSpec) (*RunResp, error) {
+	var resp RunResp
+	if err := c.roundTrip(serve.FrameRun, &serve.RunReq{Spec: spec}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Query answers a batch of point lookups; answers land in query order.
+// The server coalesces the whole batch into O(1) bulk gathers.
+func (c *Client) Query(qs []Query) ([]int64, error) {
+	var resp serve.QueryResp
+	if err := c.roundTrip(serve.FrameQuery, &serve.QueryReq{Queries: qs}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Answers, nil
+}
+
+// Insert applies an edge-insertion batch. Resident component labels
+// update incrementally (or by supervised recompute on a fault); resident
+// distance/parent trees are dropped as stale.
+func (c *Client) Insert(edges []Edge) (*InsertResp, error) {
+	var resp InsertResp
+	if err := c.roundTrip(serve.FrameInsert, &serve.InsertReq{Edges: edges}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Info describes the server's graph, geometry, and resident arrays.
+func (c *Client) Info() (*InfoResp, error) {
+	var resp InfoResp
+	if err := c.roundTrip(serve.FrameInfo, struct{}{}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

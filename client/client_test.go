@@ -1,0 +1,222 @@
+package client
+
+import (
+	"errors"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"pgasgraph/internal/bfs"
+	"pgasgraph/internal/graph"
+	"pgasgraph/internal/machine"
+	"pgasgraph/internal/pgas"
+	"pgasgraph/internal/seq"
+	"pgasgraph/internal/serve"
+)
+
+// startServer runs an in-process Server on a real unix socket and returns
+// the socket path — the full client/protocol/server stack minus process
+// separation (cmd/pgasd adds only flags; the binary path is covered by
+// TestPgasdBinary when PGASD_BIN is set).
+func startServer(t *testing.T) string {
+	t.Helper()
+	sock := filepath.Join(t.TempDir(), "pgasd.sock")
+	cfg := machine.SingleSMP()
+	cfg.Nodes, cfg.ThreadsPerNode = 2, 2
+	srv := serve.NewServer(func(g *graph.Graph) (*serve.Service, error) {
+		return serve.New(serve.Config{Machine: cfg}, g)
+	})
+	l, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go srv.Serve(l)
+	return sock
+}
+
+func TestClientEndToEnd(t *testing.T) {
+	c, err := Dial(startServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	load, err := c.Load(LoadReq{Family: "random", N: 120, M: 90, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if load.N != 120 || load.M != 90 {
+		t.Fatalf("load = %+v", load)
+	}
+
+	// Offline oracle over the identical generator graph.
+	g, err := serve.Generate(&serve.LoadReq{Family: "random", N: 120, M: 90, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := seq.CC(g)
+	sizes := map[int64]int64{}
+	for _, l := range labels {
+		sizes[l]++
+	}
+	dist := bfs.SeqDistances(g, 5)
+
+	if _, err := c.Run(KernelSpec{Kernel: "cc/coalesced"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(KernelSpec{Kernel: "bfs/coalesced", Src: 5}); err != nil {
+		t.Fatal(err)
+	}
+
+	qs := []Query{
+		{Op: SameComponent, U: 0, V: 119},
+		{Op: ComponentSize, U: 7},
+		{Op: Distance, U: 5, V: 60},
+	}
+	ans, err := c.Query(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want0 := int64(0)
+	if labels[0] == labels[119] {
+		want0 = 1
+	}
+	if ans[0] != want0 || ans[1] != sizes[labels[7]] || ans[2] != dist[60] {
+		t.Fatalf("answers = %v, want [%d %d %d]", ans, want0, sizes[labels[7]], dist[60])
+	}
+
+	// Insertion: incremental on the server, recomputed offline.
+	ins, err := c.Insert([]Edge{{U: 0, V: 119}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ins.Incremental {
+		t.Fatalf("insert fell back: %+v", ins)
+	}
+	ans, err = c.Query([]Query{{Op: SameComponent, U: 0, V: 119}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans[0] != 1 {
+		t.Fatal("inserted edge did not merge components")
+	}
+
+	// Classified errors cross the socket.
+	if _, err := c.Query([]Query{{Op: ComponentSize, U: 10_000}}); !errors.Is(err, pgas.ErrMisuse) {
+		t.Fatalf("out-of-range query: err = %v, want ErrMisuse", err)
+	}
+	if _, err := c.Run(KernelSpec{Kernel: "mst/coalesced"}); !errors.Is(err, pgas.ErrMisuse) {
+		t.Fatalf("weighted kernel on unweighted graph: err = %v, want ErrMisuse", err)
+	}
+
+	info, err := c.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.N != 120 || info.M != 91 || info.Components == 0 {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+// TestPgasdBinary smokes the real binary end-to-end. It needs a built
+// server: set PGASD_BIN to its path (the CI serve-smoke job does; plain
+// `go test` skips).
+func TestPgasdBinary(t *testing.T) {
+	bin := os.Getenv("PGASD_BIN")
+	if bin == "" {
+		t.Skip("PGASD_BIN not set; run CI serve-smoke or: go build -o /tmp/pgasd ./cmd/pgasd && PGASD_BIN=/tmp/pgasd go test ./client")
+	}
+	sock := filepath.Join(t.TempDir(), "pgasd.sock")
+	cmd := exec.Command(bin, "-socket", sock, "-nodes", "2", "-tpn", "2", "-verify")
+	cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	var c *Client
+	var err error
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if c, err = Dial(sock); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	defer c.Close()
+
+	if _, err := c.Load(LoadReq{Family: "hybrid", N: 200, M: 220, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	run, err := c.Run(KernelSpec{Kernel: "cc/coalesced"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := serve.Generate(&serve.LoadReq{Family: "hybrid", N: 200, M: 220, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := seq.CC(g)
+	var sum int64
+	comps := map[int64]bool{}
+	for _, l := range labels {
+		sum += l
+		comps[l] = true
+	}
+	sum += int64(len(comps)) // Sum folds the component count in
+	if run.Components != int64(len(comps)) || run.Sum != sum {
+		t.Fatalf("run = %+v, oracle components=%d sum=%d", run, len(comps), sum)
+	}
+
+	// Mixed batch + one insertion, each answer checked against the oracle.
+	sizes := map[int64]int64{}
+	for _, l := range labels {
+		sizes[l]++
+	}
+	ans, err := c.Query([]Query{
+		{Op: SameComponent, U: 1, V: 2},
+		{Op: ComponentSize, U: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want0 := int64(0)
+	if labels[1] == labels[2] {
+		want0 = 1
+	}
+	if ans[0] != want0 || ans[1] != sizes[labels[3]] {
+		t.Fatalf("answers = %v, want [%d %d]", ans, want0, sizes[labels[3]])
+	}
+
+	ins, err := c.Insert([]Edge{{U: 0, V: 100}, {U: 100, V: 199}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ins.Incremental || !ins.Verified {
+		t.Fatalf("insert = %+v, want incremental+verified (-verify set)", ins)
+	}
+	g.U = append(g.U, 0, 100)
+	g.V = append(g.V, 100, 199)
+	labels = seq.CC(g)
+	ans, err = c.Query([]Query{{Op: SameComponent, U: 0, V: 199}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want0 = 0
+	if labels[0] == labels[199] {
+		want0 = 1
+	}
+	if ans[0] != want0 {
+		t.Fatalf("post-insert same-component(0,199) = %d, want %d", ans[0], want0)
+	}
+}

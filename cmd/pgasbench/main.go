@@ -36,6 +36,7 @@ import (
 	"strings"
 
 	"pgasgraph/internal/bench"
+	"pgasgraph/internal/cliflag"
 	"pgasgraph/internal/experiments"
 	"pgasgraph/internal/report"
 )
@@ -97,7 +98,9 @@ func main() {
 	baseline := flag.String("baseline", "", "compare the -json run against this baseline file")
 	tol := flag.Float64("tol", 3, "wall-clock tolerance factor for -baseline")
 	calls := flag.Int("calls", 256, "collective calls per thread in -json mode")
-	transport := flag.String("transport", "inproc", "fabric backend: inproc, or wire for the in-process vs unix-socket comparison table")
+	transport := cliflag.Transport(nil,
+		"fabric backend: inproc, or wire for the in-process vs unix-socket comparison table",
+		"inproc", "wire")
 	wireRounds := flag.Int("wirerounds", 2, "sampled graphs per kernel with -transport wire")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, usageLine())
@@ -110,9 +113,8 @@ func main() {
 		os.Exit(runJSON(*out, *baseline, *tol, *calls, *seed))
 	}
 
-	switch *transport {
-	case "inproc":
-	case "wire":
+	// cliflag validated -transport at parse time; only wire needs a branch.
+	if *transport == "wire" {
 		emit := func(t *report.Table) error {
 			switch {
 			case *csv:
@@ -124,9 +126,6 @@ func main() {
 			}
 		}
 		os.Exit(runWireTable(*seed, *nodes, *wireRounds, emit))
-	default:
-		fmt.Fprintf(os.Stderr, "pgasbench: unknown -transport %q (inproc or wire)\n", *transport)
-		os.Exit(2)
 	}
 
 	if flag.NArg() == 0 {

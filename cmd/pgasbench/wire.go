@@ -5,15 +5,51 @@ import (
 	"os"
 	"time"
 
-	"pgasgraph/internal/bfs"
-	"pgasgraph/internal/cc"
 	"pgasgraph/internal/collective"
-	"pgasgraph/internal/mst"
 	"pgasgraph/internal/pgas"
 	"pgasgraph/internal/report"
+	"pgasgraph/internal/serve"
 	"pgasgraph/internal/verify"
 	"pgasgraph/internal/xrand"
 )
+
+// wireKernel is one comparison row family: the registry spec to dispatch
+// plus how per-node identity sums fold (synchronized replicas must match;
+// a partitioned MST forest adds).
+type wireKernel struct {
+	name string
+	spec func(t *verify.Trial) serve.KernelSpec
+	sum  func(r *serve.KernelResult) int64
+	fold bool
+}
+
+// wireKernels rotates the coalesced kernels through the shared
+// serve.RunKernel registry — the same dispatch pgasd and Cluster.Run use —
+// instead of a private closure table.
+var wireKernels = []wireKernel{
+	{
+		name: "bfs/coalesced",
+		spec: func(t *verify.Trial) serve.KernelSpec {
+			return serve.KernelSpec{Kernel: "bfs/coalesced", Graph: t.Graph, Col: &t.Opts, Src: t.Src}
+		},
+		sum: func(r *serve.KernelResult) int64 { return sum64(r.Dist) },
+	},
+	{
+		name: "cc/coalesced",
+		spec: func(t *verify.Trial) serve.KernelSpec {
+			return serve.KernelSpec{Kernel: "cc/coalesced", Graph: t.Graph, Col: &t.Opts, Compact: t.Compact}
+		},
+		sum: func(r *serve.KernelResult) int64 { return sum64(r.Labels) },
+	},
+	{
+		name: "mst/coalesced",
+		spec: func(t *verify.Trial) serve.KernelSpec {
+			return serve.KernelSpec{Kernel: "mst/coalesced", Graph: t.WGraph, Col: &t.Opts, Compact: t.Compact}
+		},
+		sum:  func(r *serve.KernelResult) int64 { return int64(r.Weight) },
+		fold: true,
+	},
+}
 
 // runWireTable is `pgasbench -transport wire`: the coalesced BFS/CC/MST
 // kernels on sampled graphs, once on the shared in-process fabric and once
@@ -30,25 +66,6 @@ func runWireTable(seed uint64, nodes, rounds int, emit func(*report.Table) error
 	}
 	const tpn = 2
 
-	type kernel struct {
-		name string
-		run  func(t *verify.Trial, rt *pgas.Runtime, comm *collective.Comm) (sum int64, run *pgas.Result)
-	}
-	kernels := []kernel{
-		{"bfs/coalesced", func(t *verify.Trial, rt *pgas.Runtime, comm *collective.Comm) (int64, *pgas.Result) {
-			r := bfs.Coalesced(rt, comm, t.Graph, t.Src, &t.Opts)
-			return sum64(r.Dist), r.Run
-		}},
-		{"cc/coalesced", func(t *verify.Trial, rt *pgas.Runtime, comm *collective.Comm) (int64, *pgas.Result) {
-			r := cc.Coalesced(rt, comm, t.Graph, &cc.Options{Col: &t.Opts, Compact: t.Compact})
-			return sum64(r.Labels), r.Run
-		}},
-		{"mst/coalesced", func(t *verify.Trial, rt *pgas.Runtime, comm *collective.Comm) (int64, *pgas.Result) {
-			r := mst.Coalesced(rt, comm, t.WGraph, &mst.Options{Col: &t.Opts, Compact: t.Compact})
-			return int64(r.Weight), r.Run
-		}},
-	}
-
 	tb := report.NewTable(
 		fmt.Sprintf("Transport comparison: in-process vs %d-node unix-socket wire (tpn=%d)", nodes, tpn),
 		"round", "kernel", "n", "m", "sim_ms", "wall_inproc", "wall_wire", "identical")
@@ -60,14 +77,19 @@ func runWireTable(seed uint64, nodes, rounds int, emit func(*report.Table) error
 	for round := 0; round < rounds; round++ {
 		rng := xrand.New(seed).Split(0xbe7c ^ uint64(round))
 		t := verify.SampleTrial(rng, round, 1200).WithMachine(nodes, tpn)
-		for _, k := range kernels {
+		for _, k := range wireKernels {
 			rt, err := pgas.New(t.Machine)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "pgasbench: %v\n", err)
 				return 1
 			}
 			inStart := time.Now()
-			wantSum, wantRun := k.run(t, rt, collective.NewComm(rt))
+			want, err := serve.RunKernel(rt, collective.NewComm(rt), k.spec(t))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pgasbench: %s round %d: %v\n", k.name, round, err)
+				return 1
+			}
+			wantSum := k.sum(want)
 			inWall := time.Since(inStart)
 
 			// The wire cluster: every node computes, node sums fold the
@@ -77,16 +99,19 @@ func runWireTable(seed uint64, nodes, rounds int, emit func(*report.Table) error
 			wireStart := time.Now()
 			errs := verify.RunWireCluster(t, nil, verify.WireTimeout,
 				func(node int, rt *pgas.Runtime, comm *collective.Comm) error {
-					s, run := k.run(t, rt, comm)
-					sums[node] = s
-					if run.SimNS != wantRun.SimNS {
+					r, err := serve.RunKernel(rt, comm, k.spec(t))
+					if err != nil {
+						return err
+					}
+					sums[node] = k.sum(r)
+					if r.Run.SimNS != want.Run.SimNS {
 						simDiverged = true
 					}
 					return nil
 				})
 			wireWall := time.Since(wireStart)
 
-			identical := !simDiverged && verifyWireSums(k.name, sums, wantSum)
+			identical := !simDiverged && verifyWireSums(k.fold, sums, wantSum)
 			if err := firstErr(errs); err != nil {
 				identical = false
 				fmt.Fprintf(os.Stderr, "pgasbench: wire %s round %d: %v\n", k.name, round, err)
@@ -94,16 +119,13 @@ func runWireTable(seed uint64, nodes, rounds int, emit func(*report.Table) error
 			if !identical {
 				failures++
 			}
-			g := t.Graph
-			if k.name == "mst/coalesced" {
-				g = t.WGraph
-			}
+			g := k.spec(t).Graph
 			tb.AddRow(
 				fmt.Sprintf("%d", round),
 				k.name,
 				fmt.Sprintf("%d", g.N),
 				fmt.Sprintf("%d", len(g.U)),
-				fmt.Sprintf("%.3f", float64(wantRun.SimNS)/1e6),
+				fmt.Sprintf("%.3f", float64(want.Run.SimNS)/1e6),
 				inWall.Round(10*time.Microsecond).String(),
 				wireWall.Round(10*time.Microsecond).String(),
 				fmt.Sprintf("%v", identical),
@@ -123,9 +145,9 @@ func runWireTable(seed uint64, nodes, rounds int, emit func(*report.Table) error
 
 // verifyWireSums folds per-node identity sums into the comparison each
 // kernel calls for: BFS and CC produce the full answer on every node (the
-// replicas are synchronized), MST's forest is partitioned so the weights add.
-func verifyWireSums(name string, sums []int64, want int64) bool {
-	if name == "mst/coalesced" {
+// replicas are synchronized), while a partitioned result's sums add.
+func verifyWireSums(fold bool, sums []int64, want int64) bool {
+	if fold {
 		var total int64
 		for _, s := range sums {
 			total += s

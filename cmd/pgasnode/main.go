@@ -28,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"pgasgraph/internal/cliflag"
 	"pgasgraph/internal/collective"
 	"pgasgraph/internal/pgas"
 	"pgasgraph/internal/pgas/wiretransport"
@@ -37,8 +38,7 @@ import (
 
 func main() {
 	launch := flag.Bool("launch", false, "spawn the whole cluster (execs this binary once per node) and wait")
-	nodes := flag.Int("nodes", 2, "cluster size p")
-	tpn := flag.Int("tpn", 2, "threads per node t")
+	nodes, tpn := cliflag.Geometry(nil, 2, 2)
 	node := flag.Int("node", -1, "this process's seat in [0,p) (worker mode)")
 	dir := flag.String("dir", "", "shared rendezvous directory holding the node sockets (worker mode)")
 	seed := flag.Uint64("seed", 1, "trial seed; every node must use the same value")

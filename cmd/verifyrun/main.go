@@ -25,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"pgasgraph/internal/cliflag"
 	"pgasgraph/internal/verify"
 )
 
@@ -42,7 +43,9 @@ func main() {
 	watchdog := flag.Duration("watchdog", 60*time.Second, "per-trial hang timeout (with -chaos)")
 	quiet := flag.Bool("quiet", false, "suppress per-round progress lines")
 	list := flag.Bool("list", false, "list check names and exit")
-	transport := flag.String("transport", "inproc", "fabric backend: inproc (shared memory) or wire (unix-socket cluster conformance sweep)")
+	transport := cliflag.Transport(nil,
+		"fabric backend: inproc (shared memory) or wire (unix-socket cluster conformance sweep)",
+		"inproc", "wire")
 	flag.Parse()
 
 	if *list {
@@ -56,9 +59,8 @@ func main() {
 		return
 	}
 
-	switch *transport {
-	case "inproc":
-	case "wire":
+	// cliflag validated -transport at parse time; only wire needs a branch.
+	if *transport == "wire" {
 		wcfg := verify.WireRunConfig{
 			Seed:     *seed,
 			Rounds:   *rounds,
@@ -84,9 +86,6 @@ func main() {
 			os.Exit(1)
 		}
 		return
-	default:
-		fmt.Fprintf(os.Stderr, "verifyrun: unknown -transport %q (inproc or wire)\n", *transport)
-		os.Exit(2)
 	}
 
 	if *chaos {

@@ -1,0 +1,61 @@
+package pgasgraph
+
+// This file quarantines the pre-<Problem><Variant> kernel names. Every
+// method here is a pure delegate kept only so existing callers keep
+// compiling; new code must use the family name it points at. The whole
+// file is slated for removal in the next API revision — nothing else in
+// the repo may call these, and nothing may be added here.
+
+// RankList runs Wyllie pointer-jumping list ranking.
+//
+// Deprecated: use ListRankWyllie; the name predates the <Problem><Variant>
+// kernel family. It remains functional until this compatibility file is
+// removed.
+func (c *Cluster) RankList(l *List, opts *CollectiveOptions) *ListRankResult {
+	return c.ListRankWyllie(l, opts)
+}
+
+// RankListCGM runs contraction-based list ranking.
+//
+// Deprecated: use ListRankCGM; the name predates the <Problem><Variant>
+// kernel family. It remains functional until this compatibility file is
+// removed.
+func (c *Cluster) RankListCGM(l *List, opts *CollectiveOptions) *ListRankResult {
+	return c.ListRankCGM(l, opts)
+}
+
+// BFS runs coalesced breadth-first search from src.
+//
+// Deprecated: use BFSCoalesced; the bare name predates the
+// <Problem><Variant> kernel family. It remains functional until this
+// compatibility file is removed.
+func (c *Cluster) BFS(g *Graph, src int64, opts *CollectiveOptions) *BFSResult {
+	return c.BFSCoalesced(g, src, opts)
+}
+
+// ShortestPaths runs delta-stepping single-source shortest paths.
+//
+// Deprecated: use SSSPDeltaStepping; the name predates the
+// <Problem><Variant> kernel family. It remains functional until this
+// compatibility file is removed.
+func (c *Cluster) ShortestPaths(g *Graph, src, delta int64, opts *CollectiveOptions) *SSSPResult {
+	return c.SSSPDeltaStepping(g, src, delta, opts)
+}
+
+// MaximalIndependentSet runs Luby's algorithm.
+//
+// Deprecated: use MISLuby; the name predates the <Problem><Variant>
+// kernel family. It remains functional until this compatibility file is
+// removed.
+func (c *Cluster) MaximalIndependentSet(g *Graph, opts *CollectiveOptions) *MISResult {
+	return c.MISLuby(g, opts)
+}
+
+// CountTriangles counts the graph's triangles.
+//
+// Deprecated: use TriangleCount; the name predates the
+// <Problem><Variant> kernel family. It remains functional until this
+// compatibility file is removed.
+func (c *Cluster) CountTriangles(g *Graph, opts *CollectiveOptions) *TriangleResult {
+	return c.TriangleCount(g, opts)
+}

@@ -27,9 +27,10 @@ import (
 // barriers, none of which survives a cut — they recover by deterministic
 // re-execution instead.
 const (
-	CkptNaiveD     = "cc.naive.D"
-	CkptCoalescedD = "cc.coalesced.D"
-	CkptSVD        = "cc.sv.D"
+	CkptNaiveD       = "cc.naive.D"
+	CkptCoalescedD   = "cc.coalesced.D"
+	CkptSVD          = "cc.sv.D"
+	CkptIncrementalD = "cc.incremental.D"
 )
 
 // NaiveE is Naive returning classified runtime failures as errors.
@@ -42,6 +43,14 @@ func NaiveE(rt *pgas.Runtime, g *graph.Graph) (res *Result, err error) {
 func CoalescedE(rt *pgas.Runtime, comm *collective.Comm, g *graph.Graph, opts *Options) (res *Result, err error) {
 	defer pgas.Recover(&err)
 	return Coalesced(rt, comm, g, opts), nil
+}
+
+// IncrementalE is Incremental returning classified runtime failures as
+// errors, so a serving layer can fall back to a supervised full recompute
+// when an insertion update is cut down by a fault.
+func IncrementalE(rt *pgas.Runtime, comm *collective.Comm, d *pgas.SharedArray, eu, ev []int64, opts *Options) (res *Result, err error) {
+	defer pgas.Recover(&err)
+	return Incremental(rt, comm, d, eu, ev, opts), nil
 }
 
 // SVE is SV returning classified runtime failures as errors.

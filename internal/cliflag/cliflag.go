@@ -1,0 +1,87 @@
+// Package cliflag holds the flag idioms shared by the repo's commands
+// (verifyrun, pgasbench, pgasnode, pgasd) so every binary registers and
+// validates them identically. Validation runs at parse time through the
+// flag.Value interface: a bad -transport or a non-positive -nodes fails
+// flag.Parse with one uniform message instead of each main hand-rolling
+// its own switch with an error default.
+package cliflag
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// transportValue is a flag.Value restricted to an allowed backend list.
+type transportValue struct {
+	v       string
+	allowed []string
+}
+
+func (t *transportValue) String() string { return t.v }
+
+func (t *transportValue) Set(s string) error {
+	for _, a := range t.allowed {
+		if s == a {
+			t.v = s
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown transport %q (%s)", s, strings.Join(t.allowed, " or "))
+}
+
+// Transport registers the shared -transport flag on fs (flag.CommandLine
+// when nil). The command names which backends it supports — the first is
+// the default — and usage describes them; anything else fails at parse
+// time. Commands that are inproc-only (pgasd: dynamic host-driven batches
+// cannot keep SPMD symmetry across wire replicas) pass a single backend
+// and get the same uniform rejection for free.
+func Transport(fs *flag.FlagSet, usage string, allowed ...string) *string {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	if len(allowed) == 0 {
+		panic("cliflag.Transport: no backends")
+	}
+	t := &transportValue{v: allowed[0], allowed: allowed}
+	if usage == "" {
+		usage = "fabric backend: " + strings.Join(allowed, " or ")
+	}
+	fs.Var(t, "transport", usage)
+	return &t.v
+}
+
+// positiveInt is a flag.Value that rejects values below 1 at parse time.
+type positiveInt struct {
+	v    int
+	name string
+}
+
+func (p *positiveInt) String() string { return strconv.Itoa(p.v) }
+
+func (p *positiveInt) Set(s string) error {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return err
+	}
+	if n < 1 {
+		return fmt.Errorf("-%s must be at least 1, got %d", p.name, n)
+	}
+	p.v = n
+	return nil
+}
+
+// Geometry registers the -nodes/-tpn cluster-shape pair on fs
+// (flag.CommandLine when nil) with the given defaults, validated
+// positive at parse time.
+func Geometry(fs *flag.FlagSet, nodes, tpn int) (*int, *int) {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	n := &positiveInt{v: nodes, name: "nodes"}
+	t := &positiveInt{v: tpn, name: "tpn"}
+	fs.Var(n, "nodes", "cluster nodes p")
+	fs.Var(t, "tpn", "threads per node t")
+	return &n.v, &t.v
+}

@@ -1,0 +1,87 @@
+package cliflag
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+)
+
+func quietSet(t *testing.T) *flag.FlagSet {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs
+}
+
+func TestTransportDefaultsToFirstBackend(t *testing.T) {
+	fs := quietSet(t)
+	tr := Transport(fs, "", "inproc", "wire")
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if *tr != "inproc" {
+		t.Fatalf("default = %q, want inproc", *tr)
+	}
+}
+
+func TestTransportAcceptsAllowed(t *testing.T) {
+	fs := quietSet(t)
+	tr := Transport(fs, "", "inproc", "wire")
+	if err := fs.Parse([]string{"-transport", "wire"}); err != nil {
+		t.Fatal(err)
+	}
+	if *tr != "wire" {
+		t.Fatalf("got %q, want wire", *tr)
+	}
+}
+
+func TestTransportRejectsUnknownAtParse(t *testing.T) {
+	fs := quietSet(t)
+	Transport(fs, "", "inproc", "wire")
+	err := fs.Parse([]string{"-transport", "carrier-pigeon"})
+	if err == nil || !strings.Contains(err.Error(), "inproc or wire") {
+		t.Fatalf("err = %v, want rejection naming allowed backends", err)
+	}
+}
+
+func TestTransportSingleBackendRejectsOthers(t *testing.T) {
+	fs := quietSet(t)
+	Transport(fs, "", "inproc")
+	if err := fs.Parse([]string{"-transport", "wire"}); err == nil {
+		t.Fatal("inproc-only command accepted -transport wire")
+	}
+}
+
+func TestGeometryValidatesPositive(t *testing.T) {
+	fs := quietSet(t)
+	nodes, tpn := Geometry(fs, 4, 2)
+	if err := fs.Parse([]string{"-nodes", "8", "-tpn", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if *nodes != 8 || *tpn != 3 {
+		t.Fatalf("got %d×%d, want 8×3", *nodes, *tpn)
+	}
+
+	fs = quietSet(t)
+	Geometry(fs, 4, 2)
+	if err := fs.Parse([]string{"-nodes", "0"}); err == nil {
+		t.Fatal("accepted -nodes 0")
+	}
+	fs = quietSet(t)
+	Geometry(fs, 4, 2)
+	if err := fs.Parse([]string{"-tpn", "-3"}); err == nil {
+		t.Fatal("accepted negative -tpn")
+	}
+}
+
+func TestGeometryKeepsDefaults(t *testing.T) {
+	fs := quietSet(t)
+	nodes, tpn := Geometry(fs, 16, 4)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if *nodes != 16 || *tpn != 4 {
+		t.Fatalf("defaults = %d×%d, want 16×4", *nodes, *tpn)
+	}
+}

@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"sync"
+
+	"pgasgraph/internal/graph"
+	"pgasgraph/internal/pgas"
+)
+
+// Server speaks the frame protocol on behalf of one Service. Connections
+// are accepted concurrently; requests serialize on the cluster (a Service,
+// like a Cluster, runs one SPMD region at a time — the batching API is
+// what amortizes that, so clients should coalesce, not fan out).
+type Server struct {
+	mk func(g *graph.Graph) (*Service, error)
+
+	mu  sync.Mutex
+	svc *Service
+}
+
+// NewServer builds a Server; mk constructs the Service when a Load
+// request arrives (geometry and service options are the caller's —
+// cmd/pgasd builds them from flags).
+func NewServer(mk func(g *graph.Graph) (*Service, error)) *Server {
+	return &Server{mk: mk}
+}
+
+// Service returns the resident service (nil before the first Load).
+func (s *Server) Service() *Service {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.svc
+}
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go s.handleConn(conn)
+	}
+}
+
+// handleConn answers frames until the peer hangs up. Malformed frames
+// (bad magic, failed checksum) kill the connection — the stream cannot be
+// resynchronized — while request-level failures answer FrameError and
+// keep serving.
+func (s *Server) handleConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		typ, payload, err := ReadFrame(conn)
+		if err != nil {
+			if err != io.EOF {
+				_ = WriteMsg(conn, FrameError, &ErrorResp{Class: ErrorClass(err), Msg: err.Error()})
+			}
+			return
+		}
+		respType, resp := s.dispatch(typ, payload)
+		if err := WriteMsg(conn, respType, resp); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch answers one request frame.
+func (s *Server) dispatch(typ byte, payload []byte) (byte, interface{}) {
+	resp, err := s.answer(typ, payload)
+	if err != nil {
+		return FrameError, &ErrorResp{Class: ErrorClass(err), Msg: err.Error()}
+	}
+	return FrameOK, resp
+}
+
+// loaded returns the resident service or a classified not-loaded error.
+func (s *Server) loaded() (*Service, error) {
+	if s.svc == nil {
+		return nil, pgas.Errorf(pgas.ErrMisuse, -1, "pgasd", "no graph loaded; send a load request first")
+	}
+	return s.svc, nil
+}
+
+func (s *Server) answer(typ byte, payload []byte) (interface{}, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch typ {
+	case FrameLoad:
+		var req LoadReq
+		if err := unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		g, err := Generate(&req)
+		if err != nil {
+			return nil, err
+		}
+		svc, err := s.mk(g)
+		if err != nil {
+			return nil, err
+		}
+		s.svc = svc
+		return &LoadResp{N: g.N, M: g.M()}, nil
+
+	case FrameRun:
+		var req RunReq
+		if err := unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		svc, err := s.loaded()
+		if err != nil {
+			return nil, err
+		}
+		res, err := svc.Run(req.Spec)
+		if err != nil {
+			return nil, err
+		}
+		return &RunResp{
+			Kernel:     res.Kernel,
+			Components: res.Components,
+			Weight:     res.Weight,
+			Iterations: res.Iterations,
+			Sum:        res.Sum(),
+			SimMS:      res.Run.SimMS(),
+		}, nil
+
+	case FrameQuery:
+		var req QueryReq
+		if err := unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		svc, err := s.loaded()
+		if err != nil {
+			return nil, err
+		}
+		ans, err := svc.Query(req.Queries)
+		if err != nil {
+			return nil, err
+		}
+		return &QueryResp{Answers: ans}, nil
+
+	case FrameInsert:
+		var req InsertReq
+		if err := unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		svc, err := s.loaded()
+		if err != nil {
+			return nil, err
+		}
+		rep, err := svc.Insert(req.Edges)
+		if err != nil {
+			return nil, err
+		}
+		return &InsertResp{
+			Edges:       rep.Edges,
+			Incremental: rep.Incremental,
+			Rounds:      rep.Rounds,
+			Rollbacks:   rep.Rollbacks,
+			Components:  rep.Components,
+			Verified:    rep.Verified,
+		}, nil
+
+	case FrameInfo:
+		svc, err := s.loaded()
+		if err != nil {
+			return nil, err
+		}
+		g := svc.Graph()
+		return &InfoResp{
+			N:          g.N,
+			M:          g.M(),
+			Nodes:      svc.Runtime().Nodes(),
+			Threads:    svc.Runtime().NumThreads(),
+			Components: svc.Components(),
+			Resident:   svc.Resident(),
+			Kernels:    Kernels(),
+		}, nil
+	}
+	return nil, pgas.Errorf(pgas.ErrMisuse, -1, "pgasd", "unknown frame type %d", typ)
+}
+
+func unmarshal(payload []byte, v interface{}) error {
+	if err := json.Unmarshal(payload, v); err != nil {
+		return pgas.Errorf(pgas.ErrCorrupt, -1, "pgasd", "request payload: %v", err)
+	}
+	return nil
+}
+
+// Generate builds the requested generator graph. Shared by the server and
+// offline oracle runs (the serve-smoke asserts both sides see the same
+// input bit-for-bit).
+func Generate(req *LoadReq) (*graph.Graph, error) {
+	if req.N <= 0 || req.M < 0 {
+		return nil, pgas.Errorf(pgas.ErrMisuse, -1, "pgasd.load", "bad size n=%d m=%d", req.N, req.M)
+	}
+	var g *graph.Graph
+	switch req.Family {
+	case "random":
+		g = graph.Random(req.N, req.M, req.Seed)
+	case "hybrid":
+		g = graph.Hybrid(req.N, req.M, req.Seed)
+	default:
+		return nil, pgas.Errorf(pgas.ErrMisuse, -1, "pgasd.load",
+			"unknown family %q (random or hybrid)", req.Family)
+	}
+	if req.Weighted {
+		g = graph.WithRandomWeights(g, req.Seed+1)
+	}
+	return g, nil
+}

@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"testing"
+
+	"pgasgraph/internal/cc"
+	"pgasgraph/internal/collective"
+	"pgasgraph/internal/graph"
+	"pgasgraph/internal/mst"
+	"pgasgraph/internal/pgas"
+)
+
+func testGraph(n, m int64, seed uint64) *graph.Graph {
+	return graph.Random(n, m, seed)
+}
+
+func testWeightedGraph(n, m int64, seed uint64) *graph.Graph {
+	return graph.WithRandomWeights(graph.Random(n, m, seed), seed+1)
+}
+
+// TestRunKernelMatchesDirect pins dispatch fidelity on a clean cluster:
+// registry dispatch must be observationally identical to calling the
+// kernel directly — bit-identical answers AND bit-identical simulated
+// time (the harness's serve/dispatch check drops the sim comparison
+// because chaos retries legitimately skew it; this is the clean twin).
+func TestRunKernelMatchesDirect(t *testing.T) {
+	g := testGraph(300, 650, 21)
+	col := collective.Optimized(2)
+
+	rt1, err := pgas.New(testMachine(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunKernel(rt1, collective.NewComm(rt1), KernelSpec{
+		Kernel: "cc/coalesced", Graph: g, Col: col, Compact: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rt2, err := pgas.New(testMachine(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := cc.Coalesced(rt2, collective.NewComm(rt2), g, &cc.Options{Col: col, Compact: true})
+
+	if res.Components != direct.Components || res.Run.SimNS != direct.Run.SimNS {
+		t.Fatalf("dispatch diverged: components %d vs %d, sim %v vs %v",
+			res.Components, direct.Components, res.Run.SimNS, direct.Run.SimNS)
+	}
+	for i := range direct.Labels {
+		if res.Labels[i] != direct.Labels[i] {
+			t.Fatalf("label[%d]: dispatched %d, direct %d", i, res.Labels[i], direct.Labels[i])
+		}
+	}
+
+	// And the weighted path, through mst.
+	wg := testWeightedGraph(200, 500, 5)
+	rt3, err := pgas.New(testMachine(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mres, err := RunKernel(rt3, collective.NewComm(rt3), KernelSpec{
+		Kernel: "mst/coalesced", Graph: wg, Col: col,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt4, err := pgas.New(testMachine(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdirect := mst.Coalesced(rt4, collective.NewComm(rt4), wg, &mst.Options{Col: col})
+	if mres.Weight != mdirect.Weight || mres.Run.SimNS != mdirect.Run.SimNS {
+		t.Fatalf("mst dispatch diverged: weight %d vs %d, sim %v vs %v",
+			mres.Weight, mdirect.Weight, mres.Run.SimNS, mdirect.Run.SimNS)
+	}
+}
+
+// TestRunKernelSanitizedOptionsParity: the registry must accept exactly
+// what the kernels accept — VirtualThreads 0 means "disabled", not an
+// error — while still classifying genuinely invalid options.
+func TestRunKernelSanitizedOptionsParity(t *testing.T) {
+	g := testGraph(64, 90, 2)
+	rt, err := pgas.New(testMachine(1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm := collective.NewComm(rt)
+	if _, err := RunKernel(rt, comm, KernelSpec{
+		Kernel: "cc/coalesced", Graph: g, Col: &collective.Options{VirtualThreads: 0},
+	}); err != nil {
+		t.Fatalf("VirtualThreads 0 rejected: %v", err)
+	}
+}

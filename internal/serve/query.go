@@ -1,0 +1,260 @@
+package serve
+
+import (
+	"sort"
+
+	"pgasgraph/internal/pgas"
+)
+
+// Op selects a point-query kind.
+type Op uint8
+
+const (
+	// SameComponent answers 1 when U and V share a connected component,
+	// else 0. Needs resident labels (run a cc kernel first).
+	SameComponent Op = iota + 1
+	// ComponentSize answers the size of U's component. Needs resident
+	// labels.
+	ComponentSize
+	// Distance answers the distance between U and V along a resident
+	// single-source tree: one endpoint must be the source of a resident
+	// bfs/sssp run (hops or weighted accordingly); unreached pairs
+	// answer the kernel's Unreached sentinel.
+	Distance
+	// TreeParent answers U's parent in the resident spanning forest, -1
+	// for roots. Needs a resident spanning-forest run.
+	TreeParent
+)
+
+func (op Op) String() string {
+	switch op {
+	case SameComponent:
+		return "same-component"
+	case ComponentSize:
+		return "component-size"
+	case Distance:
+		return "distance"
+	case TreeParent:
+		return "tree-parent"
+	}
+	return "invalid"
+}
+
+// Query is one point lookup.
+type Query struct {
+	Op Op    `json:"op"`
+	U  int64 `json:"u"`
+	V  int64 `json:"v,omitempty"`
+}
+
+// batchLayout partitions one batch into per-array gather streams, kept on
+// the Service so a steady query load reuses its buffers.
+type batchLayout struct {
+	scPos  []int // answer slot per same-component pair
+	szPos  []int
+	parPos []int
+	dPos   map[int64][]int // source -> answer slots
+	szIdx  []int64
+	parIdx []int64
+	dIdx   map[int64][]int64
+	scIdx  []int64
+	srcs   []int64 // active Distance sources, sorted (deterministic order)
+}
+
+func (l *batchLayout) reset() {
+	l.scPos, l.szPos, l.parPos = l.scPos[:0], l.szPos[:0], l.parPos[:0]
+	l.scIdx, l.szIdx, l.parIdx = l.scIdx[:0], l.szIdx[:0], l.parIdx[:0]
+	l.srcs = l.srcs[:0]
+	if l.dPos == nil {
+		l.dPos, l.dIdx = map[int64][]int{}, map[int64][]int64{}
+	}
+	for k := range l.dPos {
+		delete(l.dPos, k)
+		delete(l.dIdx, k)
+	}
+}
+
+// misuse builds the classified error every query-validation failure uses.
+func misuse(format string, args ...interface{}) error {
+	return pgas.Errorf(pgas.ErrMisuse, -1, "serve.query", format, args...)
+}
+
+// checkVertex classifies an out-of-range id instead of letting it reach a
+// collective's fail-fast panic: a bad query is client input, not a kernel
+// bug.
+func (s *Service) checkVertex(q int, v int64) error {
+	if v < 0 || v >= s.g.N {
+		return misuse("query %d: vertex %d out of range [0,%d)", q, v, s.g.N)
+	}
+	return nil
+}
+
+// Query answers a batch of point lookups. The whole batch coalesces into
+// O(1) bulk gathers — one planned GetD per touched resident array (plus
+// one dependent gather for component sizes) — never per-query scalar
+// reads; a batch with the same shape as the previous one re-executes the
+// cached plans with zero steady-state allocations in the collective
+// layer. Answers land in query order. Validation failures (bad op, id out
+// of range, missing resident state) classify as pgas.ErrMisuse before any
+// communication happens.
+func (s *Service) Query(qs []Query) (ans []int64, err error) {
+	if len(qs) == 0 {
+		return []int64{}, nil
+	}
+	l := &s.lay
+	l.reset()
+	for i := range qs {
+		q := qs[i]
+		switch q.Op {
+		case SameComponent:
+			if s.labels == nil {
+				return nil, misuse("query %d: no resident labels; run a cc kernel first", i)
+			}
+			if err := s.checkVertex(i, q.U); err != nil {
+				return nil, err
+			}
+			if err := s.checkVertex(i, q.V); err != nil {
+				return nil, err
+			}
+			l.scPos = append(l.scPos, i)
+			l.scIdx = append(l.scIdx, q.U, q.V)
+		case ComponentSize:
+			if s.labels == nil {
+				return nil, misuse("query %d: no resident labels; run a cc kernel first", i)
+			}
+			if err := s.checkVertex(i, q.U); err != nil {
+				return nil, err
+			}
+			l.szPos = append(l.szPos, i)
+			l.szIdx = append(l.szIdx, q.U)
+		case Distance:
+			if err := s.checkVertex(i, q.U); err != nil {
+				return nil, err
+			}
+			if err := s.checkVertex(i, q.V); err != nil {
+				return nil, err
+			}
+			src, leaf := q.U, q.V
+			if _, ok := s.trees[src]; !ok {
+				src, leaf = q.V, q.U
+			}
+			if _, ok := s.trees[src]; !ok {
+				return nil, misuse("query %d: no resident tree rooted at %d or %d; run bfs/sssp first",
+					i, q.U, q.V)
+			}
+			if _, seen := l.dPos[src]; !seen {
+				l.srcs = append(l.srcs, src)
+			}
+			l.dPos[src] = append(l.dPos[src], i)
+			l.dIdx[src] = append(l.dIdx[src], leaf)
+		case TreeParent:
+			if s.parent == nil {
+				return nil, misuse("query %d: no resident forest; run spanning-forest first", i)
+			}
+			if err := s.checkVertex(i, q.U); err != nil {
+				return nil, err
+			}
+			l.parPos = append(l.parPos, i)
+			l.parIdx = append(l.parIdx, q.U)
+		default:
+			return nil, misuse("query %d: unknown op %d", i, q.Op)
+		}
+	}
+	sort.Slice(l.srcs, func(a, b int) bool { return l.srcs[a] < l.srcs[b] })
+
+	// Assemble the gather set: each group is one planned bulk GetD.
+	type gather struct {
+		g       *gatherGroup
+		rebuild bool
+	}
+	var gathers []gather
+	add := func(gr *gatherGroup, arr *pgas.SharedArray, idx []int64) {
+		if len(idx) == 0 {
+			return
+		}
+		rebuild := gr.planFor(arr, idx)
+		if gr.plan == nil {
+			gr.plan = s.comm.NewPlan()
+			rebuild = true
+		}
+		gr.out = grow(gr.out, len(idx))
+		gathers = append(gathers, gather{gr, rebuild})
+	}
+	add(&s.scGroup, s.labels, l.scIdx)
+	add(&s.szGroup, s.labels, l.szIdx)
+	for _, src := range l.srcs {
+		gr, ok := s.distGroup[src]
+		if !ok {
+			gr = &gatherGroup{}
+			s.distGroup[src] = gr
+		}
+		add(gr, s.trees[src].arr, l.dIdx[src])
+	}
+	add(&s.parGroup, s.parent, l.parIdx)
+	s.sizeOut = grow(s.sizeOut, len(l.szIdx))
+
+	// One SPMD region answers the whole batch. A fault mid-region leaves
+	// the cached plans half-built, so any classified failure invalidates
+	// them before it is returned.
+	defer func() {
+		if err != nil {
+			s.invalidatePlans()
+		}
+	}()
+	defer pgas.Recover(&err)
+	s.rt.Run(func(th *pgas.Thread) {
+		for _, ga := range gathers {
+			lo, hi := th.Span(int64(len(ga.g.idx)))
+			if ga.rebuild {
+				ga.g.plan.PlanRequests(th, ga.g.arr, ga.g.idx[lo:hi], s.col, nil)
+			}
+			ga.g.plan.GetD(th, ga.g.arr, ga.g.out[lo:hi])
+		}
+		// Component sizes are a dependent gather: indices are the labels
+		// just fetched, so this stage cannot reuse a plan across batches
+		// — but it is still one bulk gather for the whole batch.
+		if len(l.szIdx) > 0 {
+			lo, hi := th.Span(int64(len(l.szIdx)))
+			s.comm.GetD(th, s.sizes, s.szGroup.out[lo:hi], s.sizeOut[lo:hi], s.col, nil)
+		}
+	})
+
+	ans = make([]int64, len(qs))
+	for j, pos := range l.scPos {
+		if s.scGroup.out[2*j] == s.scGroup.out[2*j+1] {
+			ans[pos] = 1
+		}
+	}
+	for j, pos := range l.szPos {
+		ans[pos] = s.sizeOut[j]
+	}
+	for _, src := range l.srcs {
+		out := s.distGroup[src].out
+		for j, pos := range l.dPos[src] {
+			ans[pos] = out[j]
+		}
+	}
+	for j, pos := range l.parPos {
+		ans[pos] = s.parGroup.out[j]
+	}
+	return ans, nil
+}
+
+// invalidatePlans drops every cached gather plan (geometry change, failed
+// region, replaced arrays). The next batch rebuilds from scratch.
+func (s *Service) invalidatePlans() {
+	s.scGroup = gatherGroup{}
+	s.szGroup = gatherGroup{}
+	s.parGroup = gatherGroup{}
+	for k := range s.distGroup {
+		delete(s.distGroup, k)
+	}
+}
+
+// grow returns b resized to n, reallocating only on capacity growth.
+func grow(b []int64, n int) []int64 {
+	if cap(b) < n {
+		return make([]int64, n)
+	}
+	return b[:n]
+}

@@ -1,0 +1,229 @@
+package serve
+
+import (
+	"fmt"
+
+	"pgasgraph/internal/collective"
+	"pgasgraph/internal/graph"
+	"pgasgraph/internal/machine"
+	"pgasgraph/internal/pgas"
+	rec "pgasgraph/internal/recover"
+	"pgasgraph/internal/seq"
+)
+
+// Config parameterizes a Service.
+type Config struct {
+	// Machine is the modeled cluster geometry (used by New; NewOn takes
+	// an existing runtime instead).
+	Machine machine.Config
+	// Col configures the collectives for query gathers and is the
+	// default for kernel specs that carry none. Nil means
+	// collective.Defaults().
+	Col *collective.Options
+	// Recover bounds the supervised full-recompute fallback (rollback
+	// budget, minimum survivors, checkpoint cadence). Nil selects the
+	// supervisor defaults.
+	Recover *rec.Config
+	// Verify makes every incremental label update differentially verify
+	// itself against a from-scratch recompute on a scratch cluster
+	// (label-for-label). Expensive; for harnesses and smoke tests.
+	Verify bool
+}
+
+// distTree is one resident single-source distance array.
+type distTree struct {
+	arr      *pgas.SharedArray
+	weighted bool
+}
+
+// gatherGroup caches the plan for one query-gather stream so an unchanged
+// batch re-executes without the grouping sort and matrix publish — the
+// serving hot path rides collective.Plan reuse exactly like a kernel's
+// inner loop.
+type gatherGroup struct {
+	plan *collective.Plan
+	arr  *pgas.SharedArray
+	idx  []int64 // the planned request vector (all threads, Span-partitioned)
+	out  []int64 // gathered values, same positions
+}
+
+// planFor returns whether the cached plan matches (arr, idx) and, when it
+// does not, re-captures the request vector for the rebuild path.
+func (g *gatherGroup) planFor(arr *pgas.SharedArray, idx []int64) (rebuild bool) {
+	if g.arr == arr && len(g.idx) == len(idx) {
+		same := true
+		for i, v := range idx {
+			if g.idx[i] != v {
+				same = false
+				break
+			}
+		}
+		if same {
+			return false
+		}
+	}
+	g.arr = arr
+	g.idx = append(g.idx[:0], idx...)
+	return true
+}
+
+// Service is a resident graph plus the kernel results serving point
+// queries. It owns (or borrows) one PGAS cluster; like a Cluster it is
+// not goroutine-safe — callers serialize (cmd/pgasd holds a mutex).
+type Service struct {
+	rt   *pgas.Runtime
+	comm *collective.Comm
+	cfg  Config
+	col  *collective.Options
+	g    *graph.Graph
+
+	labels     *pgas.SharedArray // collapsed component-min labels, nil until a cc kernel ran
+	sizes      *pgas.SharedArray // sizes[l] = |component l| for canonical labels l
+	components int64
+	labelSpec  KernelSpec // how labels were produced (supervised recompute re-runs it)
+
+	trees  map[int64]*distTree // src -> resident distances
+	parent *pgas.SharedArray   // tree parents, -1 for roots
+
+	scGroup   gatherGroup // same-component label gather
+	szGroup   gatherGroup // component-size label gather (stage 1)
+	parGroup  gatherGroup // tree-parent gather
+	distGroup map[int64]*gatherGroup
+
+	lay     batchLayout // batch partition scratch, reused across batches
+	sizeOut []int64     // stage-2 scratch: sizes gathered at stage-1 labels
+}
+
+// New builds a Service with its own cluster. The graph is cloned: edge
+// insertions mutate only the resident copy.
+func New(cfg Config, g *graph.Graph) (*Service, error) {
+	if err := collective.ValidateGeometry(cfg.Machine.Nodes * cfg.Machine.ThreadsPerNode); err != nil {
+		return nil, err
+	}
+	rt, err := pgas.New(cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	return NewOn(rt, collective.NewComm(rt), g, cfg)
+}
+
+// NewOn builds a Service over an existing runtime and collective state —
+// the harness and test entry, and what Cluster.Serve delegates to.
+func NewOn(rt *pgas.Runtime, comm *collective.Comm, g *graph.Graph, cfg Config) (*Service, error) {
+	if g == nil {
+		return nil, pgas.Errorf(pgas.ErrMisuse, -1, "serve.new", "nil graph")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, pgas.Errorf(pgas.ErrMisuse, -1, "serve.new", "%v", err)
+	}
+	// Validate the sanitized form: kernels accept VirtualThreads 0 as
+	// "disabled", so the service front door must too.
+	if err := collective.Sanitize(cfg.Col, false).Validate(); err != nil {
+		return nil, pgas.Errorf(pgas.ErrMisuse, -1, "serve.new", "%v", err)
+	}
+	cfg.Machine = rt.Config()
+	return &Service{
+		rt:   rt,
+		comm: comm,
+		cfg:  cfg,
+		col:  collective.Sanitize(cfg.Col, false),
+		g:    g.Clone(),
+		// Offload pins an (index, value) pair; query streams have no such
+		// constant, so serving always gathers unfiltered.
+		trees:     map[int64]*distTree{},
+		distGroup: map[int64]*gatherGroup{},
+	}, nil
+}
+
+// Runtime exposes the cluster for instrumentation (tracing, chaos).
+func (s *Service) Runtime() *pgas.Runtime { return s.rt }
+
+// Comm exposes the collective state for instrumentation.
+func (s *Service) Comm() *collective.Comm { return s.comm }
+
+// Graph returns the resident graph (read-only; Insert mutates it).
+func (s *Service) Graph() *graph.Graph { return s.g }
+
+// Components returns the resident component count (0 before any cc run).
+func (s *Service) Components() int64 { return s.components }
+
+// Labels returns a copy of the resident labeling, or nil if none.
+func (s *Service) Labels() []int64 {
+	if s.labels == nil {
+		return nil
+	}
+	return append([]int64(nil), s.labels.Raw()...)
+}
+
+// Resident names the resident result arrays, for introspection.
+func (s *Service) Resident() []string {
+	var r []string
+	if s.labels != nil {
+		r = append(r, "labels", "sizes")
+	}
+	for src := range s.trees {
+		r = append(r, fmt.Sprintf("dist[%d]", src))
+	}
+	if s.parent != nil {
+		r = append(r, "parent")
+	}
+	return r
+}
+
+// Run dispatches spec on the resident graph and installs its result
+// arrays for serving: labels and component sizes from a cc kernel,
+// distances keyed by source from bfs/sssp, tree parents from
+// spanning-forest. Specs carrying no collective options inherit the
+// service's.
+func (s *Service) Run(spec KernelSpec) (*KernelResult, error) {
+	spec.Graph = s.g
+	if spec.Col == nil {
+		spec.Col = s.cfg.Col
+	}
+	res, err := RunKernel(s.rt, s.comm, spec)
+	if err != nil {
+		return nil, err
+	}
+	s.adopt(spec, res)
+	return res, nil
+}
+
+// adopt installs a kernel result's arrays as resident serving state.
+func (s *Service) adopt(spec KernelSpec, res *KernelResult) {
+	if res.Labels != nil {
+		s.installLabels(res.Labels)
+		s.labelSpec = spec
+	}
+	if res.Dist != nil {
+		t := &distTree{
+			arr:      s.rt.NewSharedArray(fmt.Sprintf("serve.dist.%d", spec.Src), s.g.N),
+			weighted: spec.Kernel == "sssp/delta-stepping",
+		}
+		copy(t.arr.Raw(), res.Dist)
+		s.trees[spec.Src] = t
+		delete(s.distGroup, spec.Src)
+	}
+	if res.Parent != nil {
+		s.parent = s.rt.NewSharedArray("serve.parent", s.g.N)
+		copy(s.parent.Raw(), res.Parent)
+		s.parGroup = gatherGroup{}
+	}
+}
+
+// installLabels (re)builds the resident label and size arrays from a
+// host-side labeling and invalidates the label-dependent plan caches.
+func (s *Service) installLabels(labels []int64) {
+	s.labels = s.rt.NewSharedArray("serve.labels", s.g.N)
+	copy(s.labels.Raw(), labels)
+	s.sizes = s.rt.NewSharedArray("serve.sizes", s.g.N)
+	raw := s.sizes.Raw()
+	for i := range raw {
+		raw[i] = 0
+	}
+	for _, l := range labels {
+		raw[l]++
+	}
+	s.components = seq.CountComponents(labels)
+	s.scGroup = gatherGroup{}
+	s.szGroup = gatherGroup{}
+}

@@ -80,6 +80,12 @@ func Checks() []Check {
 		{Name: "listrank/fused", Applicable: always, Run: checkFused},
 		{Name: "euler/tour", Applicable: always, Run: checkEuler},
 		{Name: "bcc/tarjan-vishkin", Applicable: small, Run: checkBCC},
+		// The graph-service layer: registry dispatch fidelity, batched
+		// point queries against the oracles, and the incremental-CC
+		// contract, all over the same randomized trial matrix.
+		{Name: "serve/dispatch", Applicable: serveTrialGraphs, Run: checkServeDispatch},
+		{Name: "serve/query-batch", Applicable: serveTrialGraphs, Run: checkServeQueryBatch},
+		{Name: "serve/incremental-cc", Applicable: serveTrialGraphs, Run: checkServeIncremental},
 	}
 }
 

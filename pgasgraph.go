@@ -232,34 +232,10 @@ func (c *Cluster) ListRankCGM(l *List, opts *CollectiveOptions) *ListRankResult 
 	return listrank.CGM(c.rt, c.comm, l, opts)
 }
 
-// RankList runs Wyllie pointer-jumping list ranking.
-//
-// Deprecated: use ListRankWyllie; the name predates the <Problem><Variant>
-// kernel family. It remains functional.
-func (c *Cluster) RankList(l *List, opts *CollectiveOptions) *ListRankResult {
-	return c.ListRankWyllie(l, opts)
-}
-
-// RankListCGM runs contraction-based list ranking.
-//
-// Deprecated: use ListRankCGM; the name predates the <Problem><Variant>
-// kernel family. It remains functional.
-func (c *Cluster) RankListCGM(l *List, opts *CollectiveOptions) *ListRankResult {
-	return c.ListRankCGM(l, opts)
-}
-
 // BFSCoalesced runs coalesced level-synchronous breadth-first search from
 // src. opts may be nil for defaults.
 func (c *Cluster) BFSCoalesced(g *Graph, src int64, opts *CollectiveOptions) *BFSResult {
 	return bfs.Coalesced(c.rt, c.comm, g, src, opts)
-}
-
-// BFS runs coalesced breadth-first search from src.
-//
-// Deprecated: use BFSCoalesced; the bare name predates the
-// <Problem><Variant> kernel family. It remains functional.
-func (c *Cluster) BFS(g *Graph, src int64, opts *CollectiveOptions) *BFSResult {
-	return c.BFSCoalesced(g, src, opts)
 }
 
 // BFSNaive runs the per-edge one-sided translation of BFS.
@@ -274,14 +250,6 @@ func (c *Cluster) SSSPDeltaStepping(g *Graph, src, delta int64, opts *Collective
 	return sssp.DeltaStepping(c.rt, c.comm, g, src, delta, opts)
 }
 
-// ShortestPaths runs delta-stepping single-source shortest paths.
-//
-// Deprecated: use SSSPDeltaStepping; the name predates the
-// <Problem><Variant> kernel family. It remains functional.
-func (c *Cluster) ShortestPaths(g *Graph, src, delta int64, opts *CollectiveOptions) *SSSPResult {
-	return c.SSSPDeltaStepping(g, src, delta, opts)
-}
-
 // SequentialDijkstra returns weighted distances via binary-heap Dijkstra.
 func SequentialDijkstra(g *Graph, src int64) []int64 { return sssp.SeqDijkstra(g, src) }
 
@@ -289,14 +257,6 @@ func SequentialDijkstra(g *Graph, src int64) []int64 { return sssp.SeqDijkstra(g
 // opts may be nil for defaults.
 func (c *Cluster) MISLuby(g *Graph, opts *CollectiveOptions) *MISResult {
 	return mis.Luby(c.rt, c.comm, g, opts)
-}
-
-// MaximalIndependentSet runs Luby's algorithm.
-//
-// Deprecated: use MISLuby; the name predates the <Problem><Variant>
-// kernel family. It remains functional.
-func (c *Cluster) MaximalIndependentSet(g *Graph, opts *CollectiveOptions) *MISResult {
-	return c.MISLuby(g, opts)
 }
 
 // CheckMIS verifies a maximal-independent-set certificate directly against
@@ -314,14 +274,6 @@ func (c *Cluster) Bipartite(g *Graph, opts *CCOptions) *BipartiteResult {
 // degree-ordered wedge kernel. opts may be nil for defaults.
 func (c *Cluster) TriangleCount(g *Graph, opts *CollectiveOptions) *TriangleResult {
 	return triangle.Count(c.rt, c.comm, g, opts)
-}
-
-// CountTriangles counts the graph's triangles.
-//
-// Deprecated: use TriangleCount; the name predates the
-// <Problem><Variant> kernel family. It remains functional.
-func (c *Cluster) CountTriangles(g *Graph, opts *CollectiveOptions) *TriangleResult {
-	return c.TriangleCount(g, opts)
 }
 
 // SequentialTriangles counts triangles sequentially (exact).

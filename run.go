@@ -1,0 +1,53 @@
+package pgasgraph
+
+import (
+	"pgasgraph/internal/serve"
+)
+
+// Uniform kernel dispatch and the graph service, re-exported from
+// internal/serve. A KernelSpec names a kernel run ("cc/coalesced",
+// "bfs/naive", "sssp/delta-stepping", ...); Cluster.Run dispatches it
+// through one registry instead of callers switching over per-kernel
+// methods — the same currency cmd/pgasd accepts over its socket and
+// cmd/pgasbench's tables are built from.
+type (
+	// KernelSpec names one kernel run: kernel, graph, options.
+	KernelSpec = serve.KernelSpec
+	// KernelResult is the uniform outcome of a dispatched kernel run.
+	KernelResult = serve.KernelResult
+	// Service is a resident graph service: kernel results stay in the
+	// cluster and answer batched point queries as coalesced bulk gathers.
+	Service = serve.Service
+	// ServeConfig parameterizes a Service.
+	ServeConfig = serve.Config
+	// ServeQuery is one point lookup in a Service batch.
+	ServeQuery = serve.Query
+	// ServeEdge is one edge in a Service insertion batch.
+	ServeEdge = serve.Edge
+)
+
+// Kernels returns the names Cluster.Run dispatches, in presentation
+// order.
+func Kernels() []string { return serve.Kernels() }
+
+// Run dispatches a kernel by name on this cluster. Misconfiguration —
+// unknown kernel, nil or invalid graph, a weighted kernel on an
+// unweighted graph, a source out of range — returns a classified
+// error (errors.Is(err, ...) against the pgas taxonomy) instead of
+// panicking; kernel-internal invariant violations still panic.
+//
+//	res, err := cluster.Run(pgasgraph.KernelSpec{
+//	    Kernel: "cc/coalesced", Graph: g, Compact: true,
+//	})
+func (c *Cluster) Run(spec KernelSpec) (*KernelResult, error) {
+	return serve.RunKernel(c.rt, c.comm, spec)
+}
+
+// Serve turns this cluster into a resident graph service for g: run
+// kernels with Service.Run, answer batched point queries with
+// Service.Query, and apply edge insertions (incremental connected
+// components) with Service.Insert. cmd/pgasd exposes the same service
+// over a unix socket; the client package dials it. See docs/SERVING.md.
+func (c *Cluster) Serve(g *Graph, cfg ServeConfig) (*Service, error) {
+	return serve.NewOn(c.rt, c.comm, g, cfg)
+}
