@@ -512,7 +512,7 @@ func BenchmarkListRankWyllie(b *testing.B) {
 	l := RandomChainList(50_000, 7)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c.RankList(l, OptimizedCollectives(2))
+		c.ListRankWyllie(l, OptimizedCollectives(2))
 	}
 }
 
@@ -527,7 +527,7 @@ func BenchmarkListRankCGM(b *testing.B) {
 	l := RandomChainList(50_000, 7)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c.RankListCGM(l, OptimizedCollectives(2))
+		c.ListRankCGM(l, OptimizedCollectives(2))
 	}
 }
 
@@ -541,7 +541,7 @@ func BenchmarkListRankExperiment(b *testing.B) {
 
 func BenchmarkBFSCoalesced(b *testing.B) {
 	kernelBench(b, func(c *Cluster, g *Graph) {
-		c.BFS(g, 0, OptimizedCollectives(2))
+		c.BFSCoalesced(g, 0, OptimizedCollectives(2))
 	})
 }
 
@@ -668,18 +668,18 @@ func BenchmarkKernelSSSP(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c.ShortestPaths(wg, 0, 0, OptimizedCollectives(2))
+		c.SSSPDeltaStepping(wg, 0, 0, OptimizedCollectives(2))
 	}
 }
 
 func BenchmarkKernelMIS(b *testing.B) {
 	kernelBench(b, func(c *Cluster, g *Graph) {
-		c.MaximalIndependentSet(g, OptimizedCollectives(2))
+		c.MISLuby(g, OptimizedCollectives(2))
 	})
 }
 
 func BenchmarkKernelTriangles(b *testing.B) {
 	kernelBench(b, func(c *Cluster, g *Graph) {
-		c.CountTriangles(g, OptimizedCollectives(2))
+		c.TriangleCount(g, OptimizedCollectives(2))
 	})
 }

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"pgasgraph/internal/cliflag"
+	"pgasgraph/internal/pgas"
 	"pgasgraph/internal/verify"
 )
 
@@ -42,11 +43,29 @@ func main() {
 	trials := flag.Int("trials", 200, "chaos trials to run (with -chaos)")
 	watchdog := flag.Duration("watchdog", 60*time.Second, "per-trial hang timeout (with -chaos)")
 	quiet := flag.Bool("quiet", false, "suppress per-round progress lines")
+	scheme := flag.String("scheme", "", "pin every trial to one partition scheme: block, cyclic, or hub (default: rotate)")
 	list := flag.Bool("list", false, "list check names and exit")
 	transport := cliflag.Transport(nil,
 		"fabric backend: inproc (shared memory) or wire (unix-socket cluster conformance sweep)",
 		"inproc", "wire")
 	flag.Parse()
+
+	var forceScheme *pgas.SchemeKind
+	if *scheme != "" {
+		var k pgas.SchemeKind
+		switch *scheme {
+		case "block":
+			k = pgas.SchemeBlock
+		case "cyclic":
+			k = pgas.SchemeCyclic
+		case "hub":
+			k = pgas.SchemeHub
+		default:
+			fmt.Fprintf(os.Stderr, "verifyrun: unknown -scheme %q (block, cyclic, hub)\n", *scheme)
+			os.Exit(2)
+		}
+		forceScheme = &k
+	}
 
 	if *list {
 		for _, c := range verify.Checks() {
@@ -61,6 +80,10 @@ func main() {
 
 	// cliflag validated -transport at parse time; only wire needs a branch.
 	if *transport == "wire" {
+		if forceScheme != nil && *forceScheme != pgas.SchemeBlock {
+			fmt.Fprintln(os.Stderr, "verifyrun: the wire transport is block-only; -scheme cyclic/hub requires -transport inproc")
+			os.Exit(2)
+		}
 		wcfg := verify.WireRunConfig{
 			Seed:     *seed,
 			Rounds:   *rounds,
@@ -90,11 +113,12 @@ func main() {
 
 	if *chaos {
 		ccfg := verify.ChaosRunConfig{
-			Seed:    *seed,
-			Trials:  *trials,
-			MaxN:    *maxN,
-			Timeout: *watchdog,
-			Kill:    *kill,
+			Seed:        *seed,
+			Trials:      *trials,
+			MaxN:        *maxN,
+			Timeout:     *watchdog,
+			Kill:        *kill,
+			ForceScheme: forceScheme,
 		}
 		if !*quiet {
 			ccfg.Log = os.Stdout
@@ -142,6 +166,7 @@ func main() {
 		Rounds:        *rounds,
 		MaxN:          *maxN,
 		MaxShrinkRuns: *shrink,
+		ForceScheme:   forceScheme,
 	}
 	if !*quiet {
 		cfg.Log = os.Stdout

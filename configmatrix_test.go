@@ -59,13 +59,13 @@ func TestKernelsAcrossMachineConfigs(t *testing.T) {
 			if res := c.MSFCoalesced(wg, OptimizedMST(2)); res.Weight != wantMSF.Weight {
 				t.Fatal("MSF wrong")
 			}
-			if res := c.BFS(g, 3, OptimizedCollectives(2)); !int64sEqual(res.Dist, wantBFS) {
+			if res := c.BFSCoalesced(g, 3, OptimizedCollectives(2)); !int64sEqual(res.Dist, wantBFS) {
 				t.Fatal("BFS wrong")
 			}
-			if res := c.ShortestPaths(wg, 3, 0, OptimizedCollectives(2)); !int64sEqual(res.Dist, wantSSSP) {
+			if res := c.SSSPDeltaStepping(wg, 3, 0, OptimizedCollectives(2)); !int64sEqual(res.Dist, wantSSSP) {
 				t.Fatal("SSSP wrong")
 			}
-			if res := c.RankList(l, OptimizedCollectives(2)); !int64sEqual(res.Ranks, wantRanks) {
+			if res := c.ListRankWyllie(l, OptimizedCollectives(2)); !int64sEqual(res.Ranks, wantRanks) {
 				t.Fatal("list ranking wrong")
 			}
 		})

@@ -35,7 +35,7 @@ func TestCrossKernelConsistency(t *testing.T) {
 	cc := c.CCCoalesced(g, OptimizedCC(2))
 	sf := c.SpanningForest(g, OptimizedCC(2))
 	msf := c.MSFCoalesced(wg, OptimizedMST(2))
-	misRes := c.MaximalIndependentSet(g, OptimizedCollectives(2))
+	misRes := c.MISLuby(g, OptimizedCollectives(2))
 
 	// CC vs BFS reachability, per component representative.
 	reps := map[int64]bool{}
@@ -43,7 +43,7 @@ func TestCrossKernelConsistency(t *testing.T) {
 		reps[l] = true
 	}
 	for rep := range reps {
-		dist := c.BFS(g, rep, OptimizedCollectives(2))
+		dist := c.BFSCoalesced(g, rep, OptimizedCollectives(2))
 		for v := int64(0); v < g.N; v++ {
 			reached := dist.Dist[v] != BFSUnreached
 			sameComp := cc.Labels[v] == cc.Labels[rep]
@@ -88,8 +88,8 @@ func TestCrossKernelConsistency(t *testing.T) {
 	// SSSP vs BFS: weights >= 1 imply dist_w >= dist_hops, with equal
 	// reachability.
 	rep := cc.Labels[0]
-	hops := c.BFS(g, rep, OptimizedCollectives(2))
-	weighted := c.ShortestPaths(wg, rep, 0, OptimizedCollectives(2))
+	hops := c.BFSCoalesced(g, rep, OptimizedCollectives(2))
+	weighted := c.SSSPDeltaStepping(wg, rep, 0, OptimizedCollectives(2))
 	for v := int64(0); v < g.N; v++ {
 		hReached := hops.Dist[v] != BFSUnreached
 		wReached := weighted.Dist[v] != SSSPUnreached

@@ -38,27 +38,27 @@ func ExampleCluster_MSFCoalesced() {
 }
 
 // ExampleCluster_BFS shows hop distances from a source vertex.
-func ExampleCluster_BFS() {
+func ExampleCluster_BFSCoalesced() {
 	cfg := pgasgraph.PaperCluster()
 	cfg.Nodes = 2
 	cfg.ThreadsPerNode = 2
 	cluster, _ := pgasgraph.NewCluster(cfg)
 	// Path 0-1-2-3.
 	g := &pgasgraph.Graph{N: 4, U: []int32{0, 1, 2}, V: []int32{1, 2, 3}}
-	res := cluster.BFS(g, 0, nil)
+	res := cluster.BFSCoalesced(g, 0, nil)
 	fmt.Println(res.Dist)
 	// Output: [0 1 2 3]
 }
 
 // ExampleCluster_RankList shows distributed list ranking.
-func ExampleCluster_RankList() {
+func ExampleCluster_ListRankWyllie() {
 	cfg := pgasgraph.PaperCluster()
 	cfg.Nodes = 2
 	cfg.ThreadsPerNode = 2
 	cluster, _ := pgasgraph.NewCluster(cfg)
 	// Chain 0 -> 1 -> 2 -> 3 (3 is the tail).
 	l := &pgasgraph.List{N: 4, Succ: []int32{1, 2, 3, 3}}
-	res := cluster.RankList(l, nil)
+	res := cluster.ListRankWyllie(l, nil)
 	fmt.Println(res.Ranks)
 	// Output: [3 2 1 0]
 }
@@ -77,14 +77,14 @@ func ExampleCluster_EulerTour() {
 }
 
 // ExampleCluster_ShortestPaths shows weighted distances via delta-stepping.
-func ExampleCluster_ShortestPaths() {
+func ExampleCluster_SSSPDeltaStepping() {
 	cfg := pgasgraph.PaperCluster()
 	cfg.Nodes = 2
 	cfg.ThreadsPerNode = 2
 	cluster, _ := pgasgraph.NewCluster(cfg)
 	// Path 0-1-2 with weights 5 and 7, plus a costly shortcut 0-2.
 	g := &pgasgraph.Graph{N: 3, U: []int32{0, 1, 0}, V: []int32{1, 2, 2}, W: []uint32{5, 7, 20}}
-	res := cluster.ShortestPaths(g, 0, 0, nil)
+	res := cluster.SSSPDeltaStepping(g, 0, 0, nil)
 	fmt.Println(res.Dist)
 	// Output: [0 5 12]
 }
@@ -108,13 +108,13 @@ func ExampleCluster_Bipartite() {
 
 // ExampleCluster_MaximalIndependentSet shows Luby's algorithm with the
 // certificate checker.
-func ExampleCluster_MaximalIndependentSet() {
+func ExampleCluster_MISLuby() {
 	cfg := pgasgraph.PaperCluster()
 	cfg.Nodes = 2
 	cfg.ThreadsPerNode = 2
 	cluster, _ := pgasgraph.NewCluster(cfg)
 	g := pgasgraph.RandomGraph(1000, 4000, 7)
-	res := cluster.MaximalIndependentSet(g, nil)
+	res := cluster.MISLuby(g, nil)
 	fmt.Println(pgasgraph.CheckMIS(g, res.InSet) == nil)
 	// Output: true
 }

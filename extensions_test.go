@@ -23,13 +23,13 @@ func TestListRankAPI(t *testing.T) {
 	l := RandomChainList(500, 3)
 	want := SequentialListRank(l)
 
-	w := c.RankList(l, OptimizedCollectives(2))
+	w := c.ListRankWyllie(l, OptimizedCollectives(2))
 	for i := range want {
 		if w.Ranks[i] != want[i] {
 			t.Fatalf("Wyllie rank[%d] = %d, want %d", i, w.Ranks[i], want[i])
 		}
 	}
-	g := c.RankListCGM(l, OptimizedCollectives(2))
+	g := c.ListRankCGM(l, OptimizedCollectives(2))
 	for i := range want {
 		if g.Ranks[i] != want[i] {
 			t.Fatalf("CGM rank[%d] = %d, want %d", i, g.Ranks[i], want[i])
@@ -56,7 +56,7 @@ func TestBFSAPI(t *testing.T) {
 	g := HybridGraph(600, 1800, 4)
 	want := SequentialBFS(g, 3)
 
-	res := c.BFS(g, 3, OptimizedCollectives(2))
+	res := c.BFSCoalesced(g, 3, OptimizedCollectives(2))
 	for i := range want {
 		if res.Dist[i] != want[i] {
 			t.Fatalf("BFS dist[%d] = %d, want %d", i, res.Dist[i], want[i])
@@ -147,7 +147,7 @@ func TestBCCAPI(t *testing.T) {
 func TestShortestPathsAPI(t *testing.T) {
 	c := smallCluster(t)
 	g := WithRandomWeights(RandomGraph(300, 900, 41), 42)
-	res := c.ShortestPaths(g, 5, 0, OptimizedCollectives(2))
+	res := c.SSSPDeltaStepping(g, 5, 0, OptimizedCollectives(2))
 	want := SequentialDijkstra(g, 5)
 	for i := range want {
 		if res.Dist[i] != want[i] {
@@ -159,7 +159,7 @@ func TestShortestPathsAPI(t *testing.T) {
 func TestMISAPI(t *testing.T) {
 	c := smallCluster(t)
 	g := HybridGraph(500, 1500, 51)
-	res := c.MaximalIndependentSet(g, OptimizedCollectives(2))
+	res := c.MISLuby(g, OptimizedCollectives(2))
 	if err := CheckMIS(g, res.InSet); err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +187,7 @@ func TestBipartiteAPI(t *testing.T) {
 func TestTrianglesAPI(t *testing.T) {
 	c := smallCluster(t)
 	g := HybridGraph(250, 1200, 61)
-	res := c.CountTriangles(g, OptimizedCollectives(2))
+	res := c.TriangleCount(g, OptimizedCollectives(2))
 	if res.Triangles != SequentialTriangles(g) {
 		t.Fatalf("triangles = %d, want %d", res.Triangles, SequentialTriangles(g))
 	}

@@ -13,6 +13,7 @@ import (
 	"pgasgraph"
 	"pgasgraph/internal/collective"
 	"pgasgraph/internal/experiments"
+	"pgasgraph/internal/graph"
 	"pgasgraph/internal/pgas"
 	"pgasgraph/internal/report"
 	"pgasgraph/internal/xrand"
@@ -57,6 +58,11 @@ func Run(cfg Config) (*report.BenchReport, error) {
 	}
 	rep.Records = append(rep.Records, col...)
 	rep.Records = append(rep.Records, Figures(cfg)...)
+	part, err := Partitions(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.Records = append(rep.Records, part...)
 	return rep, nil
 }
 
@@ -191,6 +197,79 @@ func emptyRegionMallocs(rt *pgas.Runtime) float64 {
 	}
 	runtime.ReadMemStats(&m1)
 	return float64(m1.Mallocs-m0.Mallocs) / rounds
+}
+
+// Partitions records the simulated cost of the collective hot path under
+// each partition scheme on the two skewed graph families (hybrid
+// scale-free and RMAT). Each thread's request list is the endpoint ids of
+// its share of the edges — the access pattern every kernel generates — so
+// these records capture how ownership placement shifts remote traffic on
+// skewed degree distributions. Simulated time is deterministic, making
+// the records a tight regression signal for the partition dispatch path.
+func Partitions(cfg Config) ([]report.BenchRecord, error) {
+	inputs := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"hybrid", graph.Hybrid(1<<12, 1<<14, cfg.Seed)},
+		{"rmat", graph.RMAT(12, 1<<14, 0.45, 0.25, 0.15, 0.15, cfg.Seed)},
+	}
+	schemes := []struct {
+		name string
+		spec func(g *graph.Graph) pgas.PartitionSpec
+	}{
+		{"block", func(*graph.Graph) pgas.PartitionSpec {
+			return pgas.PartitionSpec{Kind: pgas.SchemeBlock}
+		}},
+		{"cyclic", func(*graph.Graph) pgas.PartitionSpec {
+			return pgas.PartitionSpec{Kind: pgas.SchemeCyclic}
+		}},
+		{"hub", func(g *graph.Graph) pgas.PartitionSpec {
+			return pgas.PartitionSpec{Kind: pgas.SchemeHub, Hubs: graph.Hubs(g, 64)}
+		}},
+	}
+
+	var records []report.BenchRecord
+	for _, in := range inputs {
+		for _, sc := range schemes {
+			c, err := pgasgraph.NewCluster(clusterConfig(cfg))
+			if err != nil {
+				return nil, err
+			}
+			rt := c.Runtime()
+			if err := rt.SetPartition(sc.spec(in.g)); err != nil {
+				return nil, fmt.Errorf("partition %s: %v", sc.name, err)
+			}
+			s := c.Threads()
+			d := rt.NewSharedArray("D", in.g.N)
+			d.FillIdentity()
+			// Deal edges round-robin; a thread requests both endpoints of
+			// each of its edges.
+			idx := make([][]int64, s)
+			vals := make([][]int64, s)
+			for e := 0; e < int(in.g.M()); e++ {
+				t := e % s
+				idx[t] = append(idx[t], int64(in.g.U[e]), int64(in.g.V[e]))
+				vals[t] = append(vals[t], int64(in.g.V[e]), int64(in.g.U[e]))
+			}
+			out := make([][]int64, s)
+			for t := 0; t < s; t++ {
+				out[t] = make([]int64, len(idx[t]))
+			}
+			opts := collective.Optimized(4)
+			caches := make([]collective.IDCache, s)
+			comm := c.Comm()
+			res := rt.Run(func(th *pgas.Thread) {
+				comm.GetD(th, d, idx[th.ID], out[th.ID], opts, &caches[th.ID])
+				comm.SetDMin(th, d, idx[th.ID], vals[th.ID], opts, &caches[th.ID])
+			})
+			records = append(records, report.BenchRecord{
+				Name:  fmt.Sprintf("partition/%s/%s", in.name, sc.name),
+				SimMS: res.SimMS(),
+			})
+		}
+	}
+	return records, nil
 }
 
 // Figures records the simulated milliseconds of the figure-2, figure-4,

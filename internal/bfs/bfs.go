@@ -83,7 +83,7 @@ func Coalesced(rt *pgas.Runtime, comm *collective.Comm, g *graph.Graph, src int6
 	levels := 0
 
 	run := rt.Run(func(th *pgas.Thread) {
-		lo, hi := dist.LocalRange(th.ID)
+		lo, hi := dist.ThreadCover(th.ID)
 		th.ChargeSeq(sim.CatWork, hi-lo)
 
 		frontier := make([]int64, 0, 1024)
@@ -150,7 +150,7 @@ func Naive(rt *pgas.Runtime, g *graph.Graph, src int64) *Result {
 	levels := 0
 
 	run := rt.Run(func(th *pgas.Thread) {
-		lo, hi := dist.LocalRange(th.ID)
+		lo, hi := dist.ThreadCover(th.ID)
 		th.ChargeSeq(sim.CatWork, hi-lo)
 
 		frontier := make([]int64, 0, 1024)

@@ -119,7 +119,7 @@ func Naive(rt *pgas.Runtime, g *graph.Graph) *Result {
 	run := rt.Run(func(th *pgas.Thread) {
 		lo, hi := th.Span(m)
 		// Initialize own block of D (charged; data already set).
-		dLo, dHi := d.LocalRange(th.ID)
+		dLo, dHi := d.ThreadCover(th.ID)
 		th.ChargeSeq(sim.CatWork, dHi-dLo)
 		th.Barrier()
 
@@ -202,7 +202,7 @@ func Coalesced(rt *pgas.Runtime, comm *collective.Comm, g *graph.Graph, opts *Op
 		for e := lo; e < hi; e++ {
 			live = append(live, e)
 		}
-		dLo, dHi := d.LocalRange(th.ID)
+		dLo, dHi := d.ThreadCover(th.ID)
 		span := dHi - dLo
 		th.ChargeSeq(sim.CatWork, span)
 
@@ -368,7 +368,7 @@ func SV(rt *pgas.Runtime, comm *collective.Comm, g *graph.Graph, opts *Options) 
 		for e := lo; e < hi; e++ {
 			live = append(live, e)
 		}
-		dLo, dHi := d.LocalRange(th.ID)
+		dLo, dHi := d.ThreadCover(th.ID)
 		span := dHi - dLo
 		th.ChargeSeq(sim.CatWork, span)
 

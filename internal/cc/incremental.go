@@ -43,7 +43,7 @@ func Incremental(rt *pgas.Runtime, comm *collective.Comm, d *pgas.SharedArray, e
 	run := rt.Run(func(th *pgas.Thread) {
 		lo, hi := th.Span(k64)
 		k := int(hi - lo)
-		dLo, dHi := d.LocalRange(th.ID)
+		dLo, dHi := d.ThreadCover(th.ID)
 		span := dHi - dLo
 
 		gatherIdx := make([]int64, 0, 2*k)

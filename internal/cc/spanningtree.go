@@ -63,7 +63,7 @@ func SpanningTree(rt *pgas.Runtime, comm *collective.Comm, g *graph.Graph, opts 
 		for e := lo; e < hi; e++ {
 			live = append(live, e)
 		}
-		dLo, dHi := d.LocalRange(th.ID)
+		dLo, dHi := d.ThreadCover(th.ID)
 		span := dHi - dLo
 		th.ChargeSeq(sim.CatWork, span)
 

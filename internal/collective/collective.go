@@ -359,10 +359,10 @@ func (c *Comm) ownerKeys(th *pgas.Thread, d *pgas.SharedArray, indices []int64, 
 		th.ChargeSeq(sim.CatWork, int64(k))
 		return
 	}
-	blk := d.BlockSize()
-	for j, ix := range indices {
-		st.keys[j] = int32(ix / blk)
-	}
+	// Partition-dispatched owner computation; block and cyclic stay tight
+	// arithmetic loops (the paper's id optimization), only the hub scheme
+	// reads a table.
+	d.FillOwnerKeys(indices, st.keys[:k])
 	if opts.CachedIDs {
 		// Direct, vectorizable arithmetic.
 		th.ChargeOps(sim.CatWork, int64(k))

@@ -130,13 +130,23 @@ func (c *Comm) serveRetry(th *pgas.Thread, p *Plan, op *serveOp, d1, d2 *pgas.Sh
 		return
 	}
 	st := &c.ts[th.ID]
-	var lo, hi int64
+	var lo, hi, owned int64
+	contig := d1 != nil && d1.Contiguous()
 	if op.mutates {
-		// Only the owner touches its block during serve, so a plain copy
-		// is race-free here between the surrounding barriers.
-		lo, hi = d1.LocalRange(th.ID)
-		st.snap = sched.Grow64(st.snap, int(hi-lo), nil)
-		copy(st.snap[:hi-lo], d1.Raw()[lo:hi])
+		// Only the owner touches its owned elements during serve, so the
+		// snapshot is race-free here between the surrounding barriers. A
+		// contiguous (block) owner snapshots its slab with one copy; a
+		// scattered owner walks exactly its owned set — restoring anything
+		// wider would race peers serving their own interleaved elements.
+		if contig {
+			lo, hi = d1.LocalRange(th.ID)
+			st.snap = sched.Grow64(st.snap, int(hi-lo), nil)
+			copy(st.snap[:hi-lo], d1.Raw()[lo:hi])
+		} else {
+			owned = d1.OwnedCount(th.ID)
+			st.snap = sched.Grow64(st.snap, int(owned), nil)
+			d1.CopyOwnedOut(th.ID, st.snap[:owned])
+		}
 	}
 	max := rt.ChaosMaxAttempts()
 	var err error
@@ -144,7 +154,11 @@ func (c *Comm) serveRetry(th *pgas.Thread, p *Plan, op *serveOp, d1, d2 *pgas.Sh
 		if attempt > 1 {
 			th.ChaosBackoff(attempt - 1)
 			if op.mutates {
-				copy(d1.Raw()[lo:hi], st.snap[:hi-lo])
+				if contig {
+					copy(d1.Raw()[lo:hi], st.snap[:hi-lo])
+				} else {
+					d1.CopyOwnedIn(th.ID, st.snap[:owned])
+				}
 			}
 			if c.chaosTracer != nil {
 				c.chaosTracer.ServeRetry(th.ID, op.kind, attempt-1)
@@ -290,8 +304,7 @@ func (c *Comm) pullSegment(th *pgas.Thread, reqSeg, dst []int64, lo int64, peer 
 // requester's plan receive buffer.
 func serveGather(c *Comm, th *pgas.Thread, p *Plan, d1, d2 *pgas.SharedArray, opts *Options) error {
 	i := th.ID
-	lo, hi := d1.LocalRange(i)
-	local := d1.Raw()[lo:hi]
+	local, base := d1.ServeView(i)
 	st := &c.ts[i]
 
 	total := c.planSegments(th, p, st, opts)
@@ -302,14 +315,14 @@ func serveGather(c *Comm, th *pgas.Thread, p *Plan, d1, d2 *pgas.SharedArray, op
 		if err != nil {
 			return err
 		}
-		if err := c.pullSegment(th, reqSeg, st.local[seg.pos:seg.pos+seg.k], lo, int(seg.peer), opts); err != nil {
+		if err := c.pullSegment(th, reqSeg, st.local[seg.pos:seg.pos+seg.k], base, int(seg.peer), opts); err != nil {
 			return err
 		}
 	}
 
 	// The block stays cache-warm across the concatenated serve, so
 	// first-touch tracking resets once per collective.
-	st.scr.Reset(hi - lo)
+	st.scr.Reset(int64(len(local)))
 	sched.GatherPar(th, local, st.local[:total], st.vals[:total], opts.VirtualThreads, opts.LocalCpy, &st.scr, c.par)
 
 	for _, seg := range st.segs {
@@ -326,8 +339,7 @@ func serveGather(c *Comm, th *pgas.Thread, p *Plan, d1, d2 *pgas.SharedArray, op
 // over the concatenated list.
 func (c *Comm) serveScatter(th *pgas.Thread, p *Plan, d *pgas.SharedArray, opts *Options, op sched.Op) error {
 	i := th.ID
-	lo, hi := d.LocalRange(i)
-	local := d.Raw()[lo:hi]
+	local, base := d.ServeView(i)
 	st := &c.ts[i]
 
 	total := c.planSegments(th, p, st, opts)
@@ -338,7 +350,7 @@ func (c *Comm) serveScatter(th *pgas.Thread, p *Plan, d *pgas.SharedArray, opts 
 		if err != nil {
 			return err
 		}
-		if err := c.pullSegment(th, reqSeg, st.local[seg.pos:seg.pos+seg.k], lo, int(seg.peer), opts); err != nil {
+		if err := c.pullSegment(th, reqSeg, st.local[seg.pos:seg.pos+seg.k], base, int(seg.peer), opts); err != nil {
 			return err
 		}
 		// Pull the peer's value segment alongside the indices.
@@ -352,7 +364,7 @@ func (c *Comm) serveScatter(th *pgas.Thread, p *Plan, d *pgas.SharedArray, opts 
 		}
 	}
 
-	st.scr.Reset(hi - lo)
+	st.scr.Reset(int64(len(local)))
 	sched.Scatter(th, local, st.local[:total], st.inVal[:total], op, opts.VirtualThreads, opts.LocalCpy, &st.scr)
 	return nil
 }
@@ -380,14 +392,15 @@ func serveScatterAdd(c *Comm, th *pgas.Thread, p *Plan, d1, d2 *pgas.SharedArray
 // collective's original charge structure.
 func servePair(c *Comm, th *pgas.Thread, p *Plan, d1, d2 *pgas.SharedArray, opts *Options) error {
 	i := th.ID
-	lo, hi := d1.LocalRange(i)
-	local1 := d1.Raw()[lo:hi]
-	local2 := d2.Raw()[lo:hi]
+	// The pair arrays are allocated together and share a partition scheme,
+	// so d1's translation base serves both views.
+	local1, base := d1.ServeView(i)
+	local2, _ := d2.ServeView(i)
 	st := &c.ts[i]
 
 	c.planSegments(th, p, st, opts)
-	st.scr.Reset(hi - lo)
-	st.scr2.Reset(hi - lo)
+	st.scr.Reset(int64(len(local1)))
+	st.scr2.Reset(int64(len(local2)))
 	for _, seg := range st.segs {
 		k := seg.k
 		st.local = st.grow(st.local, int(k))
@@ -395,7 +408,7 @@ func servePair(c *Comm, th *pgas.Thread, p *Plan, d1, d2 *pgas.SharedArray, opts
 		if err != nil {
 			return err
 		}
-		if err := c.pullSegment(th, reqSeg, st.local[:k], lo, int(seg.peer), opts); err != nil {
+		if err := c.pullSegment(th, reqSeg, st.local[:k], base, int(seg.peer), opts); err != nil {
 			return err
 		}
 

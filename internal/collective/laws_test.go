@@ -23,6 +23,20 @@ import (
 // and mixed ownership.
 var lawGeometries = []struct{ nodes, tpn int }{{1, 1}, {1, 4}, {4, 1}, {3, 2}}
 
+// lawPartitions crosses the laws with every partition scheme. The tests'
+// owner oracle is d.Owner itself, so identical assertions pin routing,
+// serving, and delivery under scattered ownership too.
+var lawPartitions = []struct {
+	name string
+	spec func(n int64) pgas.PartitionSpec
+}{
+	{"block", func(int64) pgas.PartitionSpec { return pgas.PartitionSpec{Kind: pgas.SchemeBlock} }},
+	{"cyclic", func(int64) pgas.PartitionSpec { return pgas.PartitionSpec{Kind: pgas.SchemeCyclic} }},
+	{"hub", func(n int64) pgas.PartitionSpec {
+		return pgas.PartitionSpec{Kind: pgas.SchemeHub, Hubs: []int64{0, 7, n / 2, n - 1, n / 3}}
+	}},
+}
+
 // TestSetDGetDRoundtrip: thread-disjoint scatters followed by a gather of
 // the same indices must return exactly the written values, for every
 // option vector.
@@ -53,27 +67,31 @@ func TestSetDGetDRoundtrip(t *testing.T) {
 						want[ix] = v
 					}
 				}
-				d := rt.NewSharedArray("D", n)
-				comm := NewComm(rt)
-				outs := make([][]int64, s)
-				rt.Run(func(th *pgas.Thread) {
-					o := *opts // per-thread copy: kernels share one Options value
-					comm.SetD(th, d, idxs[th.ID], vals[th.ID], &o, nil)
-					out := make([]int64, len(idxs[th.ID]))
-					comm.GetD(th, d, idxs[th.ID], out, &o, nil)
-					outs[th.ID] = out
-				})
-				for i := int64(0); i < n; i++ {
-					if got := d.Raw()[i]; got != want[i] {
-						t.Fatalf("D[%d] = %d after scatter, want %d", i, got, want[i])
-					}
-				}
-				for i := range idxs {
-					for j, ix := range idxs[i] {
-						if outs[i][j] != want[ix] {
-							t.Fatalf("thread %d read D[%d] = %d, want %d", i, ix, outs[i][j], want[ix])
+				for _, part := range lawPartitions {
+					t.Run(part.name, func(t *testing.T) {
+						d := rt.NewSharedArrayPart("D", n, part.spec(n))
+						comm := NewComm(rt)
+						outs := make([][]int64, s)
+						rt.Run(func(th *pgas.Thread) {
+							o := *opts // per-thread copy: kernels share one Options value
+							comm.SetD(th, d, idxs[th.ID], vals[th.ID], &o, nil)
+							out := make([]int64, len(idxs[th.ID]))
+							comm.GetD(th, d, idxs[th.ID], out, &o, nil)
+							outs[th.ID] = out
+						})
+						for i := int64(0); i < n; i++ {
+							if got := d.Raw()[i]; got != want[i] {
+								t.Fatalf("D[%d] = %d after scatter, want %d", i, got, want[i])
+							}
 						}
-					}
+						for i := range idxs {
+							for j, ix := range idxs[i] {
+								if outs[i][j] != want[ix] {
+									t.Fatalf("thread %d read D[%d] = %d, want %d", i, ix, outs[i][j], want[ix])
+								}
+							}
+						}
+					})
 				}
 			})
 		}
@@ -119,19 +137,23 @@ func TestSetDMinMatchesMinScatter(t *testing.T) {
 						}
 					}
 				}
-				d := rt.NewSharedArray("D", n)
-				for i := int64(1); i < n; i++ {
-					d.Raw()[i] = initVal
-				}
-				comm := NewComm(rt)
-				rt.Run(func(th *pgas.Thread) {
-					o := *opts
-					comm.SetDMin(th, d, idxs[th.ID], vals[th.ID], &o, nil)
-				})
-				for i := int64(0); i < n; i++ {
-					if got := d.Raw()[i]; got != want[i] {
-						t.Fatalf("D[%d] = %d, min-scatter oracle says %d", i, got, want[i])
-					}
+				for _, part := range lawPartitions {
+					t.Run(part.name, func(t *testing.T) {
+						d := rt.NewSharedArrayPart("D", n, part.spec(n))
+						for i := int64(1); i < n; i++ {
+							d.Raw()[i] = initVal
+						}
+						comm := NewComm(rt)
+						rt.Run(func(th *pgas.Thread) {
+							o := *opts
+							comm.SetDMin(th, d, idxs[th.ID], vals[th.ID], &o, nil)
+						})
+						for i := int64(0); i < n; i++ {
+							if got := d.Raw()[i]; got != want[i] {
+								t.Fatalf("D[%d] = %d, min-scatter oracle says %d", i, got, want[i])
+							}
+						}
+					})
 				}
 			})
 		}
@@ -220,32 +242,36 @@ func TestExchangeMatchesOwnerPartition(t *testing.T) {
 						items[i][j] = rng.Int64n(n)
 					}
 				}
-				d := rt.NewSharedArray("D", n)
-				comm := NewComm(rt)
-				want := make([][]int64, s)
-				for i := 0; i < s; i++ {
-					for _, x := range items[i] {
-						o := d.Owner(x)
-						want[o] = append(want[o], x)
-					}
-				}
-				got := make([][]int64, s)
-				rt.Run(func(th *pgas.Thread) {
-					o := *opts
-					recv := comm.Exchange(th, d, items[th.ID], &o, nil)
-					got[th.ID] = append([]int64(nil), recv...)
-				})
-				for i := 0; i < s; i++ {
-					g, w := sortedCopy(got[i]), sortedCopy(want[i])
-					if len(g) != len(w) {
-						t.Fatalf("thread %d received %d items, owns %d", i, len(g), len(w))
-					}
-					for j := range g {
-						if g[j] != w[j] {
-							t.Fatalf("thread %d received multiset differs from its owner partition at rank %d: %d vs %d",
-								i, j, g[j], w[j])
+				for _, part := range lawPartitions {
+					t.Run(part.name, func(t *testing.T) {
+						d := rt.NewSharedArrayPart("D", n, part.spec(n))
+						comm := NewComm(rt)
+						want := make([][]int64, s)
+						for i := 0; i < s; i++ {
+							for _, x := range items[i] {
+								o := d.Owner(x)
+								want[o] = append(want[o], x)
+							}
 						}
-					}
+						got := make([][]int64, s)
+						rt.Run(func(th *pgas.Thread) {
+							o := *opts
+							recv := comm.Exchange(th, d, items[th.ID], &o, nil)
+							got[th.ID] = append([]int64(nil), recv...)
+						})
+						for i := 0; i < s; i++ {
+							g, w := sortedCopy(got[i]), sortedCopy(want[i])
+							if len(g) != len(w) {
+								t.Fatalf("thread %d received %d items, owns %d", i, len(g), len(w))
+							}
+							for j := range g {
+								if g[j] != w[j] {
+									t.Fatalf("thread %d received multiset differs from its owner partition at rank %d: %d vs %d",
+										i, j, g[j], w[j])
+								}
+							}
+						}
+					})
 				}
 			})
 		}
@@ -277,39 +303,43 @@ func TestExchangePairsStayAligned(t *testing.T) {
 						vals[i][j] = pairVal(items[i][j])
 					}
 				}
-				d := rt.NewSharedArray("D", n)
-				comm := NewComm(rt)
-				want := make([][]int64, s)
-				for i := 0; i < s; i++ {
-					for _, x := range items[i] {
-						want[d.Owner(x)] = append(want[d.Owner(x)], x)
-					}
-				}
-				gotItems := make([][]int64, s)
-				rt.Run(func(th *pgas.Thread) {
-					o := *opts
-					ri, rv := comm.ExchangePairs(th, d, items[th.ID], vals[th.ID], &o, nil)
-					if len(ri) != len(rv) {
-						t.Errorf("thread %d: %d items but %d values delivered", th.ID, len(ri), len(rv))
-					}
-					for j := range ri {
-						if rv[j] != pairVal(ri[j]) {
-							t.Errorf("thread %d pair %d: item %d arrived with value %d, sent with %d",
-								th.ID, j, ri[j], rv[j], pairVal(ri[j]))
+				for _, part := range lawPartitions {
+					t.Run(part.name, func(t *testing.T) {
+						d := rt.NewSharedArrayPart("D", n, part.spec(n))
+						comm := NewComm(rt)
+						want := make([][]int64, s)
+						for i := 0; i < s; i++ {
+							for _, x := range items[i] {
+								want[d.Owner(x)] = append(want[d.Owner(x)], x)
+							}
 						}
-					}
-					gotItems[th.ID] = append([]int64(nil), ri...)
-				})
-				for i := 0; i < s; i++ {
-					g, w := sortedCopy(gotItems[i]), sortedCopy(want[i])
-					if len(g) != len(w) {
-						t.Fatalf("thread %d received %d pairs, owns %d items", i, len(g), len(w))
-					}
-					for j := range g {
-						if g[j] != w[j] {
-							t.Fatalf("thread %d pair-item multiset differs from owner partition at rank %d", i, j)
+						gotItems := make([][]int64, s)
+						rt.Run(func(th *pgas.Thread) {
+							o := *opts
+							ri, rv := comm.ExchangePairs(th, d, items[th.ID], vals[th.ID], &o, nil)
+							if len(ri) != len(rv) {
+								t.Errorf("thread %d: %d items but %d values delivered", th.ID, len(ri), len(rv))
+							}
+							for j := range ri {
+								if rv[j] != pairVal(ri[j]) {
+									t.Errorf("thread %d pair %d: item %d arrived with value %d, sent with %d",
+										th.ID, j, ri[j], rv[j], pairVal(ri[j]))
+								}
+							}
+							gotItems[th.ID] = append([]int64(nil), ri...)
+						})
+						for i := 0; i < s; i++ {
+							g, w := sortedCopy(gotItems[i]), sortedCopy(want[i])
+							if len(g) != len(w) {
+								t.Fatalf("thread %d received %d pairs, owns %d items", i, len(g), len(w))
+							}
+							for j := range g {
+								if g[j] != w[j] {
+									t.Fatalf("thread %d pair-item multiset differs from owner partition at rank %d", i, j)
+								}
+							}
 						}
-					}
+					})
 				}
 			})
 		}
@@ -349,16 +379,20 @@ func TestSetDAddMatchesAddScatter(t *testing.T) {
 						want[ix] += v
 					}
 				}
-				d := rt.NewSharedArray("D", n)
-				comm := NewComm(rt)
-				rt.Run(func(th *pgas.Thread) {
-					o := *opts
-					comm.SetDAdd(th, d, idxs[th.ID], vals[th.ID], &o, nil)
-				})
-				for i := int64(0); i < n; i++ {
-					if got := d.Raw()[i]; got != want[i] {
-						t.Fatalf("D[%d] = %d, add-scatter oracle says %d", i, got, want[i])
-					}
+				for _, part := range lawPartitions {
+					t.Run(part.name, func(t *testing.T) {
+						d := rt.NewSharedArrayPart("D", n, part.spec(n))
+						comm := NewComm(rt)
+						rt.Run(func(th *pgas.Thread) {
+							o := *opts
+							comm.SetDAdd(th, d, idxs[th.ID], vals[th.ID], &o, nil)
+						})
+						for i := int64(0); i < n; i++ {
+							if got := d.Raw()[i]; got != want[i] {
+								t.Fatalf("D[%d] = %d, add-scatter oracle says %d", i, got, want[i])
+							}
+						}
+					})
 				}
 			})
 		}

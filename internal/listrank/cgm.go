@@ -74,7 +74,7 @@ func CGM(rt *pgas.Runtime, comm *collective.Comm, l *List, colOpts *collective.O
 	totalRounds := 0
 
 	run := rt.Run(func(th *pgas.Thread) {
-		lo, hi := s.LocalRange(th.ID)
+		lo, hi := s.ThreadCover(th.ID)
 		span := hi - lo
 		th.ChargeSeq(sim.CatWork, 3*span) // init S, W, Splicer
 
@@ -226,7 +226,11 @@ func sequentialRank(th *pgas.Thread, rt *pgas.Runtime,
 		if k == 0 {
 			continue
 		}
-		base, _ := stageID.LocalRange(peer)
+		// The staging base is the peer's ThreadCover start — the same base
+		// the peer staged its actives at — which stays aligned under every
+		// partition scheme (a thread's actives never outgrow its initial
+		// cover, so the triples fit the peer's cover range).
+		base, _ := stageID.ThreadCover(peer)
 		buf := make([]int64, k)
 		th.GetBulk(stageID, base, buf, sim.CatComm)
 		ids = append(ids, buf...)

@@ -58,7 +58,7 @@ func WyllieMulti(rt *pgas.Runtime, comm *collective.Comm, l *List, weights []int
 	rounds := 0
 
 	run := rt.Run(func(th *pgas.Thread) {
-		lo, hi := s.LocalRange(th.ID)
+		lo, hi := s.ThreadCover(th.ID)
 		span := hi - lo
 		th.ChargeSeq(sim.CatWork, 3*span)
 

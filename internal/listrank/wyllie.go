@@ -34,7 +34,7 @@ func Wyllie(rt *pgas.Runtime, comm *collective.Comm, l *List, colOpts *collectiv
 	rounds := 0
 
 	run := rt.Run(func(th *pgas.Thread) {
-		lo, hi := s.LocalRange(th.ID)
+		lo, hi := s.ThreadCover(th.ID)
 		span := hi - lo
 		th.ChargeSeq(sim.CatWork, 2*span) // local init of S and R
 
@@ -107,7 +107,7 @@ func WyllieNaive(rt *pgas.Runtime, l *List) *Result {
 	rounds := 0
 
 	run := rt.Run(func(th *pgas.Thread) {
-		lo, hi := s.LocalRange(th.ID)
+		lo, hi := s.ThreadCover(th.ID)
 		span := hi - lo
 		th.ChargeSeq(sim.CatWork, 2*span)
 		active := make([]int64, 0, span)
@@ -181,7 +181,7 @@ func WyllieFused(rt *pgas.Runtime, comm *collective.Comm, l *List, colOpts *coll
 	rounds := 0
 
 	run := rt.Run(func(th *pgas.Thread) {
-		lo, hi := s.LocalRange(th.ID)
+		lo, hi := s.ThreadCover(th.ID)
 		span := hi - lo
 		th.ChargeSeq(sim.CatWork, 2*span)
 		active := make([]int64, 0, span)

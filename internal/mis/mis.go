@@ -76,7 +76,7 @@ func Luby(rt *pgas.Runtime, comm *collective.Comm, g *graph.Graph, colOpts *coll
 	}
 
 	run := rt.Run(func(th *pgas.Thread) {
-		lo, hi := state.LocalRange(th.ID)
+		lo, hi := state.ThreadCover(th.ID)
 		active := make([]int64, 0, hi-lo)
 		for v := lo; v < hi; v++ {
 			if selfLoop[v] {

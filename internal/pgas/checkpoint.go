@@ -247,7 +247,10 @@ func (th *Thread) ckptCopy(ck *Checkpointer) {
 		if e.arr == nil {
 			continue // awaiting re-registration during a recovery round
 		}
-		lo, hi := e.arr.LocalRange(th.ID)
+		// Any disjoint cover is a valid copy split here — the window sits
+		// between two full barriers — so scattered partition schemes use
+		// the even Span cover ThreadCover provides.
+		lo, hi := e.arr.ThreadCover(th.ID)
 		if lo < hi {
 			copy(e.snaps[buf][lo:hi], e.arr.data[lo:hi])
 			words += hi - lo

@@ -1,0 +1,283 @@
+// Partition schemes: how a shared array's elements map onto threads.
+//
+// The paper's codes declare every shared array with the blocked
+// distribution (thread i owns [i*blk, (i+1)*blk)), and the rest of the
+// repo grew up assuming it. This file makes ownership a per-array
+// property instead: a PartitionSpec selects block, cyclic, or hub-aware
+// ownership at allocation time, and every layer that used to do /blk
+// arithmetic asks the array instead.
+//
+// The data layout never changes: a SharedArray's backing slice is always
+// in global-index order, whatever the scheme. What a scheme changes is
+// *which thread owns* (serves, snapshots, restores) each element. Block
+// ownership is contiguous, so owners can take a subslice view of their
+// elements; cyclic and hub ownership are scattered, so owners operate on
+// the full slice and touch only their own (disjoint) elements — correct
+// under the same reasoning as before, since an element still has exactly
+// one owner, and naturally penalized by the cache model through NodeSpan.
+//
+// Block and cyclic ownership are pure arithmetic (one division or one
+// modulo per index — the paper's "id" optimization survives both); only
+// the hub scheme pays for a per-index owner table, which is the price of
+// placing individual high-degree vertices.
+package pgas
+
+// SchemeKind names a partition scheme.
+type SchemeKind int
+
+const (
+	// SchemeBlock is the paper's blocked distribution: thread i owns the
+	// contiguous range [i*blk, (i+1)*blk), blk = ceil(n/s). The zero
+	// value, so existing call sites are untouched.
+	SchemeBlock SchemeKind = iota
+	// SchemeCyclic deals elements round-robin: thread i%s owns element i.
+	// Ownership is scattered but stays pure arithmetic.
+	SchemeCyclic
+	// SchemeHub spreads a caller-supplied list of hub elements (typically
+	// the highest-degree vertices) round-robin over the threads, and
+	// block-distributes the remaining tail by ascending index. Ownership
+	// goes through a per-index table.
+	SchemeHub
+)
+
+// String returns the scheme's tag as used in trial descriptions and
+// bench record names.
+func (k SchemeKind) String() string {
+	switch k {
+	case SchemeBlock:
+		return "block"
+	case SchemeCyclic:
+		return "cyclic"
+	case SchemeHub:
+		return "hub"
+	}
+	return "unknown"
+}
+
+// PartitionSpec selects a partition scheme for a shared array (or, via
+// Runtime.SetPartition, for every array a runtime allocates). The zero
+// value is the blocked distribution.
+type PartitionSpec struct {
+	// Kind selects the scheme.
+	Kind SchemeKind
+	// Hubs lists the hub elements for SchemeHub, ignored otherwise.
+	// Entries beyond an array's length are skipped (one spec serves
+	// arrays of different sizes); duplicates count once; negative ids
+	// are a misuse.
+	Hubs []int64
+}
+
+// validate reports whether the spec is usable. Negative hub ids and
+// unknown kinds are misuses; hubs beyond a particular array's length are
+// fine (filtered at table-build time).
+func (ps PartitionSpec) validate() error {
+	switch ps.Kind {
+	case SchemeBlock, SchemeCyclic, SchemeHub:
+	default:
+		return Errorf(ErrMisuse, -1, "Partition", "unknown partition scheme %d", int(ps.Kind))
+	}
+	for _, h := range ps.Hubs {
+		if h < 0 {
+			return Errorf(ErrMisuse, -1, "Partition", "negative hub id %d", h)
+		}
+	}
+	return nil
+}
+
+// Scheme returns the array's partition scheme.
+func (a *SharedArray) Scheme() SchemeKind { return a.part.Kind }
+
+// Contiguous reports whether each thread's owned elements form one
+// contiguous range (true only for the block scheme). Code that exploits
+// a contiguous owned window — subslice serve views, slab snapshots —
+// checks this and falls back to the owned-element walk otherwise.
+func (a *SharedArray) Contiguous() bool { return a.part.Kind == SchemeBlock }
+
+// checkThread validates a thread id against the runtime's thread count
+// with a classified misuse error. Shared by every per-thread accessor so
+// an out-of-range id (a stale geometry after eviction, an off-by-one in
+// a peer loop) fails loudly instead of silently yielding an empty or
+// aliased range.
+func (a *SharedArray) checkThread(op string, id int) {
+	if id < 0 || id >= a.rt.s {
+		panic(Errorf(ErrMisuse, -1, op, "thread %d out of range [0,%d) in %s", id, a.rt.s, a.name))
+	}
+}
+
+// FillOwnerKeys writes the owner thread of every index into keys (which
+// must be at least len(indices) long). This is the collectives' phase-1
+// owner-key computation: the switch is hoisted out of the loop so block
+// and cyclic stay tight arithmetic loops (vectorizable, no per-index
+// table lookup), preserving the paper's id optimization; only the hub
+// scheme reads its owner table.
+func (a *SharedArray) FillOwnerKeys(indices []int64, keys []int32) {
+	switch a.part.Kind {
+	case SchemeCyclic:
+		s := int64(a.rt.s)
+		for j, ix := range indices {
+			keys[j] = int32(ix % s)
+		}
+	case SchemeHub:
+		for j, ix := range indices {
+			keys[j] = a.ownerTab[ix]
+		}
+	default:
+		blk := a.blk
+		for j, ix := range indices {
+			keys[j] = int32(ix / blk)
+		}
+	}
+}
+
+// ThreadCover returns a half-open range assigned to thread id such that
+// the s ranges exactly cover [0, n) disjointly. For the block scheme it
+// is the owned range (identical to LocalRange); for scattered schemes it
+// is an even Span cover — not ownership, but any disjoint cover is valid
+// for the two uses that need one: dividing per-element work across
+// threads inside an SPMD region, and the checkpoint copy window (which
+// sits between two full barriers, so which thread copies which slab is
+// immaterial).
+func (a *SharedArray) ThreadCover(id int) (lo, hi int64) {
+	a.checkThread("ThreadCover", id)
+	if a.part.Kind == SchemeBlock {
+		return a.localRange(id)
+	}
+	return Span(a.n, a.rt.s, id)
+}
+
+// ServeView returns the slice a serving thread gathers/scatters against
+// and the global index of its first element. Block owners get their
+// contiguous owned window; scattered owners get the whole array (base 0,
+// so global indices are used directly) and touch only their own
+// elements, which stay disjoint across concurrent servers.
+func (a *SharedArray) ServeView(id int) (local []int64, base int64) {
+	a.checkThread("ServeView", id)
+	if a.part.Kind == SchemeBlock {
+		lo, hi := a.localRange(id)
+		return a.data[lo:hi], lo
+	}
+	return a.data, 0
+}
+
+// OwnedCount returns the number of elements thread id owns.
+func (a *SharedArray) OwnedCount(id int) int64 {
+	a.checkThread("OwnedCount", id)
+	switch a.part.Kind {
+	case SchemeCyclic:
+		i := int64(id)
+		if i >= a.n {
+			return 0
+		}
+		return (a.n - i + int64(a.rt.s) - 1) / int64(a.rt.s)
+	case SchemeHub:
+		return a.ownedOff[id+1] - a.ownedOff[id]
+	default:
+		lo, hi := a.localRange(id)
+		return hi - lo
+	}
+}
+
+// CopyOwnedOut copies thread id's owned elements, in ascending index
+// order, into dst (which must be at least OwnedCount(id) long). With
+// CopyOwnedIn it gives the chaos replay a snapshot/restore pair that
+// touches only the owned set — restoring anything wider would race
+// peers concurrently serving their own scattered elements.
+func (a *SharedArray) CopyOwnedOut(id int, dst []int64) {
+	a.checkThread("CopyOwnedOut", id)
+	switch a.part.Kind {
+	case SchemeCyclic:
+		s := int64(a.rt.s)
+		j := 0
+		for g := int64(id); g < a.n; g += s {
+			dst[j] = a.data[g]
+			j++
+		}
+	case SchemeHub:
+		for j, g := range a.ownedIdx[a.ownedOff[id]:a.ownedOff[id+1]] {
+			dst[j] = a.data[g]
+		}
+	default:
+		lo, hi := a.localRange(id)
+		copy(dst[:hi-lo], a.data[lo:hi])
+	}
+}
+
+// CopyOwnedIn is CopyOwnedOut's inverse: it writes src back over thread
+// id's owned elements in the same ascending order.
+func (a *SharedArray) CopyOwnedIn(id int, src []int64) {
+	a.checkThread("CopyOwnedIn", id)
+	switch a.part.Kind {
+	case SchemeCyclic:
+		s := int64(a.rt.s)
+		j := 0
+		for g := int64(id); g < a.n; g += s {
+			a.data[g] = src[j]
+			j++
+		}
+	case SchemeHub:
+		for j, g := range a.ownedIdx[a.ownedOff[id]:a.ownedOff[id+1]] {
+			a.data[g] = src[j]
+		}
+	default:
+		lo, hi := a.localRange(id)
+		copy(a.data[lo:hi], src[:hi-lo])
+	}
+}
+
+// buildHubTables fills the hub scheme's owner table and per-owner owned
+// lists: the h-th valid hub (in spec order, in-range, first occurrence)
+// goes to thread h%s, and the non-hub tail is dealt by ascending index
+// into the same almost-equal shares Span produces. One O(n) pass builds
+// the table, one counting sort groups the owned lists.
+func (a *SharedArray) buildHubTables() {
+	s := a.rt.s
+	n := a.n
+	tab := make([]int32, n)
+	for i := range tab {
+		tab[i] = -1
+	}
+	hubs := 0
+	for _, h := range a.part.Hubs {
+		if h >= n || tab[h] >= 0 {
+			continue // out of this array's range, or listed twice
+		}
+		tab[h] = int32(hubs % s)
+		hubs++
+	}
+	// Tail: walk non-hub indices in ascending order, assigning thread id
+	// while its Span share of the tail lasts.
+	tail := n - int64(hubs)
+	id := 0
+	_, quota := Span(tail, s, 0)
+	filled := int64(0)
+	for i := int64(0); i < n; i++ {
+		if tab[i] >= 0 {
+			continue
+		}
+		for filled >= quota {
+			id++
+			_, quota = Span(tail, s, id)
+		}
+		tab[i] = int32(id)
+		filled++
+	}
+	a.ownerTab = tab
+	// Group indices by owner (counting sort): ownedIdx[ownedOff[t]:
+	// ownedOff[t+1]] lists thread t's elements in ascending order.
+	off := make([]int64, s+1)
+	for _, t := range tab {
+		off[t+1]++
+	}
+	for t := 0; t < s; t++ {
+		off[t+1] += off[t]
+	}
+	idx := make([]int64, n)
+	cur := make([]int64, s)
+	for i := int64(0); i < n; i++ {
+		t := tab[i]
+		idx[off[t]+cur[t]] = i
+		cur[t]++
+	}
+	a.ownedOff = off
+	a.ownedIdx = idx
+}

@@ -1,0 +1,252 @@
+package pgas
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"pgasgraph/internal/machine"
+)
+
+// partCases enumerates the scheme x geometry x size matrix the partition
+// law tests sweep. Hub specs deliberately include duplicates and
+// out-of-range ids, which the table builder must tolerate.
+func partCases() []struct {
+	spec       PartitionSpec
+	nodes, tpn int
+	n          int64
+} {
+	specs := []PartitionSpec{
+		{Kind: SchemeBlock},
+		{Kind: SchemeCyclic},
+		{Kind: SchemeHub}, // no hubs: pure ascending tail
+		{Kind: SchemeHub, Hubs: []int64{7, 0, 3, 7, 500}},
+		{Kind: SchemeHub, Hubs: []int64{2, 2, 2}},
+	}
+	geoms := [][2]int{{1, 1}, {1, 4}, {2, 2}, {3, 2}}
+	sizes := []int64{1, 5, 16, 97}
+	var cases []struct {
+		spec       PartitionSpec
+		nodes, tpn int
+		n          int64
+	}
+	for _, spec := range specs {
+		for _, g := range geoms {
+			for _, n := range sizes {
+				cases = append(cases, struct {
+					spec       PartitionSpec
+					nodes, tpn int
+					n          int64
+				}{spec, g[0], g[1], n})
+			}
+		}
+	}
+	return cases
+}
+
+func partRT(t *testing.T, nodes, tpn int) *Runtime {
+	t.Helper()
+	cfg := machine.PaperCluster()
+	cfg.Nodes, cfg.ThreadsPerNode = nodes, tpn
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return rt
+}
+
+// TestPartitionLaws checks the ownership laws every scheme must satisfy:
+// owners in range, OwnerNode consistent with Owner, ThreadCover a disjoint
+// exact cover, owned counts summing to n and agreeing with Owner, and
+// FillOwnerKeys agreeing with Owner element-wise.
+func TestPartitionLaws(t *testing.T) {
+	for _, tc := range partCases() {
+		name := fmt.Sprintf("%s/%dx%d/n=%d", tc.spec.Kind, tc.nodes, tc.tpn, tc.n)
+		t.Run(name, func(t *testing.T) {
+			rt := partRT(t, tc.nodes, tc.tpn)
+			a := rt.NewSharedArrayPart("p", tc.n, tc.spec)
+			s := tc.nodes * tc.tpn
+
+			// Owner in range; OwnerNode consistent.
+			counts := make([]int64, s)
+			for i := int64(0); i < tc.n; i++ {
+				o := a.Owner(i)
+				if o < 0 || o >= s {
+					t.Fatalf("Owner(%d) = %d out of [0,%d)", i, o, s)
+				}
+				if nd := a.OwnerNode(i); nd != o/tc.tpn {
+					t.Fatalf("OwnerNode(%d) = %d, want %d", i, nd, o/tc.tpn)
+				}
+				counts[o]++
+			}
+
+			// ThreadCover: disjoint exact cover in thread order.
+			var at int64
+			for id := 0; id < s; id++ {
+				lo, hi := a.ThreadCover(id)
+				if lo != at || hi < lo {
+					t.Fatalf("ThreadCover(%d) = [%d,%d), want lo=%d", id, lo, hi, at)
+				}
+				at = hi
+				if a.Contiguous() {
+					blo, bhi := a.LocalRange(id)
+					if blo != lo || bhi != hi {
+						t.Fatalf("block ThreadCover(%d) = [%d,%d) != LocalRange [%d,%d)", id, lo, hi, blo, bhi)
+					}
+				}
+			}
+			if at != tc.n {
+				t.Fatalf("covers end at %d, want %d", at, tc.n)
+			}
+
+			// OwnedCount agrees with Owner and sums to n.
+			var total int64
+			for id := 0; id < s; id++ {
+				c := a.OwnedCount(id)
+				if c != counts[id] {
+					t.Fatalf("OwnedCount(%d) = %d, Owner says %d", id, c, counts[id])
+				}
+				total += c
+			}
+			if total != tc.n {
+				t.Fatalf("owned counts sum to %d, want %d", total, tc.n)
+			}
+
+			// FillOwnerKeys element-wise equals Owner, including repeats and
+			// non-monotone index lists.
+			var idx []int64
+			for i := tc.n - 1; i >= 0; i -= 2 {
+				idx = append(idx, i, i)
+			}
+			keys := make([]int32, len(idx))
+			a.FillOwnerKeys(idx, keys)
+			for j, ix := range idx {
+				if int(keys[j]) != a.Owner(ix) {
+					t.Fatalf("FillOwnerKeys[%d]=%d, Owner(%d)=%d", j, keys[j], ix, a.Owner(ix))
+				}
+			}
+
+			// ServeView addresses every owned element at local[g-base].
+			for id := 0; id < s; id++ {
+				local, base := a.ServeView(id)
+				for i := int64(0); i < tc.n; i++ {
+					if a.Owner(i) != id {
+						continue
+					}
+					if i-base < 0 || i-base >= int64(len(local)) {
+						t.Fatalf("ServeView(%d): owned %d not addressable at base %d len %d", id, i, base, len(local))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPartitionCopyOwnedRoundTrip: CopyOwnedOut then CopyOwnedIn over all
+// threads restores the array exactly — the owned sets are disjoint and
+// jointly exhaustive, which is what lets the chaos replay snapshot and
+// restore per serving thread without racing its peers.
+func TestPartitionCopyOwnedRoundTrip(t *testing.T) {
+	for _, tc := range partCases() {
+		name := fmt.Sprintf("%s/%dx%d/n=%d", tc.spec.Kind, tc.nodes, tc.tpn, tc.n)
+		t.Run(name, func(t *testing.T) {
+			rt := partRT(t, tc.nodes, tc.tpn)
+			a := rt.NewSharedArrayPart("p", tc.n, tc.spec)
+			s := tc.nodes * tc.tpn
+			for i := int64(0); i < tc.n; i++ {
+				a.Raw()[i] = 1000 + i
+			}
+			snaps := make([][]int64, s)
+			for id := 0; id < s; id++ {
+				snaps[id] = make([]int64, a.OwnedCount(id))
+				a.CopyOwnedOut(id, snaps[id])
+			}
+			for i := int64(0); i < tc.n; i++ {
+				a.Raw()[i] = -1
+			}
+			for id := 0; id < s; id++ {
+				a.CopyOwnedIn(id, snaps[id])
+			}
+			for i := int64(0); i < tc.n; i++ {
+				if a.Raw()[i] != 1000+i {
+					t.Fatalf("element %d = %d after round trip, want %d", i, a.Raw()[i], 1000+i)
+				}
+			}
+		})
+	}
+}
+
+// TestHubPlacement pins the hub scheme's placement rule: the h-th valid
+// hub (in spec order, in-range, first occurrence) lands on thread h%s,
+// and duplicates and out-of-range entries are skipped without shifting
+// later assignments.
+func TestHubPlacement(t *testing.T) {
+	rt := partRT(t, 2, 2) // s = 4
+	spec := PartitionSpec{Kind: SchemeHub, Hubs: []int64{9, 3, 9, 100, 7, 0, 5}}
+	a := rt.NewSharedArrayPart("h", 10, spec)
+	// Valid hubs in order: 9, 3, 7, 0, 5 -> threads 0, 1, 2, 3, 0.
+	want := map[int64]int{9: 0, 3: 1, 7: 2, 0: 3, 5: 0}
+	for h, id := range want {
+		if o := a.Owner(h); o != id {
+			t.Fatalf("hub %d on thread %d, want %d", h, o, id)
+		}
+	}
+	// The non-hub tail (1,2,4,6,8) is dealt ascending into Span shares of
+	// 5 over 4 threads: 2,1,1,1.
+	tailWant := map[int64]int{1: 0, 2: 0, 4: 1, 6: 2, 8: 3}
+	for v, id := range tailWant {
+		if o := a.Owner(v); o != id {
+			t.Fatalf("tail %d on thread %d, want %d", v, o, id)
+		}
+	}
+}
+
+func mustPanicMisuse(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("%s: no panic", what)
+		}
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, ErrMisuse) {
+			t.Fatalf("%s: panic %v not classified ErrMisuse", what, r)
+		}
+	}()
+	f()
+}
+
+// TestPartitionMisuse pins the classified-misuse contract: out-of-range
+// element indices and thread ids fail loudly with ErrMisuse on every
+// accessor (never a silently empty or aliased range), LocalRange refuses
+// scattered schemes, and invalid specs are rejected up front.
+func TestPartitionMisuse(t *testing.T) {
+	rt := partRT(t, 1, 2)
+	for _, spec := range []PartitionSpec{{Kind: SchemeBlock}, {Kind: SchemeCyclic}, {Kind: SchemeHub, Hubs: []int64{3}}} {
+		a := rt.NewSharedArrayPart("m"+spec.Kind.String(), 8, spec)
+		mustPanicMisuse(t, spec.Kind.String()+" Owner(-1)", func() { a.Owner(-1) })
+		mustPanicMisuse(t, spec.Kind.String()+" Owner(n)", func() { a.Owner(8) })
+		mustPanicMisuse(t, spec.Kind.String()+" OwnerNode(n)", func() { a.OwnerNode(8) })
+		for _, id := range []int{-1, 2} {
+			mustPanicMisuse(t, fmt.Sprintf("%s ThreadCover(%d)", spec.Kind, id), func() { a.ThreadCover(id) })
+			mustPanicMisuse(t, fmt.Sprintf("%s ServeView(%d)", spec.Kind, id), func() { _, _ = a.ServeView(id) })
+			mustPanicMisuse(t, fmt.Sprintf("%s OwnedCount(%d)", spec.Kind, id), func() { a.OwnedCount(id) })
+			mustPanicMisuse(t, fmt.Sprintf("%s CopyOwnedOut(%d)", spec.Kind, id), func() { a.CopyOwnedOut(id, make([]int64, 8)) })
+			mustPanicMisuse(t, fmt.Sprintf("%s CopyOwnedIn(%d)", spec.Kind, id), func() { a.CopyOwnedIn(id, make([]int64, 8)) })
+			mustPanicMisuse(t, fmt.Sprintf("%s LocalRange(%d)", spec.Kind, id), func() { a.LocalRange(id) })
+		}
+		if spec.Kind != SchemeBlock {
+			mustPanicMisuse(t, spec.Kind.String()+" LocalRange scattered", func() { a.LocalRange(0) })
+		}
+	}
+
+	if err := rt.SetPartition(PartitionSpec{Kind: SchemeKind(42)}); !errors.Is(err, ErrMisuse) {
+		t.Fatalf("unknown kind: err = %v, want ErrMisuse", err)
+	}
+	if err := rt.SetPartition(PartitionSpec{Kind: SchemeHub, Hubs: []int64{-3}}); !errors.Is(err, ErrMisuse) {
+		t.Fatalf("negative hub: err = %v, want ErrMisuse", err)
+	}
+	mustPanicMisuse(t, "NewSharedArrayPart bad kind", func() {
+		rt.NewSharedArrayPart("bad", 4, PartitionSpec{Kind: SchemeKind(9)})
+	})
+}

@@ -42,6 +42,7 @@ type Runtime struct {
 	bar     *barrier
 	chaos   *chaosState   // fault injector; nil (free) when disarmed
 	ckpt    *Checkpointer // superstep checkpoint manager; nil when disarmed
+	part    PartitionSpec // default partition scheme for new shared arrays
 	retired bool          // geometry invalidated by Evict; see Retired
 	evicted []int         // cumulative evicted thread ids (original numbering first)
 }
@@ -146,6 +147,27 @@ func (rt *Runtime) IsLocal(id int) bool {
 	return rt.tr.Shared() || id/rt.cfg.ThreadsPerNode == rt.node
 }
 
+// SetPartition installs the default partition scheme for every shared
+// array this runtime allocates from now on (NewSharedArrayPart overrides
+// per array). Existing arrays are unaffected. Non-block schemes are
+// rejected on a wire transport: the replica-sync and window protocols
+// move contiguous per-node ranges, and scattering ownership across
+// processes would break them (same class of restriction as Evict).
+func (rt *Runtime) SetPartition(spec PartitionSpec) error {
+	if err := spec.validate(); err != nil {
+		return err
+	}
+	if spec.Kind != SchemeBlock && !rt.tr.Shared() {
+		return Errorf(ErrMisuse, -1, "SetPartition",
+			"%s partitioning unsupported on a wire transport (replica sync moves contiguous node ranges)", spec.Kind)
+	}
+	rt.part = spec
+	return nil
+}
+
+// Partition returns the runtime's default partition scheme.
+func (rt *Runtime) Partition() PartitionSpec { return rt.part }
+
 // NewWinID draws the next symmetric window id. Allocation sites (shared
 // arrays, collective plans, reducers) are all host-side and execute in the
 // same order in every SPMD replica, so the counter names the same object in
@@ -241,6 +263,7 @@ func (rt *Runtime) Evict(dead []int) (*Runtime, error) {
 		s:       s,
 		tr:      rt.tr,
 		bar:     newBarrier(s),
+		part:    rt.part, // recovery re-creates arrays under the same scheme
 		evicted: append(rt.EvictedThreads(), dead...),
 	}
 	nrt.threads = make([]*Thread, s)
@@ -667,31 +690,61 @@ func (th *Thread) Span(total int64) (lo, hi int64) {
 	return Span(total, th.rt.s, th.ID)
 }
 
-// SharedArray is a one-dimensional shared array of 64-bit words with a
-// blocked distribution: thread i owns elements [i*blk, (i+1)*blk) where
-// blk = ceil(n/s). This is the layout the paper's codes declare so that
-// Algorithm 1's top-level partition matches the data distribution.
+// SharedArray is a one-dimensional shared array of 64-bit words. The
+// backing slice is always in global-index order; the partition scheme
+// decides which thread owns (serves, snapshots) each element. The
+// default is the paper's blocked distribution — thread i owns
+// [i*blk, (i+1)*blk) where blk = ceil(n/s), the layout the paper's codes
+// declare so Algorithm 1's top-level partition matches the data
+// distribution — with cyclic and hub-aware schemes selectable per array
+// (see partition.go).
 type SharedArray struct {
 	rt   *Runtime
 	n    int64
 	blk  int64
 	data []int64
 	name string
-	win  Win // transport window name; zero on a shared fabric
+	win  Win           // transport window name; zero on a shared fabric
+	part PartitionSpec // ownership scheme; zero value = block
+	// Hub-scheme tables (nil otherwise): per-index owner, and indices
+	// grouped by owner for the owned-set snapshot walk.
+	ownerTab []int32
+	ownedOff []int64
+	ownedIdx []int64
 }
 
 // NewSharedArray allocates a shared array of n elements (zero-initialized)
-// and charges nothing; allocation cost is the caller's to model (the
-// collectives charge it to the work category). name is used in diagnostics.
+// under the runtime's default partition scheme and charges nothing;
+// allocation cost is the caller's to model (the collectives charge it to
+// the work category). name is used in diagnostics.
 func (rt *Runtime) NewSharedArray(name string, n int64) *SharedArray {
+	return rt.NewSharedArrayPart(name, n, rt.part)
+}
+
+// NewSharedArrayPart is NewSharedArray with an explicit partition scheme,
+// overriding the runtime default — kernels pin staging arrays whose
+// peer-addressed layout requires contiguous blocks to SchemeBlock this
+// way. Non-block schemes are rejected on a wire transport (see
+// SetPartition).
+func (rt *Runtime) NewSharedArrayPart(name string, n int64, spec PartitionSpec) *SharedArray {
 	if n < 0 {
 		panic(Errorf(ErrMisuse, -1, "NewSharedArray", "negative shared array size %d", n))
+	}
+	if err := spec.validate(); err != nil {
+		panic(err)
+	}
+	if spec.Kind != SchemeBlock && !rt.tr.Shared() {
+		panic(Errorf(ErrMisuse, -1, "NewSharedArray",
+			"%s partitioning unsupported on a wire transport in %s", spec.Kind, name))
 	}
 	blk := int64(1)
 	if n > 0 {
 		blk = (n + int64(rt.s) - 1) / int64(rt.s)
 	}
-	a := &SharedArray{rt: rt, n: n, blk: blk, data: make([]int64, n), name: name}
+	a := &SharedArray{rt: rt, n: n, blk: blk, data: make([]int64, n), name: name, part: spec}
+	if spec.Kind == SchemeHub {
+		a.buildHubTables()
+	}
 	if !rt.tr.Shared() {
 		// Wire: the slice is a full-size replica, authoritative only for
 		// this node's blocks. Register it so remote processes can address
@@ -723,15 +776,26 @@ func (a *SharedArray) Len() int64 { return a.n }
 // Name returns the diagnostic name the array was allocated with.
 func (a *SharedArray) Name() string { return a.name }
 
-// BlockSize returns the per-thread block size.
+// BlockSize returns the per-thread block size of the block scheme's
+// layout (computed for every array; meaningful ownership math only when
+// the scheme is block).
 func (a *SharedArray) BlockSize() int64 { return a.blk }
 
-// Owner returns the thread id owning element i.
+// Owner returns the thread id owning element i under the array's
+// partition scheme. Out-of-range indices are a classified misuse, never
+// a silently mis-attributed owner.
 func (a *SharedArray) Owner(i int64) int {
 	if i < 0 || i >= a.n {
 		panic(Errorf(ErrMisuse, -1, "Owner", "index %d out of range [0,%d) in %s", i, a.n, a.name))
 	}
-	return int(i / a.blk)
+	switch a.part.Kind {
+	case SchemeCyclic:
+		return int(i % int64(a.rt.s))
+	case SchemeHub:
+		return int(a.ownerTab[i])
+	default:
+		return int(i / a.blk)
+	}
 }
 
 // OwnerNode returns the node id owning element i.
@@ -739,8 +803,22 @@ func (a *SharedArray) OwnerNode(i int64) int {
 	return a.Owner(i) / a.rt.cfg.ThreadsPerNode
 }
 
-// LocalRange returns the half-open element range owned by thread id.
+// LocalRange returns the half-open element range owned by thread id
+// under the block scheme. It is undefined for scattered schemes — those
+// owned sets are not ranges — and panics with a classified misuse there;
+// callers that want a disjoint per-thread work cover valid under every
+// scheme use ThreadCover, and serving code uses ServeView.
 func (a *SharedArray) LocalRange(id int) (lo, hi int64) {
+	a.checkThread("LocalRange", id)
+	if a.part.Kind != SchemeBlock {
+		panic(Errorf(ErrMisuse, -1, "LocalRange",
+			"%s-partitioned %s has no contiguous owned range; use ThreadCover or ServeView", a.part.Kind, a.name))
+	}
+	return a.localRange(id)
+}
+
+// localRange is the block-scheme owned range, without validation.
+func (a *SharedArray) localRange(id int) (lo, hi int64) {
 	lo = int64(id) * a.blk
 	hi = lo + a.blk
 	if lo > a.n {
@@ -752,10 +830,17 @@ func (a *SharedArray) LocalRange(id int) (lo, hi int64) {
 	return lo, hi
 }
 
-// NodeSpan returns the number of elements resident on one node — the
-// working-set size the cache model uses for intra-node irregular access.
+// NodeSpan returns the number of elements a thread's irregular local
+// accesses range over — the working-set size the cache model uses. Under
+// the block scheme a node's elements are contiguous (blk per thread);
+// scattered schemes spread every node's elements across the whole array,
+// so the working set is the full array — the cache-model penalty skewed
+// partitions naturally pay.
 func (a *SharedArray) NodeSpan() int64 {
 	span := a.blk * int64(a.rt.cfg.ThreadsPerNode)
+	if a.part.Kind != SchemeBlock {
+		span = a.n
+	}
 	if span > a.n {
 		span = a.n
 	}

@@ -140,7 +140,7 @@ func DeltaStepping(rt *pgas.Runtime, comm *collective.Comm, g *graph.Graph, src 
 	phases := 0
 
 	run := rt.Run(func(th *pgas.Thread) {
-		lo, hi := dist.LocalRange(th.ID)
+		lo, hi := dist.ThreadCover(th.ID)
 		th.ChargeSeq(sim.CatWork, hi-lo)
 
 		// buckets[b] holds owned vertices with tentative distance in

@@ -145,7 +145,7 @@ func Count(rt *pgas.Runtime, comm *collective.Comm, g *graph.Graph, colOpts *col
 	wedges := make([]int64, s)
 
 	run := rt.Run(func(th *pgas.Thread) {
-		lo, hi := dist.LocalRange(th.ID)
+		lo, hi := dist.ThreadCover(th.ID)
 		if g.N == 0 {
 			lo, hi = 0, 0
 		}

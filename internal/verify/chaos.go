@@ -100,6 +100,10 @@ type ChaosRunConfig struct {
 	// cleanly Classified. With Kill false no extra random draws happen,
 	// so non-kill soaks replay their historical schedules exactly.
 	Kill bool
+	// ForceScheme, when non-nil, pins every trial to one partition scheme
+	// instead of the default rotation. The digest is only comparable
+	// between soaks that pin the same scheme (or both leave it nil).
+	ForceScheme *pgas.SchemeKind
 	// Log, when non-nil, receives per-trial progress lines.
 	Log io.Writer
 }
@@ -208,6 +212,9 @@ func RunCheckChaos(c Check, t *Trial, ccfg pgas.ChaosConfig) (stats pgas.ChaosSt
 	if e != nil {
 		return stats, fmt.Errorf("machine config: %v", e)
 	}
+	if e := rt.SetPartition(t.PartitionSpec()); e != nil {
+		return stats, fmt.Errorf("partition spec: %v", e)
+	}
 	rt.ArmChaos(ccfg)
 	comm := collective.NewComm(rt)
 	err = c.Run(t, rt, comm)
@@ -238,6 +245,9 @@ func RunCheckRecover(c Check, t *Trial, ccfg pgas.ChaosConfig, rcfg *recovery.Co
 	if e != nil {
 		return &recovery.Report{}, fmt.Errorf("machine config: %v", e)
 	}
+	if e := rt.SetPartition(t.PartitionSpec()); e != nil {
+		return &recovery.Report{}, fmt.Errorf("partition spec: %v", e)
+	}
 	rt.ArmChaos(ccfg)
 	rep, err = recovery.Run(rt, rcfg, func(rt *pgas.Runtime, comm *collective.Comm) error {
 		return c.Run(t, rt, comm)
@@ -265,6 +275,9 @@ func ChaosRun(cfg ChaosRunConfig) *ChaosReport {
 	for round := 0; round < cfg.Trials; round++ {
 		rng := xrand.New(cfg.Seed).Split(0xC4A05 ^ uint64(round))
 		t := SampleTrial(rng, round, cfg.MaxN)
+		if cfg.ForceScheme != nil {
+			t.Scheme = *cfg.ForceScheme
+		}
 		ccfg := sampleChaosConfig(rng, cfg.Kill)
 
 		var c Check

@@ -99,6 +99,9 @@ func RunCheck(c Check, t *Trial, fault collective.Fault) (err error) {
 	if e != nil {
 		return fmt.Errorf("machine config: %v", e)
 	}
+	if e := rt.SetPartition(t.PartitionSpec()); e != nil {
+		return fmt.Errorf("partition spec: %v", e)
+	}
 	comm := collective.NewComm(rt)
 	comm.InjectFault(fault)
 	return c.Run(t, rt, comm)

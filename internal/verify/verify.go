@@ -24,6 +24,7 @@ import (
 	"io"
 
 	"pgasgraph/internal/collective"
+	"pgasgraph/internal/pgas"
 	"pgasgraph/internal/xrand"
 )
 
@@ -41,6 +42,11 @@ type Config struct {
 	MaxShrinkRuns int
 	// Checks restricts the battery to names in this set (nil = all).
 	Checks map[string]bool
+	// ForceScheme, when non-nil, pins every sampled trial to one partition
+	// scheme instead of the default rotation — used by CI to soak a single
+	// scheme explicitly. Sampling streams are unchanged (the scheme draw
+	// still happens, its result is just overridden).
+	ForceScheme *pgas.SchemeKind
 	// Log, when non-nil, receives per-round progress lines.
 	Log io.Writer
 }
@@ -98,6 +104,9 @@ func Run(cfg Config) *Report {
 	for round := 0; round < cfg.Rounds; round++ {
 		rng := xrand.New(cfg.Seed).Split(uint64(round))
 		t := SampleTrial(rng, round, cfg.MaxN)
+		if cfg.ForceScheme != nil {
+			t.Scheme = *cfg.ForceScheme
+		}
 		if cfg.Log != nil {
 			fmt.Fprintf(cfg.Log, "round %d: %s\n", round, t)
 		}

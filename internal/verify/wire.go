@@ -195,11 +195,17 @@ func (r *WireReport) OK() bool {
 }
 
 // wireGeometry forces a genuinely multi-process shape onto a sampled
-// trial, rotating through the supported small cluster geometries.
+// trial, rotating through the supported small cluster geometries. Wire
+// transports only support the block partition (replica sync and window
+// planning assume contiguous ownership), so the sampled scheme is pinned
+// back to block — this also keeps the dual-backend chaos comparison
+// apples-to-apples, since the in-process twin applies the trial's scheme.
 func wireGeometry(t *Trial, round int) *Trial {
 	geoms := [][2]int{{2, 2}, {3, 1}, {2, 1}, {2, 4}}
 	g := geoms[round%len(geoms)]
-	return t.WithMachine(g[0], g[1])
+	c := t.WithMachine(g[0], g[1])
+	c.Scheme = pgas.SchemeBlock
+	return c
 }
 
 // WireRun executes the transport conformance sweep: the wire battery clean

@@ -127,6 +127,7 @@ func TestWireChaosConformance(t *testing.T) {
 	for round := 0; round < rounds; round++ {
 		rng := xrand.New(0xc0fa7e).Split(uint64(round))
 		tr := SampleTrial(rng, round, 160).WithMachine(2, 2)
+		tr.Scheme = pgas.SchemeBlock // wire backend is block-only
 		ccfg := sampleChaosConfig(rng, false)
 		c := battery[round%len(battery)]
 		if !c.Applicable(tr) {

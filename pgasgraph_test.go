@@ -302,23 +302,6 @@ func TestNilOptionsMatchDefaults(t *testing.T) {
 	}
 }
 
-// TestDeprecatedNamesDelegate pins the deprecated one-off names to their
-// family replacements.
-func TestDeprecatedNamesDelegate(t *testing.T) {
-	c := smallCluster(t)
-	g := RandomGraph(200, 600, 9)
-	l := RandomChainList(150, 4)
-	if a, b := c.BFS(g, 0, nil), c.BFSCoalesced(g, 0, nil); !reflect.DeepEqual(a.Dist, b.Dist) {
-		t.Fatal("BFS != BFSCoalesced")
-	}
-	if a, b := c.RankList(l, nil), c.ListRankWyllie(l, nil); !reflect.DeepEqual(a.Ranks, b.Ranks) {
-		t.Fatal("RankList != ListRankWyllie")
-	}
-	if a, b := c.CountTriangles(g, nil), c.TriangleCount(g, nil); a.Triangles != b.Triangles {
-		t.Fatal("CountTriangles != TriangleCount")
-	}
-}
-
 // TestReusedCluster verifies a single Cluster can run many kernels
 // back to back (buffer reuse in Comm must not leak state).
 func TestReusedCluster(t *testing.T) {
