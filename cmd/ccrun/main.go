@@ -5,6 +5,7 @@
 //
 //	ccrun -algo coalesced -nodes 16 -threads 8 -tprime 2 graph.pgg
 //	ccrun -algo naive -nodes 1 -threads 16 graph.pgg   # CC-SMP baseline
+//	ccrun -algo fastsv graph.pgg                       # fewest supersteps
 package main
 
 import (
@@ -20,7 +21,8 @@ import (
 )
 
 func main() {
-	algo := flag.String("algo", "coalesced", "algorithm: naive | coalesced | sv")
+	algo := flag.String("algo", "coalesced",
+		"algorithm: naive | coalesced | sv | fastsv | lt-prs | lt-pus | lt-ers")
 	nodes := flag.Int("nodes", 16, "cluster nodes")
 	threads := flag.Int("threads", 8, "threads per node")
 	tprime := flag.Int("tprime", 2, "virtual threads t'")
@@ -80,6 +82,14 @@ func main() {
 		res = cluster.CCCoalesced(g, opts)
 	case "sv":
 		res = cluster.CCSV(g, opts)
+	case "fastsv":
+		res = cluster.CCFastSV(g, opts)
+	case "lt-prs":
+		res = cluster.CCLiuTarjan(g, pgasgraph.LTPRS, opts)
+	case "lt-pus":
+		res = cluster.CCLiuTarjan(g, pgasgraph.LTPUS, opts)
+	case "lt-ers":
+		res = cluster.CCLiuTarjan(g, pgasgraph.LTERS, opts)
 	default:
 		fmt.Fprintf(os.Stderr, "ccrun: unknown algorithm %q\n", *algo)
 		os.Exit(2)

@@ -116,6 +116,84 @@ func TestCrossKernelConsistency(t *testing.T) {
 	}
 }
 
+// TestCCFamilyAcrossSchemes is the fast-converging family's differential
+// wall at the public surface: on every partition scheme, every CC kernel
+// (Bader-Cong/Coalesced, SV, FastSV, and each Liu-Tarjan variant) must
+// produce bit-identical canonical labels — both dispatched by name
+// through Cluster.Run and via the direct methods — and the labels must
+// not depend on the scheme either.
+func TestCCFamilyAcrossSchemes(t *testing.T) {
+	g := Disjoint3(t)
+	rmat := PermuteVertices(RMATGraph(8, 500, 0.45, 0.25, 0.15, 0.15, 17), 5)
+
+	for _, tg := range []struct {
+		name string
+		g    *Graph
+	}{{"disjoint3", g}, {"rmat", rmat}} {
+		var ref []int64 // scheme- and kernel-independent reference labels
+		for _, scheme := range []struct {
+			name string
+			spec func(*Graph) PartitionSpec
+		}{
+			{"block", func(*Graph) PartitionSpec { return PartitionSpec{Kind: SchemeBlock} }},
+			{"cyclic", func(*Graph) PartitionSpec { return PartitionSpec{Kind: SchemeCyclic} }},
+			{"hub", func(gr *Graph) PartitionSpec {
+				return PartitionSpec{Kind: SchemeHub, Hubs: Hubs(gr, 32)}
+			}},
+		} {
+			newCluster := func() *Cluster {
+				cfg := PaperCluster()
+				cfg.Nodes = 3
+				cfg.ThreadsPerNode = 2
+				c, err := NewCluster(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := c.SetPartition(scheme.spec(tg.g)); err != nil {
+					t.Fatal(err)
+				}
+				return c
+			}
+			kernels := []struct {
+				name string
+				run  func(c *Cluster) *CCResult
+			}{
+				{"coalesced", func(c *Cluster) *CCResult { return c.CCCoalesced(tg.g, OptimizedCC(2)) }},
+				{"sv", func(c *Cluster) *CCResult { return c.CCSV(tg.g, OptimizedCC(2)) }},
+				{"fastsv", func(c *Cluster) *CCResult { return c.CCFastSV(tg.g, OptimizedCC(2)) }},
+				{"lt-prs", func(c *Cluster) *CCResult { return c.CCLiuTarjan(tg.g, LTPRS, OptimizedCC(2)) }},
+				{"lt-pus", func(c *Cluster) *CCResult { return c.CCLiuTarjan(tg.g, LTPUS, OptimizedCC(2)) }},
+				{"lt-ers", func(c *Cluster) *CCResult { return c.CCLiuTarjan(tg.g, LTERS, OptimizedCC(2)) }},
+			}
+			for _, k := range kernels {
+				res := k.run(newCluster())
+				if ref == nil {
+					ref = res.Labels
+				}
+				for i := range ref {
+					if res.Labels[i] != ref[i] {
+						t.Fatalf("%s/%s on %s: label[%d] = %d, reference labeling says %d",
+							k.name, scheme.name, tg.name, i, res.Labels[i], ref[i])
+					}
+				}
+				// The same kernel dispatched by name must agree too.
+				disp, err := newCluster().Run(KernelSpec{
+					Kernel: "cc/" + k.name, Graph: tg.g, Col: OptimizedCollectives(2), Compact: true,
+				})
+				if err != nil {
+					t.Fatalf("%s/%s on %s: dispatch: %v", k.name, scheme.name, tg.name, err)
+				}
+				for i := range ref {
+					if disp.Labels[i] != ref[i] {
+						t.Fatalf("cc/%s dispatched on %s/%s: label[%d] = %d, want %d",
+							k.name, scheme.name, tg.name, i, disp.Labels[i], ref[i])
+					}
+				}
+			}
+		}
+	}
+}
+
 // Disjoint3 builds a multi-component test graph: a hybrid blob, a grid,
 // and isolated vertices.
 func Disjoint3(t *testing.T) *Graph {

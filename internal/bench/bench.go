@@ -63,6 +63,11 @@ func Run(cfg Config) (*report.BenchReport, error) {
 		return nil, err
 	}
 	rep.Records = append(rep.Records, part...)
+	conv, err := Convergence(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.Records = append(rep.Records, conv...)
 	return rep, nil
 }
 
@@ -268,6 +273,56 @@ func Partitions(cfg Config) ([]report.BenchRecord, error) {
 				SimMS: res.SimMS(),
 			})
 		}
+	}
+	return records, nil
+}
+
+// Convergence records the convergence round count and simulated time of
+// every collective CC kernel on the two skewed graph families, dispatched
+// through the uniform Cluster.Run registry. Round counts are
+// deterministic (label evolution under monotone minimum writes does not
+// depend on geometry or scheduling), so the Rounds column is an exact
+// one-sided regression signal in CompareBench — and this function itself
+// enforces the headline claim: FastSV must converge in strictly fewer
+// rounds than Shiloach-Vishkin on RMAT (and never more on hybrid).
+func Convergence(cfg Config) ([]report.BenchRecord, error) {
+	inputs := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"hybrid", graph.Hybrid(1<<12, 1<<14, cfg.Seed)},
+		{"rmat", graph.RMAT(12, 1<<14, 0.45, 0.25, 0.15, 0.15, cfg.Seed)},
+	}
+	kernels := []string{"cc/sv", "cc/fastsv", "cc/lt-prs", "cc/lt-pus", "cc/lt-ers"}
+
+	var records []report.BenchRecord
+	rounds := map[string]int{}
+	for _, in := range inputs {
+		for _, k := range kernels {
+			c, err := pgasgraph.NewCluster(clusterConfig(cfg))
+			if err != nil {
+				return nil, err
+			}
+			res, err := c.Run(pgasgraph.KernelSpec{
+				Kernel: k, Graph: in.g, Col: collective.Optimized(4), Compact: true,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("converge %s on %s: %v", k, in.name, err)
+			}
+			short := k[len("cc/"):]
+			rounds[in.name+"/"+short] = res.Iterations
+			records = append(records, report.BenchRecord{
+				Name:   fmt.Sprintf("converge/%s/%s", in.name, short),
+				SimMS:  res.Run.SimMS(),
+				Rounds: float64(res.Iterations),
+			})
+		}
+	}
+	if fs, sv := rounds["rmat/fastsv"], rounds["rmat/sv"]; fs >= sv {
+		return nil, fmt.Errorf("convergence claim violated: FastSV took %d rounds on rmat, SV %d (want strictly fewer)", fs, sv)
+	}
+	if fs, sv := rounds["hybrid/fastsv"], rounds["hybrid/sv"]; fs > sv {
+		return nil, fmt.Errorf("convergence claim violated: FastSV took %d rounds on hybrid, SV %d (want no more)", fs, sv)
 	}
 	return records, nil
 }

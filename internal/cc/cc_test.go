@@ -45,6 +45,18 @@ func kernels() []kernel {
 		{"sv", func(rt *pgas.Runtime, g *graph.Graph, opts *Options) *Result {
 			return SV(rt, collective.NewComm(rt), g, opts)
 		}},
+		{"fastsv", func(rt *pgas.Runtime, g *graph.Graph, opts *Options) *Result {
+			return FastSV(rt, collective.NewComm(rt), g, opts)
+		}},
+		{"lt-prs", func(rt *pgas.Runtime, g *graph.Graph, opts *Options) *Result {
+			return LiuTarjan(rt, collective.NewComm(rt), g, LTPRS, opts)
+		}},
+		{"lt-pus", func(rt *pgas.Runtime, g *graph.Graph, opts *Options) *Result {
+			return LiuTarjan(rt, collective.NewComm(rt), g, LTPUS, opts)
+		}},
+		{"lt-ers", func(rt *pgas.Runtime, g *graph.Graph, opts *Options) *Result {
+			return LiuTarjan(rt, collective.NewComm(rt), g, LTERS, opts)
+		}},
 	}
 }
 

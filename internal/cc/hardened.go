@@ -30,7 +30,10 @@ const (
 	CkptNaiveD       = "cc.naive.D"
 	CkptCoalescedD   = "cc.coalesced.D"
 	CkptSVD          = "cc.sv.D"
+	CkptFastSVD      = "cc.fastsv.D"
 	CkptIncrementalD = "cc.incremental.D"
+	// The Liu-Tarjan variants register per-variant names derived the same
+	// way ("cc.lt-prs.D", ...); see LTVariant.ckptName.
 )
 
 // NaiveE is Naive returning classified runtime failures as errors.
@@ -57,6 +60,19 @@ func IncrementalE(rt *pgas.Runtime, comm *collective.Comm, d *pgas.SharedArray, 
 func SVE(rt *pgas.Runtime, comm *collective.Comm, g *graph.Graph, opts *Options) (res *Result, err error) {
 	defer pgas.Recover(&err)
 	return SV(rt, comm, g, opts), nil
+}
+
+// FastSVE is FastSV returning classified runtime failures as errors.
+func FastSVE(rt *pgas.Runtime, comm *collective.Comm, g *graph.Graph, opts *Options) (res *Result, err error) {
+	defer pgas.Recover(&err)
+	return FastSV(rt, comm, g, opts), nil
+}
+
+// LiuTarjanE is LiuTarjan returning classified runtime failures (and the
+// unknown-variant misuse) as errors.
+func LiuTarjanE(rt *pgas.Runtime, comm *collective.Comm, g *graph.Graph, v LTVariant, opts *Options) (res *Result, err error) {
+	defer pgas.Recover(&err)
+	return LiuTarjan(rt, comm, g, v, opts), nil
 }
 
 // MergeCGME is MergeCGM returning classified runtime failures as errors.

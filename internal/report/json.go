@@ -28,6 +28,13 @@ type BenchRecord struct {
 	// a run with identical racy work gets no extra headroom beyond the
 	// per-unit factor (Tolerances.SimRacy).
 	RacyOps float64 `json:"racy_ops,omitempty"`
+	// Rounds is the kernel's convergence round count (the converge/*
+	// records). Round counts are deterministic — label evolution under
+	// monotone minimum writes is geometry- and scheduling-independent —
+	// so CompareBench holds them to a one-sided exact bound: a current
+	// run may converge in fewer rounds than the baseline (an improvement
+	// worth a regenerated baseline) but never more.
+	Rounds float64 `json:"rounds,omitempty"`
 }
 
 // BenchReport is the schema of BENCH_collectives.json: the committed
@@ -135,6 +142,10 @@ func CompareBench(baseline, current *BenchReport, tol Tolerances) []string {
 		if b.SimMS > 0 && c.SimMS > b.SimMS*simTol {
 			bad = append(bad, fmt.Sprintf("%s: sim %.3f ms > %.2fx baseline %.3f",
 				b.Name, c.SimMS, simTol, b.SimMS))
+		}
+		if b.Rounds > 0 && c.Rounds > b.Rounds {
+			bad = append(bad, fmt.Sprintf("%s: %.0f convergence rounds > baseline %.0f",
+				b.Name, c.Rounds, b.Rounds))
 		}
 	}
 	return bad

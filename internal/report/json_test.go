@@ -144,6 +144,27 @@ func TestCompareBench(t *testing.T) {
 		t.Fatalf("RacyOps-less current did not fall back to SimAsync: %v", bad)
 	}
 
+	// Rounds are one-sided exact: fewer rounds than baseline pass (an
+	// improvement awaiting a regenerated baseline), even one more round
+	// is a regression — convergence counts are deterministic.
+	roundsBase := sampleReport()
+	roundsBase.Records[1].Rounds = 7
+	fewer := sampleReport()
+	fewer.Records[1].Rounds = 5
+	if bad := CompareBench(roundsBase, fewer, tol); len(bad) != 0 {
+		t.Fatalf("fewer convergence rounds flagged: %v", bad)
+	}
+	more := sampleReport()
+	more.Records[1].Rounds = 8
+	if bad := CompareBench(roundsBase, more, tol); len(bad) != 1 || !strings.Contains(bad[0], "rounds") {
+		t.Fatalf("extra convergence round not caught: %v", bad)
+	}
+	// A baseline without Rounds never constrains a current run that has
+	// them (old baselines keep comparing as before).
+	if bad := CompareBench(base, more, tol); len(bad) != 0 {
+		t.Fatalf("rounds-less baseline constrained current rounds: %v", bad)
+	}
+
 	// A baseline record missing from the current run fails.
 	missing := sampleReport()
 	missing.Records = missing.Records[:1]

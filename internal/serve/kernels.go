@@ -92,7 +92,13 @@ func (r *KernelResult) Sum() int64 {
 type kernelEntry struct {
 	name     string
 	weighted bool // requires edge weights
-	run      func(rt *pgas.Runtime, comm *collective.Comm, spec *KernelSpec) *KernelResult
+	// racy marks kernels that perform a scheduling-dependent NUMBER of
+	// runtime operations by design (benign arbitrary-CRCW races that
+	// change iteration counts, not answers). The verify harness derives
+	// its chaos-rotation exclusion from this flag — a new kernel declares
+	// it here instead of being name-matched into a string list.
+	racy bool
+	run  func(rt *pgas.Runtime, comm *collective.Comm, spec *KernelSpec) *KernelResult
 }
 
 func ccResult(name string, res *cc.Result) *KernelResult {
@@ -107,16 +113,30 @@ func ccOpts(spec *KernelSpec) *cc.Options {
 // registry is the kernel dispatch table. Order is the presentation order
 // of Kernels().
 var registry = []kernelEntry{
-	{"cc/coalesced", false, func(rt *pgas.Runtime, comm *collective.Comm, spec *KernelSpec) *KernelResult {
+	{"cc/coalesced", false, false, func(rt *pgas.Runtime, comm *collective.Comm, spec *KernelSpec) *KernelResult {
 		return ccResult(spec.Kernel, cc.Coalesced(rt, comm, spec.Graph, ccOpts(spec)))
 	}},
-	{"cc/sv", false, func(rt *pgas.Runtime, comm *collective.Comm, spec *KernelSpec) *KernelResult {
+	{"cc/sv", false, false, func(rt *pgas.Runtime, comm *collective.Comm, spec *KernelSpec) *KernelResult {
 		return ccResult(spec.Kernel, cc.SV(rt, comm, spec.Graph, ccOpts(spec)))
 	}},
-	{"cc/naive", false, func(rt *pgas.Runtime, comm *collective.Comm, spec *KernelSpec) *KernelResult {
+	{"cc/fastsv", false, false, func(rt *pgas.Runtime, comm *collective.Comm, spec *KernelSpec) *KernelResult {
+		return ccResult(spec.Kernel, cc.FastSV(rt, comm, spec.Graph, ccOpts(spec)))
+	}},
+	{"cc/lt-prs", false, false, func(rt *pgas.Runtime, comm *collective.Comm, spec *KernelSpec) *KernelResult {
+		return ccResult(spec.Kernel, cc.LiuTarjan(rt, comm, spec.Graph, cc.LTPRS, ccOpts(spec)))
+	}},
+	{"cc/lt-pus", false, false, func(rt *pgas.Runtime, comm *collective.Comm, spec *KernelSpec) *KernelResult {
+		return ccResult(spec.Kernel, cc.LiuTarjan(rt, comm, spec.Graph, cc.LTPUS, ccOpts(spec)))
+	}},
+	{"cc/lt-ers", false, false, func(rt *pgas.Runtime, comm *collective.Comm, spec *KernelSpec) *KernelResult {
+		return ccResult(spec.Kernel, cc.LiuTarjan(rt, comm, spec.Graph, cc.LTERS, ccOpts(spec)))
+	}},
+	// cc/naive's graft test re-reads labels mid-phase while peers PutMin
+	// them, so its iteration count is scheduling-dependent: racy.
+	{"cc/naive", false, true, func(rt *pgas.Runtime, comm *collective.Comm, spec *KernelSpec) *KernelResult {
 		return ccResult(spec.Kernel, cc.Naive(rt, spec.Graph))
 	}},
-	{"spanning-forest", false, func(rt *pgas.Runtime, comm *collective.Comm, spec *KernelSpec) *KernelResult {
+	{"spanning-forest", false, false, func(rt *pgas.Runtime, comm *collective.Comm, spec *KernelSpec) *KernelResult {
 		sf := cc.SpanningTree(rt, comm, spec.Graph, ccOpts(spec))
 		forest := forestGraph(spec.Graph, sf.Edges)
 		tour := euler.Tour(rt, comm, forest, spec.Col)
@@ -126,28 +146,42 @@ var registry = []kernelEntry{
 		res.Run = sf.Run
 		return res
 	}},
-	{"bfs/coalesced", false, func(rt *pgas.Runtime, comm *collective.Comm, spec *KernelSpec) *KernelResult {
+	{"bfs/coalesced", false, false, func(rt *pgas.Runtime, comm *collective.Comm, spec *KernelSpec) *KernelResult {
 		r := bfs.Coalesced(rt, comm, spec.Graph, spec.Src, spec.Col)
 		return &KernelResult{Kernel: spec.Kernel, Dist: r.Dist, Iterations: r.Levels, Run: r.Run}
 	}},
-	{"bfs/naive", false, func(rt *pgas.Runtime, comm *collective.Comm, spec *KernelSpec) *KernelResult {
+	{"bfs/naive", false, false, func(rt *pgas.Runtime, comm *collective.Comm, spec *KernelSpec) *KernelResult {
 		r := bfs.Naive(rt, spec.Graph, spec.Src)
 		return &KernelResult{Kernel: spec.Kernel, Dist: r.Dist, Iterations: r.Levels, Run: r.Run}
 	}},
-	{"sssp/delta-stepping", true, func(rt *pgas.Runtime, comm *collective.Comm, spec *KernelSpec) *KernelResult {
+	{"sssp/delta-stepping", true, false, func(rt *pgas.Runtime, comm *collective.Comm, spec *KernelSpec) *KernelResult {
 		r := sssp.DeltaStepping(rt, comm, spec.Graph, spec.Src, spec.Delta, spec.Col)
 		return &KernelResult{Kernel: spec.Kernel, Dist: r.Dist, Iterations: r.Buckets, Run: r.Run}
 	}},
-	{"mst/coalesced", true, func(rt *pgas.Runtime, comm *collective.Comm, spec *KernelSpec) *KernelResult {
+	{"mst/coalesced", true, false, func(rt *pgas.Runtime, comm *collective.Comm, spec *KernelSpec) *KernelResult {
 		r := mst.Coalesced(rt, comm, spec.Graph, &mst.Options{Col: spec.Col, Compact: spec.Compact})
 		return &KernelResult{Kernel: spec.Kernel, Edges: r.Edges, Weight: r.Weight,
 			Iterations: r.Iterations, Run: r.Run}
 	}},
-	{"mst/naive", true, func(rt *pgas.Runtime, comm *collective.Comm, spec *KernelSpec) *KernelResult {
+	{"mst/naive", true, false, func(rt *pgas.Runtime, comm *collective.Comm, spec *KernelSpec) *KernelResult {
 		r := mst.Naive(rt, spec.Graph)
 		return &KernelResult{Kernel: spec.Kernel, Edges: r.Edges, Weight: r.Weight,
 			Iterations: r.Iterations, Run: r.Run}
 	}},
+}
+
+// RacyOps reports whether the named kernel performs a scheduling-
+// dependent number of runtime operations by design (see kernelEntry.racy).
+// Consumers that need a deterministic per-thread operation stream — the
+// chaos soak's bit-for-bit fault-schedule replay — must skip such
+// kernels. Unknown names report false.
+func RacyOps(name string) bool {
+	for i := range registry {
+		if registry[i].name == name {
+			return registry[i].racy
+		}
+	}
+	return false
 }
 
 // Kernels returns the registry names in presentation order.

@@ -77,6 +77,88 @@ func TestRunKernelMatchesDirect(t *testing.T) {
 	}
 }
 
+// TestFastFamilyDispatchMatchesDirect pins dispatch fidelity for the
+// fast-converging CC family: registry dispatch of each kernel must be
+// bit-identical — answers and simulated time — to the direct call.
+func TestFastFamilyDispatchMatchesDirect(t *testing.T) {
+	g := testGraph(280, 600, 33)
+	col := collective.Optimized(2)
+	direct := map[string]func(rt *pgas.Runtime) *cc.Result{
+		"cc/fastsv": func(rt *pgas.Runtime) *cc.Result {
+			return cc.FastSV(rt, collective.NewComm(rt), g, &cc.Options{Col: col, Compact: true})
+		},
+		"cc/lt-prs": func(rt *pgas.Runtime) *cc.Result {
+			return cc.LiuTarjan(rt, collective.NewComm(rt), g, cc.LTPRS, &cc.Options{Col: col, Compact: true})
+		},
+		"cc/lt-pus": func(rt *pgas.Runtime) *cc.Result {
+			return cc.LiuTarjan(rt, collective.NewComm(rt), g, cc.LTPUS, &cc.Options{Col: col, Compact: true})
+		},
+		"cc/lt-ers": func(rt *pgas.Runtime) *cc.Result {
+			return cc.LiuTarjan(rt, collective.NewComm(rt), g, cc.LTERS, &cc.Options{Col: col, Compact: true})
+		},
+	}
+	for name, call := range direct {
+		rt1, err := pgas.New(testMachine(2, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunKernel(rt1, collective.NewComm(rt1), KernelSpec{
+			Kernel: name, Graph: g, Col: col, Compact: true,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rt2, err := pgas.New(testMachine(2, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := call(rt2)
+		if res.Components != d.Components || res.Iterations != d.Iterations || res.Run.SimNS != d.Run.SimNS {
+			t.Fatalf("%s dispatch diverged: components %d vs %d, rounds %d vs %d, sim %v vs %v",
+				name, res.Components, d.Components, res.Iterations, d.Iterations, res.Run.SimNS, d.Run.SimNS)
+		}
+		for i := range d.Labels {
+			if res.Labels[i] != d.Labels[i] {
+				t.Fatalf("%s label[%d]: dispatched %d, direct %d", name, i, res.Labels[i], d.Labels[i])
+			}
+		}
+	}
+}
+
+// TestRacyOps pins the registry's racy-kernel declarations: exactly the
+// naive CC kernel is racy, new fast-converging kernels are not, and
+// unknown names report false (never "racy by accident").
+func TestRacyOps(t *testing.T) {
+	want := map[string]bool{
+		"cc/naive":     true,
+		"cc/coalesced": false,
+		"cc/sv":        false,
+		"cc/fastsv":    false,
+		"cc/lt-prs":    false,
+		"cc/lt-pus":    false,
+		"cc/lt-ers":    false,
+	}
+	for name, racy := range want {
+		if RacyOps(name) != racy {
+			t.Errorf("RacyOps(%q) = %v, want %v", name, RacyOps(name), racy)
+		}
+	}
+	if RacyOps("no-such-kernel") {
+		t.Error("RacyOps of an unknown kernel reported true")
+	}
+	// Every registry row is covered by Kernels(); the racy set must stay
+	// a subset of it.
+	names := map[string]bool{}
+	for _, n := range Kernels() {
+		names[n] = true
+	}
+	for name := range want {
+		if !names[name] {
+			t.Errorf("expected kernel %q missing from registry", name)
+		}
+	}
+}
+
 // TestRunKernelSanitizedOptionsParity: the registry must accept exactly
 // what the kernels accept — VirtualThreads 0 means "disabled", not an
 // error — while still classifying genuinely invalid options.

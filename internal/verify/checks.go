@@ -14,6 +14,7 @@ import (
 	"pgasgraph/internal/mst"
 	"pgasgraph/internal/pgas"
 	"pgasgraph/internal/seq"
+	"pgasgraph/internal/serve"
 	"pgasgraph/internal/sssp"
 	"pgasgraph/internal/xrand"
 )
@@ -61,11 +62,17 @@ func Checks() []Check {
 		{Name: "collective/plan-reuse", Mutation: true, Applicable: always, Run: checkPlanReuse},
 		{Name: "cc/coalesced", Mutation: true, Applicable: always, Run: checkCCCoalesced},
 		{Name: "cc/sv", Mutation: true, Applicable: always, Run: checkCCSV},
+		{Name: "cc/fastsv", Mutation: true, RacyOps: serve.RacyOps("cc/fastsv"), Applicable: always, Run: checkCCFastSV},
+		{Name: "cc/lt-prs", RacyOps: serve.RacyOps("cc/lt-prs"), Applicable: always, Run: checkCCLT(cc.LTPRS)},
+		{Name: "cc/lt-pus", RacyOps: serve.RacyOps("cc/lt-pus"), Applicable: always, Run: checkCCLT(cc.LTPUS)},
+		{Name: "cc/lt-ers", RacyOps: serve.RacyOps("cc/lt-ers"), Applicable: always, Run: checkCCLT(cc.LTERS)},
 		// cc/naive's graft test re-reads labels mid-phase while peers
 		// PutMin them (asynchronous short-cutting, Figure 2), so its
 		// iteration count — and with it the per-thread op stream — is
-		// scheduling-dependent even though the labels are not.
-		{Name: "cc/naive", RacyOps: true, Applicable: small, Run: checkCCNaive},
+		// scheduling-dependent even though the labels are not. The flag is
+		// declared once, on the serve kernel registry, and derived here —
+		// TestRacyOpsDerivedFromRegistry pins the correspondence.
+		{Name: "cc/naive", RacyOps: serve.RacyOps("cc/naive"), Applicable: small, Run: checkCCNaive},
 		{Name: "cc/merge-cgm", Applicable: small, Run: checkCCMerge},
 		{Name: "cc/spanning-forest", Mutation: true, Applicable: always, Run: checkSpanningForest},
 		{Name: "cc/bipartite", Applicable: small, Run: checkBipartite},
@@ -419,6 +426,56 @@ func checkCCSV(t *Trial, rt *pgas.Runtime, comm *collective.Comm) error {
 		return fmt.Errorf("SV found %d components, coalesced CC %d", sv.Components, co.Components)
 	}
 	return nil
+}
+
+// checkCCFastSV verifies FastSV bit-identically against the canonical
+// sequential labeling (every monotone collective kernel terminates in
+// component-minimum rooted stars, so exact equality — not just same
+// partition — is the contract) and against SV on the same cluster.
+func checkCCFastSV(t *Trial, rt *pgas.Runtime, comm *collective.Comm) error {
+	fs := cc.FastSV(rt, comm, t.Graph, ccOpts(t))
+	want := seq.CC(t.Graph)
+	for i := range want {
+		if fs.Labels[i] != want[i] {
+			return fmt.Errorf("FastSV label[%d] = %d, canonical oracle says %d", i, fs.Labels[i], want[i])
+		}
+	}
+	sv := cc.SV(rt, comm, t.Graph, ccOpts(t))
+	for i := range sv.Labels {
+		if fs.Labels[i] != sv.Labels[i] {
+			return fmt.Errorf("FastSV label[%d] = %d, SV on the same cluster says %d", i, fs.Labels[i], sv.Labels[i])
+		}
+	}
+	if fs.Components != sv.Components {
+		return fmt.Errorf("FastSV found %d components, SV %d", fs.Components, sv.Components)
+	}
+	return nil
+}
+
+// checkCCLT builds the differential check for one Liu-Tarjan variant:
+// bit-identical against the canonical oracle and against Bader-Cong
+// (Coalesced) on the same cluster.
+func checkCCLT(v cc.LTVariant) func(*Trial, *pgas.Runtime, *collective.Comm) error {
+	return func(t *Trial, rt *pgas.Runtime, comm *collective.Comm) error {
+		lt := cc.LiuTarjan(rt, comm, t.Graph, v, ccOpts(t))
+		want := seq.CC(t.Graph)
+		for i := range want {
+			if lt.Labels[i] != want[i] {
+				return fmt.Errorf("%s label[%d] = %d, canonical oracle says %d", v, i, lt.Labels[i], want[i])
+			}
+		}
+		co := cc.Coalesced(rt, comm, t.Graph, ccOpts(t))
+		for i := range co.Labels {
+			if lt.Labels[i] != co.Labels[i] {
+				return fmt.Errorf("%s label[%d] = %d, coalesced CC on the same cluster says %d",
+					v, i, lt.Labels[i], co.Labels[i])
+			}
+		}
+		if lt.Components != co.Components {
+			return fmt.Errorf("%s found %d components, coalesced CC %d", v, lt.Components, co.Components)
+		}
+		return nil
+	}
 }
 
 func checkCCNaive(t *Trial, rt *pgas.Runtime, comm *collective.Comm) error {

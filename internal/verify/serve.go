@@ -19,14 +19,22 @@ import (
 // bit-identical to a from-scratch recompute across the whole randomized
 // trial matrix (geometry × options × graph family).
 
-// checkServeDispatch runs cc/coalesced through the uniform registry and
-// directly, on identical fresh clusters, and demands bit-identical
-// answers: the dispatch seam must add no observable behavior. (Simulated
-// time is NOT compared here — the chaos soak rotates this check, and an
-// injected-fault retry legitimately adds sim time to the dispatched run
-// only; clean sim-time identity is pinned by TestRunKernelMatchesDirect.)
+// ccFamily is the rotation pool for the serving checks: every collective
+// CC kernel in the registry. A trial picks deterministically by Seed, so
+// the chaos digest stays reproducible while the soak sweeps the family.
+var ccFamily = []string{"cc/coalesced", "cc/sv", "cc/fastsv", "cc/lt-prs", "cc/lt-pus", "cc/lt-ers"}
+
+func ccFamilyPick(t *Trial) string { return ccFamily[t.Seed%uint64(len(ccFamily))] }
+
+// checkServeDispatch runs one CC-family kernel (rotated per trial)
+// through the uniform registry and directly, on identical fresh clusters,
+// and demands bit-identical answers: the dispatch seam must add no
+// observable behavior. (Simulated time is NOT compared here — the chaos
+// soak rotates this check, and an injected-fault retry legitimately adds
+// sim time to the dispatched run only; clean sim-time identity is pinned
+// by TestRunKernelMatchesDirect.)
 func checkServeDispatch(t *Trial, rt *pgas.Runtime, comm *collective.Comm) error {
-	spec := serve.KernelSpec{Kernel: "cc/coalesced", Graph: t.Graph, Col: &t.Opts, Compact: t.Compact}
+	spec := serve.KernelSpec{Kernel: ccFamilyPick(t), Graph: t.Graph, Col: &t.Opts, Compact: t.Compact}
 	res, err := serve.RunKernel(rt, comm, spec)
 	if err != nil {
 		return fmt.Errorf("dispatch: %w", err)
@@ -35,7 +43,7 @@ func checkServeDispatch(t *Trial, rt *pgas.Runtime, comm *collective.Comm) error
 	if err != nil {
 		return err
 	}
-	direct := ccKernel(t, rt2, collective.NewComm(rt2))
+	direct := ccKernel(t, spec.Kernel, rt2, collective.NewComm(rt2))
 	for i := range direct.Labels {
 		if res.Labels[i] != direct.Labels[i] {
 			return fmt.Errorf("dispatched label[%d] = %d, direct call says %d", i, res.Labels[i], direct.Labels[i])
@@ -131,7 +139,10 @@ func checkServeIncremental(t *Trial, rt *pgas.Runtime, comm *collective.Comm) er
 	if err != nil {
 		return err
 	}
-	if _, err := svc.Run(serve.KernelSpec{Kernel: "cc/coalesced", Compact: t.Compact}); err != nil {
+	// Rotate the resident-label producer through the CC family: the
+	// incremental grafts must be insensitive to which monotone kernel
+	// seeded the star labeling.
+	if _, err := svc.Run(serve.KernelSpec{Kernel: ccFamilyPick(t), Compact: t.Compact}); err != nil {
 		return err
 	}
 	rng := xrand.New(t.Seed).Split(0x1ec4)
@@ -166,9 +177,25 @@ func checkServeIncremental(t *Trial, rt *pgas.Runtime, comm *collective.Comm) er
 	return nil
 }
 
-// ccKernel is the direct-call twin of the "cc/coalesced" registry row.
-func ccKernel(t *Trial, rt *pgas.Runtime, comm *collective.Comm) *cc.Result {
-	return cc.Coalesced(rt, comm, t.Graph, &cc.Options{Col: &t.Opts, Compact: t.Compact})
+// ccKernel is the direct-call twin of the CC-family registry rows: the
+// same kernel the registry would dispatch, invoked without the seam.
+func ccKernel(t *Trial, name string, rt *pgas.Runtime, comm *collective.Comm) *cc.Result {
+	opts := &cc.Options{Col: &t.Opts, Compact: t.Compact}
+	switch name {
+	case "cc/coalesced":
+		return cc.Coalesced(rt, comm, t.Graph, opts)
+	case "cc/sv":
+		return cc.SV(rt, comm, t.Graph, opts)
+	case "cc/fastsv":
+		return cc.FastSV(rt, comm, t.Graph, opts)
+	case "cc/lt-prs":
+		return cc.LiuTarjan(rt, comm, t.Graph, cc.LTPRS, opts)
+	case "cc/lt-pus":
+		return cc.LiuTarjan(rt, comm, t.Graph, cc.LTPUS, opts)
+	case "cc/lt-ers":
+		return cc.LiuTarjan(rt, comm, t.Graph, cc.LTERS, opts)
+	}
+	panic(fmt.Sprintf("verify: no direct twin for kernel %q", name))
 }
 
 // serveTrialGraphs gates the serving checks on graphs the Service can

@@ -94,6 +94,8 @@ func WireChecks() []Check {
 		"collective/plan-reuse":     true,
 		"cc/coalesced":              true,
 		"cc/sv":                     true,
+		"cc/fastsv":                 true,
+		"cc/lt-ers":                 true,
 		"bfs/coalesced":             true,
 	}
 	var out []Check

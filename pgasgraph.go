@@ -53,6 +53,8 @@ type (
 	CCOptions = cc.Options
 	// CCResult is a connected-components outcome.
 	CCResult = cc.Result
+	// LTVariant selects a Liu-Tarjan rule combination for CCLiuTarjan.
+	LTVariant = cc.LTVariant
 	// MSTOptions configures the minimum-spanning-forest kernels.
 	MSTOptions = mst.Options
 	// MSFResult is a minimum-spanning-forest outcome.
@@ -78,6 +80,17 @@ const (
 	// SchemeHub spreads listed hub elements round-robin and
 	// block-distributes the tail.
 	SchemeHub = pgas.SchemeHub
+)
+
+// Liu-Tarjan rule combinations selectable through CCLiuTarjan (hook rule
+// × update gate × shortcut rule; see docs/MODEL.md for the taxonomy).
+const (
+	// LTPRS: parent hook, root-gated, single shortcut.
+	LTPRS = cc.LTPRS
+	// LTPUS: parent hook, unconditional, single shortcut.
+	LTPUS = cc.LTPUS
+	// LTERS: extended hook, root-gated, single shortcut.
+	LTERS = cc.LTERS
 )
 
 // Machine presets.
@@ -227,6 +240,20 @@ func (c *Cluster) CCCoalesced(g *Graph, opts *CCOptions) *CCResult {
 // opts may be nil for defaults.
 func (c *Cluster) CCSV(g *Graph, opts *CCOptions) *CCResult {
 	return cc.SV(c.rt, c.comm, g, opts)
+}
+
+// CCFastSV runs the FastSV algorithm (SV with stochastic and aggressive
+// hooking on grandparent values), converging in fewer supersteps than
+// CCSV with bit-identical labels. opts may be nil for defaults.
+func (c *Cluster) CCFastSV(g *Graph, opts *CCOptions) *CCResult {
+	return cc.FastSV(c.rt, c.comm, g, opts)
+}
+
+// CCLiuTarjan runs one Liu-Tarjan concurrent-labeling variant (LTPRS,
+// LTPUS, or LTERS), bit-identical in labels to the other collective CC
+// kernels. opts may be nil for defaults.
+func (c *Cluster) CCLiuTarjan(g *Graph, v LTVariant, opts *CCOptions) *CCResult {
+	return cc.LiuTarjan(c.rt, c.comm, g, v, opts)
 }
 
 // MSFNaive runs the literal lock-based parallel Borůvka translation.
