@@ -16,6 +16,10 @@
 //	verifyrun -transport wire -rounds 4            # transport conformance:
 //	                                               #   the wire battery plus
 //	                                               #   the dual-backend soak
+//	verifyrun -transport wire -kill -trials 40     # + the kill rotation:
+//	                                               #   chaos evictions on
+//	                                               #   hosted wire clusters,
+//	                                               #   recovered per node
 package main
 
 import (
@@ -95,13 +99,25 @@ func main() {
 			// sweep keeps its small default conformance budget.
 			wcfg.ChaosTrials = *trials
 		}
+		if *kill {
+			// The kill rotation: hosted multi-node clusters with real chaos
+			// evictions, recovered per-node by the supervisor; survivors must
+			// agree on the rollback history. -trials scales it alongside the
+			// chaos soak; standalone -kill keeps the conformance default.
+			wcfg.KillTrials = *trials
+		}
 		if !*quiet {
 			wcfg.Log = os.Stdout
 		}
 		rep := verify.WireRun(wcfg)
-		fmt.Printf("verifyrun: wire clean=%d/%d chaos=%d recovered=%d classified=%d mismatches=%d hangs=%d\n",
+		line := fmt.Sprintf("verifyrun: wire clean=%d/%d chaos=%d recovered=%d classified=%d mismatches=%d hangs=%d",
 			rep.CleanRuns-rep.CleanFailures, rep.CleanRuns, rep.ChaosRuns,
 			rep.Recovered, rep.Classified, rep.Mismatches, rep.Hangs)
+		if *kill {
+			line += fmt.Sprintf(" kills=%d kill-recovered=%d kill-rollbacks=%d kill-classified=%d digest=%#x",
+				rep.KillRuns, rep.KillRecovered, rep.KillRollbacks, rep.KillClassified, rep.KillDigest)
+		}
+		fmt.Println(line)
 		if !rep.OK() {
 			for _, f := range rep.Failures {
 				fmt.Fprintf(os.Stderr, "FAIL %s\n", f)

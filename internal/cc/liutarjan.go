@@ -82,7 +82,16 @@ func LiuTarjan(rt *pgas.Runtime, comm *collective.Comm, g *graph.Graph, v LTVari
 	pgas.Register(rt, v.ckptName(), d)
 	red := pgas.NewOrReducer(rt)
 	col := opts.col()
-	compact := opts.compact()
+	// Edge compaction drops an edge once both endpoints gather equal
+	// parents. That is sound only when equal parents imply the endpoints'
+	// old trees were merged — true for parent-only hooks, which write
+	// nothing when the root gate fails. The extended rule's direct vertex
+	// update can migrate a single endpoint into the winner's tree while the
+	// root hook is gated off (or loses a same-collective min race), making
+	// the edge LOOK merged while it is still the only witness connecting
+	// the loser's old tree; dropping it then strands that tree with a stale
+	// label. So extended variants never compact.
+	compact := opts.compact() && !extended
 	endPlan := comm.NewPlan()
 	m := g.M()
 	iterations := 0

@@ -1,0 +1,35 @@
+package cc
+
+import (
+	"testing"
+
+	"pgasgraph/internal/collective"
+	"pgasgraph/internal/graph"
+	"pgasgraph/internal/seq"
+)
+
+// TestExtendedHookCompactionSound pins the lt-ers edge-compaction bug:
+// the extended rule's direct vertex update can migrate an endpoint into
+// the winner's tree while the root hook is gated off, so parent equality
+// on an edge does not imply its endpoints' old trees were merged. A
+// compacting run that dropped such an edge stranded the loser's old tree
+// with a stale label. Extended variants must therefore ignore Compact and
+// still produce canonical component minima on every graph.
+func TestExtendedHookCompactionSound(t *testing.T) {
+	for seed := uint64(1); seed <= 30; seed++ {
+		for _, g := range []*graph.Graph{
+			graph.SmallWorld(108, 2, 0.3, seed),
+			graph.Hybrid(120, 120, seed),
+		} {
+			want := seq.CC(g)
+			rt := newRuntime(t, 2, 4)
+			res := LiuTarjan(rt, collective.NewComm(rt), g, LTERS, &Options{Compact: true})
+			for i := range want {
+				if res.Labels[i] != want[i] {
+					t.Fatalf("seed %d n=%d m=%d: lt-ers compact label[%d] = %d, oracle says %d",
+						seed, g.N, g.M(), i, res.Labels[i], want[i])
+				}
+			}
+		}
+	}
+}

@@ -13,22 +13,41 @@ import (
 	"strings"
 )
 
-// transportValue is a flag.Value restricted to an allowed backend list.
-type transportValue struct {
+// choiceValue is a flag.Value restricted to an allowed list of strings.
+type choiceValue struct {
 	v       string
+	name    string
 	allowed []string
 }
 
-func (t *transportValue) String() string { return t.v }
+func (c *choiceValue) String() string { return c.v }
 
-func (t *transportValue) Set(s string) error {
-	for _, a := range t.allowed {
+func (c *choiceValue) Set(s string) error {
+	for _, a := range c.allowed {
 		if s == a {
-			t.v = s
+			c.v = s
 			return nil
 		}
 	}
-	return fmt.Errorf("unknown transport %q (%s)", s, strings.Join(t.allowed, " or "))
+	return fmt.Errorf("unknown %s %q (%s)", c.name, s, strings.Join(c.allowed, " or "))
+}
+
+// Choice registers a string flag on fs (flag.CommandLine when nil) whose
+// value must be one of allowed — the first is the default. Anything else
+// fails at parse time with one uniform message.
+func Choice(fs *flag.FlagSet, name, usage string, allowed ...string) *string {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	if len(allowed) == 0 {
+		panic("cliflag.Choice: no allowed values for -" + name)
+	}
+	c := &choiceValue{v: allowed[0], name: name, allowed: allowed}
+	if usage == "" {
+		usage = name + ": " + strings.Join(allowed, " or ")
+	}
+	fs.Var(c, name, usage)
+	return &c.v
 }
 
 // Transport registers the shared -transport flag on fs (flag.CommandLine
@@ -38,18 +57,20 @@ func (t *transportValue) Set(s string) error {
 // cannot keep SPMD symmetry across wire replicas) pass a single backend
 // and get the same uniform rejection for free.
 func Transport(fs *flag.FlagSet, usage string, allowed ...string) *string {
-	if fs == nil {
-		fs = flag.CommandLine
-	}
 	if len(allowed) == 0 {
 		panic("cliflag.Transport: no backends")
 	}
-	t := &transportValue{v: allowed[0], allowed: allowed}
 	if usage == "" {
 		usage = "fabric backend: " + strings.Join(allowed, " or ")
 	}
-	fs.Var(t, "transport", usage)
-	return &t.v
+	return Choice(fs, "transport", usage, allowed...)
+}
+
+// Network registers the shared -net socket-family flag (unix or tcp) used
+// by the wire-transport commands. Unix sockets rendezvous under -dir; tcp
+// needs an explicit per-node -addrs list.
+func Network(fs *flag.FlagSet) *string {
+	return Choice(fs, "net", "wire socket family: unix or tcp", "unix", "tcp")
 }
 
 // positiveInt is a flag.Value that rejects values below 1 at parse time.

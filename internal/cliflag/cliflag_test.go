@@ -75,6 +75,47 @@ func TestGeometryValidatesPositive(t *testing.T) {
 	}
 }
 
+func TestChoiceRejectsUnknownAtParse(t *testing.T) {
+	fs := quietSet(t)
+	v := Choice(fs, "job", "", "battery", "cc")
+	if err := fs.Parse([]string{"-job", "cc"}); err != nil {
+		t.Fatal(err)
+	}
+	if *v != "cc" {
+		t.Fatalf("got %q, want cc", *v)
+	}
+	fs = quietSet(t)
+	Choice(fs, "job", "", "battery", "cc")
+	err := fs.Parse([]string{"-job", "mining"})
+	if err == nil || !strings.Contains(err.Error(), "battery or cc") {
+		t.Fatalf("err = %v, want rejection naming allowed values", err)
+	}
+}
+
+func TestNetworkChoices(t *testing.T) {
+	fs := quietSet(t)
+	nw := Network(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if *nw != "unix" {
+		t.Fatalf("default = %q, want unix", *nw)
+	}
+	fs = quietSet(t)
+	nw = Network(fs)
+	if err := fs.Parse([]string{"-net", "tcp"}); err != nil {
+		t.Fatal(err)
+	}
+	if *nw != "tcp" {
+		t.Fatalf("got %q, want tcp", *nw)
+	}
+	fs = quietSet(t)
+	Network(fs)
+	if err := fs.Parse([]string{"-net", "sctp"}); err == nil {
+		t.Fatal("accepted -net sctp")
+	}
+}
+
 func TestGeometryKeepsDefaults(t *testing.T) {
 	fs := quietSet(t)
 	nodes, tpn := Geometry(fs, 16, 4)

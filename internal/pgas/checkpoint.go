@@ -153,6 +153,17 @@ func (ck *Checkpointer) Register(name string, a *SharedArray) {
 		e.snaps[1] = make([]int64, a.Len())
 		e.seq = 0
 		e.pendingRestore = false // re-sized: any old snapshot is unusable
+		if !ck.rt.tr.Shared() {
+			// On a wire transport each process snapshots only its own
+			// node's blocks; the rest of the shadow buffers would stay
+			// zero, and a restore would clobber remote blocks with zeros.
+			// Seed both shadows from the registration-time contents (the
+			// kernel's initial fill) so a restored remote block is either
+			// the last region-synced value or the initial fill — both
+			// valid resume points for the monotone kernels that register.
+			copy(e.snaps[0], a.data)
+			copy(e.snaps[1], a.data)
+		}
 	}
 	e.arr = a
 	if e.pendingRestore {

@@ -1,0 +1,234 @@
+package pgas
+
+import (
+	"errors"
+	"sort"
+	"testing"
+
+	"pgasgraph/internal/machine"
+)
+
+// fakeEvictorTransport is a single-process stand-in for a wire backend: the
+// inproc data plane underneath, but non-shared and with a scripted
+// membership agreement, so evictWire's translation and escalation logic is
+// testable without sockets.
+type fakeEvictorTransport struct {
+	Transport
+	nodes int
+	node  int
+	tpn   int
+	// widen is folded into every agreement, simulating peers whose own
+	// crash detections name more dead nodes than the local proposal.
+	widen    []int
+	proposed [][]int
+	failed   bool
+	evictErr error
+}
+
+func newFakeEvictor(nodes, node, tpn int) *fakeEvictorTransport {
+	return &fakeEvictorTransport{
+		Transport: NewInprocTransport(nodes),
+		nodes:     nodes, node: node, tpn: tpn,
+	}
+}
+
+func (f *fakeEvictorTransport) Shared() bool        { return false }
+func (f *fakeEvictorTransport) Nodes() int          { return f.nodes }
+func (f *fakeEvictorTransport) Node() int           { return f.node }
+func (f *fakeEvictorTransport) ThreadsPerNode() int { return f.tpn }
+
+func (f *fakeEvictorTransport) EvictNodes(dead []int) ([]int, error) {
+	f.proposed = append(f.proposed, append([]int(nil), dead...))
+	if f.evictErr != nil {
+		return nil, f.evictErr
+	}
+	set := map[int]bool{}
+	for _, nd := range dead {
+		set[nd] = true
+	}
+	for _, nd := range f.widen {
+		set[nd] = true
+	}
+	agreed := make([]int, 0, len(set))
+	for nd := range set {
+		agreed = append(agreed, nd)
+	}
+	sort.Ints(agreed)
+	// Commit the shrunk geometry: dense renumbering of the survivors.
+	newID := 0
+	self := -1
+	for nd := 0; nd < f.nodes; nd++ {
+		if set[nd] {
+			continue
+		}
+		if nd == f.node {
+			self = newID
+		}
+		newID++
+	}
+	f.nodes, f.node = newID, self
+	return agreed, nil
+}
+
+func (f *fakeEvictorTransport) Fail() error {
+	f.failed = true
+	return nil
+}
+
+func wireCfg(nodes, tpn int) machine.Config {
+	cfg := machine.PaperCluster()
+	cfg.Nodes, cfg.ThreadsPerNode = nodes, tpn
+	return cfg
+}
+
+// TestEvictWireEscalatesToNodes: evicting any thread of a node evicts the
+// whole node — the proposal to the transport is node-granular, and the
+// remapped runtime loses every thread the agreed nodes hosted, numbered in
+// the pre-eviction geometry.
+func TestEvictWireEscalatesToNodes(t *testing.T) {
+	tr := newFakeEvictor(3, 0, 2)
+	rt, err := NewOnTransport(wireCfg(3, 2), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nrt, err := rt.Evict([]int{3}) // thread 3 lives on node 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.proposed) != 1 || len(tr.proposed[0]) != 1 || tr.proposed[0][0] != 1 {
+		t.Fatalf("proposed %v, want [[1]]", tr.proposed)
+	}
+	if got := nrt.EvictedThreads(); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("evicted threads %v, want [2 3] (all of node 1)", got)
+	}
+	if nrt.Nodes() != 2 || nrt.NumThreads() != 4 {
+		t.Fatalf("survivor geometry %dx%d threads=%d, want 2 nodes 4 threads",
+			nrt.Nodes(), nrt.cfg.ThreadsPerNode, nrt.NumThreads())
+	}
+	if !rt.Retired() {
+		t.Fatal("old runtime not retired")
+	}
+}
+
+// TestEvictWireAgreementWidens: the agreed dead set may be a superset of
+// the local proposal; the remapped runtime's ledger records every agreed
+// node's threads, which is what the recovery supervisor reports.
+func TestEvictWireAgreementWidens(t *testing.T) {
+	tr := newFakeEvictor(4, 0, 1)
+	tr.widen = []int{2}
+	rt, err := NewOnTransport(wireCfg(4, 1), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nrt, err := rt.Evict([]int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nrt.EvictedThreads(); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("evicted threads %v, want [2 3] (agreement widened)", got)
+	}
+	if nrt.Nodes() != 2 {
+		t.Fatalf("survivors = %d nodes, want 2", nrt.Nodes())
+	}
+}
+
+// TestEvictWireSelfEviction: a node whose own thread is in the dead set
+// participates in the agreement, hard-fails its endpoint, and reports
+// self-eviction as a classified ErrEvicted instead of a remapped runtime.
+func TestEvictWireSelfEviction(t *testing.T) {
+	tr := newFakeEvictor(2, 1, 2)
+	rt, err := NewOnTransport(wireCfg(2, 2), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nrt, err := rt.Evict([]int{2}) // thread 2 = node 1 local 0 = self
+	if nrt != nil {
+		t.Fatal("self-eviction returned a runtime")
+	}
+	var ce *Error
+	if !errors.As(err, &ce) || !errors.Is(ce.Class, ErrEvicted) {
+		t.Fatalf("err = %v, want ErrEvicted", err)
+	}
+	if len(tr.proposed) != 1 {
+		t.Fatalf("dying node made %d proposals, want 1 (must join the agreement)", len(tr.proposed))
+	}
+	if !tr.failed {
+		t.Fatal("dying node did not hard-fail its endpoint")
+	}
+}
+
+// TestEvictWireHonorsPeerAgreement: when the widened agreement names this
+// node dead even though the local proposal did not, the node fails itself
+// rather than keep running a geometry the survivors no longer count it in.
+func TestEvictWireHonorsPeerAgreement(t *testing.T) {
+	tr := newFakeEvictor(3, 1, 1)
+	tr.widen = []int{1} // peers say node 1 (us) is dead
+	rt, err := NewOnTransport(wireCfg(3, 1), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = rt.Evict([]int{2})
+	var ce *Error
+	if !errors.As(err, &ce) || !errors.Is(ce.Class, ErrEvicted) {
+		t.Fatalf("err = %v, want ErrEvicted by peer agreement", err)
+	}
+	if !tr.failed {
+		t.Fatal("node did not fail itself after the agreement named it dead")
+	}
+}
+
+// TestEvictWireRejectsTotalEviction: evicting every node is misuse, caught
+// before any agreement traffic.
+func TestEvictWireRejectsTotalEviction(t *testing.T) {
+	tr := newFakeEvictor(2, 0, 1)
+	rt, err := NewOnTransport(wireCfg(2, 1), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = rt.Evict([]int{0, 1})
+	var ce *Error
+	if !errors.As(err, &ce) || !errors.Is(ce.Class, ErrMisuse) {
+		t.Fatalf("err = %v, want ErrMisuse", err)
+	}
+	if len(tr.proposed) != 0 {
+		t.Fatal("total eviction reached the transport")
+	}
+}
+
+// TestNewOnTransportChecksThreadsPerNode: a transport that names thread
+// ids must agree with the machine geometry, or eviction attribution would
+// name the wrong threads.
+func TestNewOnTransportChecksThreadsPerNode(t *testing.T) {
+	tr := newFakeEvictor(2, 0, 2)
+	_, err := NewOnTransport(wireCfg(2, 4), tr)
+	var ce *Error
+	if !errors.As(err, &ce) || !errors.Is(ce.Class, ErrMisuse) {
+		t.Fatalf("err = %v, want ErrMisuse on threads-per-node mismatch", err)
+	}
+	if _, err := NewOnTransport(wireCfg(2, 2), tr); err != nil {
+		t.Fatalf("matching geometry rejected: %v", err)
+	}
+}
+
+// TestEvictWireNeedsEvictor: a non-shared transport without the
+// NodeEvictor extension cannot evict — classified misuse, not a panic.
+func TestEvictWireNeedsEvictor(t *testing.T) {
+	tr := &nonEvictorTransport{Transport: NewInprocTransport(2)}
+	rt, err := NewOnTransport(wireCfg(2, 1), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = rt.Evict([]int{1})
+	var ce *Error
+	if !errors.As(err, &ce) || !errors.Is(ce.Class, ErrMisuse) {
+		t.Fatalf("err = %v, want ErrMisuse", err)
+	}
+}
+
+// nonEvictorTransport is non-shared but lacks NodeEvictor.
+type nonEvictorTransport struct {
+	Transport
+}
+
+func (f *nonEvictorTransport) Shared() bool { return false }
+func (f *nonEvictorTransport) Node() int    { return 0 }

@@ -18,6 +18,7 @@ package pgas
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -78,6 +79,16 @@ func NewOnTransport(cfg machine.Config, tr Transport) (*Runtime, error) {
 	if tr.Node() < 0 || tr.Node() >= cfg.Nodes {
 		return nil, Errorf(ErrMisuse, -1, "NewOnTransport",
 			"transport node %d out of range [0,%d)", tr.Node(), cfg.Nodes)
+	}
+	if !tr.Shared() {
+		// A transport that names thread ids (eviction attribution) must
+		// agree with the machine geometry on threads-per-node.
+		if tg, ok := tr.(interface{ ThreadsPerNode() int }); ok {
+			if n := tg.ThreadsPerNode(); n > 0 && n != cfg.ThreadsPerNode {
+				return nil, Errorf(ErrMisuse, -1, "NewOnTransport",
+					"transport configured for %d threads/node, machine has %d", n, cfg.ThreadsPerNode)
+			}
+		}
 	}
 	s := cfg.TotalThreads()
 	rt := &Runtime{
@@ -236,11 +247,7 @@ func (rt *Runtime) EvictedThreads() []int {
 // automatically; the recovery supervisor re-arms both explicitly.
 func (rt *Runtime) Evict(dead []int) (*Runtime, error) {
 	if !rt.tr.Shared() {
-		// Eviction renumbers the surviving threads densely, which would
-		// desynchronize the node-to-process mapping the wire replicas were
-		// built on. Recovery on a wire cluster means restarting processes,
-		// not remapping in place; see DESIGN.md.
-		return nil, Errorf(ErrMisuse, -1, "Evict", "eviction remap unsupported on a wire transport")
+		return rt.evictWire(dead)
 	}
 	gone := make(map[int]bool, len(dead))
 	for _, id := range dead {
@@ -276,6 +283,101 @@ func (rt *Runtime) Evict(dead []int) (*Runtime, error) {
 		}
 	}
 	nrt.locals = nrt.threads
+	return nrt, nil
+}
+
+// evictWire is Evict on a multi-process fabric. The wire constraint is node
+// granularity: a process cannot hand its memory to a peer, so any dead
+// thread evicts its whole node and the survivors keep contiguous block
+// ownership under dense renumbering. The dead node set is agreed
+// cluster-wide through the transport's NodeEvictor extension — the agreed
+// set may be a superset of the local proposal (peers fold in their own
+// detections) — and a node that finds itself in the agreed set hard-fails
+// its own endpoint and reports self-eviction instead of a remapped runtime.
+func (rt *Runtime) evictWire(dead []int) (*Runtime, error) {
+	ev, ok := rt.tr.(NodeEvictor)
+	if !ok {
+		return nil, Errorf(ErrMisuse, -1, "Evict",
+			"transport %T cannot agree on node eviction", rt.tr)
+	}
+	tpn := rt.cfg.ThreadsPerNode
+	nodeSet := make(map[int]bool)
+	for _, id := range dead {
+		if id < 0 || id >= rt.s {
+			return nil, Errorf(ErrMisuse, -1, "Evict", "thread %d out of range [0,%d)", id, rt.s)
+		}
+		nodeSet[id/tpn] = true
+	}
+	if len(nodeSet) >= rt.cfg.Nodes {
+		return nil, Errorf(ErrMisuse, -1, "Evict", "no survivors (evicting all %d nodes)", rt.cfg.Nodes)
+	}
+	deadNodes := make([]int, 0, len(nodeSet))
+	for nd := range nodeSet {
+		deadNodes = append(deadNodes, nd)
+	}
+	sort.Ints(deadNodes)
+	rt.retired = true
+	if nodeSet[rt.node] {
+		// This node is dying. Participate in the membership agreement so
+		// the survivors drain deterministically to their next rendezvous,
+		// then tear the endpoint down without a goodbye so any remaining
+		// detection paths classify it as crashed rather than departed.
+		_, _ = ev.EvictNodes(deadNodes)
+		_ = ev.Fail()
+		return nil, Errorf(ErrEvicted, -1, "Evict",
+			"node %d evicted from the wire cluster; survivors continue", rt.node)
+	}
+	agreed, err := ev.EvictNodes(deadNodes)
+	if err != nil {
+		return nil, err
+	}
+	for _, nd := range agreed {
+		if nd == rt.node {
+			// A peer's proposal named this node dead and the cluster
+			// agreed. Honor the agreement: fail loudly rather than run a
+			// geometry the survivors no longer count this node in.
+			_ = ev.Fail()
+			return nil, Errorf(ErrEvicted, -1, "Evict",
+				"node %d evicted from the wire cluster by peer agreement", rt.node)
+		}
+	}
+	p := rt.cfg.Nodes - len(agreed)
+	if p < 1 || rt.tr.Nodes() != p {
+		return nil, Errorf(ErrTransport, -1, "Evict",
+			"membership disagrees after eviction: transport reports %d nodes, expected %d",
+			rt.tr.Nodes(), p)
+	}
+	// The eviction ledger records every agreed node's threads in the old
+	// numbering; agreed is ascending, so the ledger stays ascending.
+	deadThreads := make([]int, 0, len(agreed)*tpn)
+	for _, nd := range agreed {
+		for k := 0; k < tpn; k++ {
+			deadThreads = append(deadThreads, nd*tpn+k)
+		}
+	}
+	cfg := rt.cfg
+	cfg.Nodes = p
+	nrt := &Runtime{
+		cfg:     cfg,
+		model:   rt.model,
+		s:       p * tpn,
+		tr:      rt.tr,
+		node:    rt.tr.Node(),
+		part:    rt.part, // recovery re-creates arrays under the same scheme
+		evicted: append(rt.EvictedThreads(), deadThreads...),
+	}
+	nrt.threads = make([]*Thread, nrt.s)
+	for i := 0; i < nrt.s; i++ {
+		nrt.threads[i] = &Thread{
+			rt:    nrt,
+			ID:    i,
+			Node:  i / tpn,
+			Local: i % tpn,
+		}
+	}
+	lo := nrt.node * tpn
+	nrt.locals = nrt.threads[lo : lo+tpn]
+	nrt.bar = nrt.newRegionBarrier()
 	return nrt, nil
 }
 
@@ -445,30 +547,58 @@ func (rt *Runtime) RunE(fn func(th *Thread)) (*Result, error) {
 				firstUnclassified = r
 			}
 		case errors.Is(ce, ErrEvicted):
-			evicted = append(evicted, id)
+			// A transport-origin EvictionError names the remote dead
+			// threads; a locally killed thread names itself.
+			ths := []int{id}
+			if err, isErr := r.(error); isErr {
+				if remote := Evicted(err); len(remote) > 0 {
+					ths = remote
+				}
+			}
+			evicted = append(evicted, ths...)
 		case firstClassified == nil:
 			firstClassified = r.(error)
 		}
 	}
+	if len(evicted) == 0 && firstUnclassified == nil && firstClassified == nil && fallback != nil {
+		// Only a wrapped peer cause was seen (defensive; the breaker
+		// normally records first): an eviction cause still routes to the
+		// recovery path rather than the failure switch below.
+		if err, isErr := fallback.(error); isErr {
+			if remote := Evicted(err); len(remote) > 0 {
+				evicted = append(evicted, remote...)
+			}
+		}
+	}
 	if firstUnclassified != nil || len(evicted) > 0 || firstClassified != nil || fallback != nil {
 		rt.bar = rt.newRegionBarrier()
-		if !rt.tr.Shared() {
+		evicting := firstUnclassified == nil && len(evicted) > 0
+		if !rt.tr.Shared() && !evicting {
 			// Poison the cluster: peers blocked in a rendezvous this
 			// process will never reach must unwind with a classified error
 			// rather than wait out their deadlines. The transport stays
 			// poisoned; a failed wire region retires the whole cluster.
+			// Eviction is the exception — it is the recoverable class, and
+			// the transport has already agreed (or will agree, via the
+			// supervisor's Evict) on the survivor geometry.
 			rt.tr.Abort(fmt.Sprintf("node %d: region failed", rt.node))
 		}
 		switch {
 		case firstUnclassified != nil:
 			panic(firstUnclassified)
 		case len(evicted) > 0:
-			return nil, &EvictionError{Threads: evicted}
+			sort.Ints(evicted)
+			uniq := evicted[:1]
+			for _, id := range evicted[1:] {
+				if id != uniq[len(uniq)-1] {
+					uniq = append(uniq, id)
+				}
+			}
+			return nil, &EvictionError{Threads: uniq}
 		case firstClassified != nil:
 			return nil, firstClassified
 		}
-		// Only a wrapped peer cause was seen (defensive; the breaker
-		// normally records first): classify it like a direct cause.
+		// A non-eviction wrapped peer cause: classify it like a direct one.
 		if err, ok := fallback.(error); ok {
 			var ce *Error
 			if errors.As(err, &ce) {

@@ -105,6 +105,36 @@ type Transport interface {
 	Close() error
 }
 
+// NodeEvictor is the optional transport extension that makes node-level
+// fault tolerance possible on a multi-process fabric. A transport that
+// implements it classifies a dead peer as *EvictionError (instead of a
+// sticky abort) and can agree with the surviving peers on a shrunk
+// geometry, so Runtime.Evict works over the wire.
+//
+// Contract:
+//   - EvictNodes proposes a set of node ids (in the transport's current
+//     dense numbering) as dead and blocks until every surviving node has
+//     made its own proposal (or crashed). All survivors return the same
+//     agreed dead set — the union of all proposals plus crash-detected
+//     peers, possibly a superset of the local proposal — in the
+//     pre-agreement numbering. Afterwards Nodes()/Node() report the shrunk
+//     geometry. A node whose own id is in the proposal participates in the
+//     agreement (so survivors drain deterministically) and must call Fail
+//     once EvictNodes returns.
+//   - Fail abruptly tears the local endpoint down without an orderly
+//     goodbye, so peers classify this node as crashed. It is the eviction
+//     counterpart of Close.
+//   - Eviction is node-granular: a wire process cannot hand its memory to a
+//     peer, so evicting any thread of a node evicts the whole node, and
+//     the surviving geometry keeps block ownership contiguous.
+type NodeEvictor interface {
+	// EvictNodes agrees cluster-wide on the dead node set and commits the
+	// shrunk geometry, returning the agreed set in pre-agreement numbering.
+	EvictNodes(dead []int) ([]int, error)
+	// Fail hard-closes this endpoint so peers classify it as crashed.
+	Fail() error
+}
+
 // winTable is the window registry backends share.
 type winTable struct {
 	mu sync.RWMutex

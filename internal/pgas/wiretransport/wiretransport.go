@@ -1,11 +1,12 @@
 // Package wiretransport is the multi-process pgas.Transport: every node is
-// its own OS process and the fabric is a full mesh of unix-domain sockets
-// under a shared rendezvous directory. It carries exactly the operations the
-// transport seam names — bulk get/put against exposed windows, the
-// min-combining word store, barrier rendezvous — and nothing else: simulated
-// time, message counters, and chaos verdicts are charged above the seam, so
-// a kernel run observes the same schedule of charges and injected faults on
-// the wire as in process.
+// its own OS process and the fabric is a full mesh of stream sockets —
+// unix-domain sockets under a shared rendezvous directory, or TCP when the
+// cluster spans hosts. It carries exactly the operations the transport seam
+// names — bulk get/put against exposed windows, the min-combining word
+// store, barrier rendezvous — and nothing else: simulated time, message
+// counters, and chaos verdicts are charged above the seam, so a kernel run
+// observes the same schedule of charges and injected faults on the wire as
+// in process.
 //
 // Wire protocol. Every frame is a fixed 40-byte little-endian header and an
 // optional payload of 8-byte words:
@@ -13,33 +14,61 @@
 //	[0]     frame type
 //	[1]     window kind
 //	[2:4]   status / flags (responses)
-//	[4:8]   window id
+//	[4:8]   window id; membership epoch for BARRIER
 //	[8:12]  window sub
-//	[12:20] offset (elements); rendezvous generation for BARRIER
+//	[12:20] offset (elements); rendezvous generation for BARRIER and
+//	        membership epoch for EVICT
 //	[20:28] payload count (elements; bytes for ABORT)
 //	[28:36] request id; float64 bits of the clock maximum for BARRIER
 //	[36:40] CRC-32C of the payload
 //
 // PUT frames coalesce: they are buffered per destination connection and
 // flushed by the next frame on that connection that needs an answer (GET,
-// PUTMIN) or orders delivery (BARRIER, ABORT), so a serve phase's pushes to
-// one peer ride the wire together. Per-connection FIFO plus the
+// PUTMIN) or orders delivery (BARRIER, EVICT, ABORT), so a serve phase's
+// pushes to one peer ride the wire together. Per-connection FIFO plus the
 // flush-before-BARRIER rule realizes the seam's ordering contract: a Put is
 // applied at its destination before any later Rendezvous completes.
 //
-// Failure model. Real wire failures surface through the runtime's classified
-// taxonomy and the transport never hangs: a dead connection or a peer's
-// abort is ErrTransport, a missed deadline is ErrTimeout, a checksum
-// mismatch is ErrCorrupt. Any failure poisons the whole transport (Abort) —
-// a multi-process region cannot be locally unwound the way the in-process
-// barrier poisons a region, so the cluster fails loudly and the supervisor
-// restarts it. Thread eviction and live remapping are therefore unsupported
-// on the wire; wire soaks run with KillRate = 0.
+// Failure model. Real wire failures surface through the runtime's
+// classified taxonomy and the transport never hangs. Three teardown classes
+// are distinguished at the socket layer:
+//
+//   - goodbye: EOF after a GOODBYE frame is an orderly end-of-trial
+//     shutdown and is silent;
+//   - crash: EOF (or a read/write error) without a GOODBYE is a dead peer
+//     process. The seat is marked crashed and every operation that depends
+//     on it — pending GET/PUTMIN requests, open rendezvous generations,
+//     and later calls — resolves promptly with *pgas.EvictionError naming
+//     that node's thread ids. A crash does NOT poison the transport: the
+//     survivors can agree on the dead set (EvictNodes) and keep computing
+//     on the shrunk geometry;
+//   - deadline: a missed per-operation deadline is ErrTimeout and still
+//     poisons the transport (Abort, sticky, first cause wins) — a wedged
+//     but live peer cannot be safely evicted.
+//
+// A checksum mismatch on a response is ErrCorrupt to its waiter; on a
+// one-way frame it poisons the transport.
+//
+// Membership. Live nodes are tracked as a view: the sorted list of
+// surviving original seats. Nodes()/Node() report virtual (dense) numbering
+// over the view and the data plane translates virtual ids to original
+// seats, so a pgas.Runtime rebuilt for the shrunk geometry works unchanged.
+// Eviction is agreed cluster-wide by a leaderless epoch-stamped rendezvous:
+// each survivor broadcasts an EVICT frame carrying the proposed dead-seat
+// bitmap for epoch e+1, every receiver folds the union, and the epoch
+// commits once every live seat has either proposed or crashed. The union
+// fold makes the agreed set deterministic regardless of proposal order.
+// Rendezvous generations restart at the new epoch (BARRIER frames carry
+// their epoch, so stragglers cannot alias across the reset). A node that
+// must evict itself (its own threads were killed) proposes its own seat,
+// keeps serving reads until the agreement completes so survivors drain
+// deterministically, then hard-closes its sockets (Fail).
 package wiretransport
 
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -65,6 +94,7 @@ const (
 	frBarrier
 	frAbort
 	frGoodbye
+	frEvict
 )
 
 // response status codes ([2:4] of the header)
@@ -82,6 +112,13 @@ const headerLen = 40
 // ErrTimeout.
 const DefaultTimeout = 30 * time.Second
 
+// Dial backoff: retries start short and double up to the cap, so a mesh
+// assembling over TCP neither spins nor waits out long fixed sleeps.
+const (
+	dialBackoffMin = 5 * time.Millisecond
+	dialBackoffMax = 250 * time.Millisecond
+)
+
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Config describes one node's seat in the cluster.
@@ -89,12 +126,39 @@ type Config struct {
 	// Nodes is the cluster size p; Node is this process's seat in [0,p).
 	Nodes int
 	Node  int
-	// Dir is the rendezvous directory all p processes share; node i
-	// listens on Dir/node-<i>.sock.
+	// ThreadsPerNode is the machine geometry's threads-per-node. The
+	// transport needs it only to name thread ids in EvictionError; it must
+	// match the runtime's machine config. Zero means 1.
+	ThreadsPerNode int
+	// Network selects the socket family: "unix" (default) or "tcp".
+	Network string
+	// Dir is the rendezvous directory all p processes share when Network
+	// is "unix"; node i listens on Dir/node-<i>.sock.
 	Dir string
+	// Addrs holds each node's host:port when Network is "tcp"; it must
+	// have exactly Nodes entries and be identical on every node.
+	Addrs []string
 	// Timeout bounds every blocking operation (connect, get, putmin,
-	// rendezvous). Zero means DefaultTimeout.
+	// rendezvous, evict agreement). Zero means DefaultTimeout.
 	Timeout time.Duration
+}
+
+func (c *Config) network() string {
+	if c.Network == "" {
+		return "unix"
+	}
+	return c.Network
+}
+
+// addr returns the listening address of seat nd under this config.
+func (c *Config) addr(nd int) string {
+	if c.network() == "unix" {
+		return SocketPath(c.Dir, nd)
+	}
+	if nd >= 0 && nd < len(c.Addrs) {
+		return c.Addrs[nd]
+	}
+	return fmt.Sprintf("<no addr for seat %d>", nd)
 }
 
 // SocketPath returns the listening socket path of node in dir.
@@ -113,12 +177,55 @@ type peerConn struct {
 	pay  []byte
 }
 
+// rdvKey names one rendezvous generation within one membership epoch.
+// Keying by epoch keeps a fast survivor's first post-eviction barrier frame
+// (which can arrive before this node commits the epoch) from aliasing a
+// pre-eviction generation number.
+type rdvKey struct {
+	epoch, gen uint64
+}
+
 // rdvState accumulates one rendezvous generation: how many peers have
-// arrived and the running maximum of their clock values.
+// arrived and the running maximum of their clock values. A generation that
+// cannot complete because a participant died is closed with err set.
 type rdvState struct {
-	got  int
-	max  float64
-	done chan struct{}
+	got    int
+	max    float64
+	err    error
+	closed bool
+	done   chan struct{}
+}
+
+// seat liveness classes (guarded by rdvMu, indexed by original seat).
+const (
+	seatAlive   uint8 = iota
+	seatLeaving       // named dead by an EVICT proposal; still serving reads
+	seatCrashed       // connection died without GOODBYE
+)
+
+// evState accumulates one membership epoch's agreement: the union of
+// proposed dead seats and which live peers have proposed. agreed is filled
+// (in original seat numbering) when the epoch commits.
+type evState struct {
+	epoch   uint64
+	union   []bool // by original seat
+	arrived []bool // by original seat
+	self    bool   // local proposal contributed
+	closed  bool
+	agreed  []int // original seats, set at commit
+	done    chan struct{}
+}
+
+// viewState is the live membership: surviving original seats in ascending
+// order and this node's index among them (its virtual node id).
+type viewState struct {
+	seats []int
+	vnode int
+}
+
+type pendReq struct {
+	ch   chan wireResp
+	seat int // destination original seat, so a crash can resolve it
 }
 
 type wireResp struct {
@@ -127,12 +234,13 @@ type wireResp struct {
 	err    error
 }
 
-// Transport is one node's endpoint of the unix-socket mesh. It implements
-// pgas.Transport with Shared() == false.
+// Transport is one node's endpoint of the socket mesh. It implements
+// pgas.Transport (Shared() == false) and pgas.NodeEvictor.
 type Transport struct {
 	cfg   Config
+	tpn   int
 	ln    net.Listener
-	peers []*peerConn // indexed by node; nil at cfg.Node
+	peers []*peerConn // indexed by original seat; nil at cfg.Node
 
 	winMu sync.RWMutex
 	wins  map[pgas.Win][]int64
@@ -144,13 +252,21 @@ type Transport struct {
 	// barrier arrival (under rdvMu) → done close → waiting caller.
 	rmu sync.Mutex
 
-	rdvMu  sync.Mutex
-	rdvGen uint64
-	rdv    map[uint64]*rdvState
+	// rdvMu guards all membership state: rendezvous generations, the
+	// epoch, seat liveness, eviction agreements, and view transitions.
+	rdvMu       sync.Mutex
+	rdvGen      uint64
+	rdv         map[rdvKey]*rdvState
+	epoch       uint64
+	gone        []uint8 // seatAlive/seatLeaving/seatCrashed by original seat
+	evs         map[uint64]*evState
+	selfEvicted bool
+
+	liveView atomic.Pointer[viewState]
 
 	pendMu sync.Mutex
 	reqSeq uint64
-	pend   map[uint64]chan wireResp
+	pend   map[uint64]pendReq
 
 	abortOnce sync.Once
 	abortCh   chan struct{}
@@ -173,20 +289,47 @@ func Connect(cfg Config) (*Transport, error) {
 		return nil, pgas.Errorf(pgas.ErrMisuse, -1, "wire Connect",
 			"node %d out of range [0,%d)", cfg.Node, cfg.Nodes)
 	}
+	switch cfg.network() {
+	case "unix":
+	case "tcp":
+		if len(cfg.Addrs) != cfg.Nodes {
+			return nil, pgas.Errorf(pgas.ErrMisuse, -1, "wire Connect",
+				"tcp mesh needs %d addrs, got %d", cfg.Nodes, len(cfg.Addrs))
+		}
+	default:
+		return nil, pgas.Errorf(pgas.ErrMisuse, -1, "wire Connect",
+			"unknown network %q (unix, tcp)", cfg.Network)
+	}
+	tpn := cfg.ThreadsPerNode
+	if tpn <= 0 {
+		tpn = 1
+	}
 	t := &Transport{
 		cfg:      cfg,
+		tpn:      tpn,
 		peers:    make([]*peerConn, cfg.Nodes),
 		wins:     make(map[pgas.Win][]int64),
-		rdv:      make(map[uint64]*rdvState),
-		pend:     make(map[uint64]chan wireResp),
+		rdv:      make(map[rdvKey]*rdvState),
+		gone:     make([]uint8, cfg.Nodes),
+		evs:      make(map[uint64]*evState),
+		pend:     make(map[uint64]pendReq),
 		abortCh:  make(chan struct{}),
 		departed: make([]atomic.Bool, cfg.Nodes),
 	}
-	path := SocketPath(cfg.Dir, cfg.Node)
-	_ = os.Remove(path)
-	ln, err := net.Listen("unix", path)
+	seats := make([]int, cfg.Nodes)
+	for i := range seats {
+		seats[i] = i
+	}
+	t.liveView.Store(&viewState{seats: seats, vnode: cfg.Node})
+
+	laddr := cfg.addr(cfg.Node)
+	if cfg.network() == "unix" {
+		_ = os.Remove(laddr)
+	}
+	ln, err := net.Listen(cfg.network(), laddr)
 	if err != nil {
-		return nil, pgas.Errorf(pgas.ErrTransport, -1, "wire Connect", "listen %s: %v", path, err)
+		return nil, pgas.Errorf(pgas.ErrTransport, -1, "wire Connect",
+			"node %d: listen %s %s: %v", cfg.Node, cfg.network(), laddr, err)
 	}
 	t.ln = ln
 
@@ -216,20 +359,28 @@ func Connect(cfg Config) (*Transport, error) {
 	return t, nil
 }
 
+// dialPeer connects to a lower seat, retrying with capped exponential
+// backoff until the deadline: the peer process may not have started
+// listening yet, and over TCP the first connect can be refused outright.
 func (t *Transport) dialPeer(nd int, deadline time.Time) error {
-	path := SocketPath(t.cfg.Dir, nd)
+	addr := t.cfg.addr(nd)
+	backoff := dialBackoffMin
 	var conn net.Conn
 	var err error
 	for {
-		conn, err = net.DialTimeout("unix", path, time.Until(deadline))
+		conn, err = net.DialTimeout(t.cfg.network(), addr, time.Until(deadline))
 		if err == nil {
 			break
 		}
 		if time.Now().After(deadline) {
 			return pgas.Errorf(pgas.ErrTimeout, -1, "wire Connect",
-				"node %d never came up at %s: %v", nd, path, err)
+				"%s never came up: %v", t.edge(nd), err)
 		}
-		time.Sleep(20 * time.Millisecond)
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > dialBackoffMax {
+			backoff = dialBackoffMax
+		}
 	}
 	p := &peerConn{conn: conn, bw: bufio.NewWriter(conn)}
 	t.peers[nd] = p
@@ -240,7 +391,7 @@ func (t *Transport) dialPeer(nd int, deadline time.Time) error {
 func (t *Transport) acceptPeers(deadline time.Time) error {
 	want := t.cfg.Nodes - 1 - t.cfg.Node // seats above ours dial us
 	for got := 0; got < want; got++ {
-		if d, ok := t.ln.(*net.UnixListener); ok {
+		if d, ok := t.ln.(interface{ SetDeadline(time.Time) error }); ok {
 			d.SetDeadline(deadline)
 		}
 		conn, err := t.ln.Accept()
@@ -253,23 +404,44 @@ func (t *Transport) acceptPeers(deadline time.Time) error {
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil || hdr[0] != frHello {
 			conn.Close()
 			return pgas.Errorf(pgas.ErrTransport, -1, "wire Connect",
-				"bad hello from peer: %v", err)
+				"node %d: bad hello from peer: %v", t.cfg.Node, err)
 		}
 		conn.SetReadDeadline(time.Time{})
 		nd := int(int32(binary.LittleEndian.Uint32(hdr[8:12])))
 		if nd <= t.cfg.Node || nd >= t.cfg.Nodes || t.peers[nd] != nil {
 			conn.Close()
 			return pgas.Errorf(pgas.ErrTransport, -1, "wire Connect",
-				"hello names invalid seat %d", nd)
+				"node %d: hello names invalid seat %d", t.cfg.Node, nd)
 		}
 		t.peers[nd] = &peerConn{conn: conn, bw: bufio.NewWriter(conn)}
 	}
 	return nil
 }
 
+// edge names a mesh edge for error messages: originating node, remote
+// node, and the remote address, so an abort cause says which peer failed.
+func (t *Transport) edge(nd int) string {
+	return fmt.Sprintf("node %d -> node %d (%s %s)", t.cfg.Node, nd, t.cfg.network(), t.cfg.addr(nd))
+}
+
 func (t *Transport) Shared() bool { return false }
-func (t *Transport) Nodes() int   { return t.cfg.Nodes }
-func (t *Transport) Node() int    { return t.cfg.Node }
+
+// Nodes and Node report the surviving geometry in virtual (dense)
+// numbering; they shrink when an eviction epoch commits.
+func (t *Transport) Nodes() int { return len(t.liveView.Load().seats) }
+func (t *Transport) Node() int  { return t.liveView.Load().vnode }
+
+// ThreadsPerNode reports the configured machine geometry (for runtime
+// validation against the machine config).
+func (t *Transport) ThreadsPerNode() int { return t.cfg.ThreadsPerNode }
+
+// SelfEvicted reports whether this node was evicted from the cluster
+// (its own seat was in a committed dead set, or Fail was called).
+func (t *Transport) SelfEvicted() bool {
+	t.rdvMu.Lock()
+	defer t.rdvMu.Unlock()
+	return t.selfEvicted
+}
 
 func (t *Transport) Expose(w pgas.Win, data []int64) {
 	t.winMu.Lock()
@@ -294,10 +466,10 @@ func tid(th *pgas.Thread) int {
 	return th.ID
 }
 
-// sendFrame encodes and writes one frame to nd under its connection's write
-// lock. flush pushes the connection's buffered frames (earlier coalesced
-// PUTs included) onto the wire with a write deadline, so a wedged peer
-// surfaces as an error here rather than a hang.
+// sendFrame encodes and writes one frame to original seat nd under its
+// connection's write lock. flush pushes the connection's buffered frames
+// (earlier coalesced PUTs included) onto the wire with a write deadline, so
+// a wedged peer surfaces as an error here rather than a hang.
 func (t *Transport) sendFrame(nd int, typ uint8, w pgas.Win, off, count int64, reqID uint64, payload []int64, flush bool) error {
 	p := t.peers[nd]
 	p.wmu.Lock()
@@ -326,20 +498,41 @@ func (t *Transport) sendFrame(nd int, typ uint8, w pgas.Win, off, count int64, r
 	binary.LittleEndian.PutUint64(hdr[28:36], reqID)
 	binary.LittleEndian.PutUint32(hdr[36:40], crc)
 	if _, err := p.bw.Write(hdr); err != nil {
-		return pgas.Errorf(pgas.ErrTransport, -1, "wire send", "to node %d: %v", nd, err)
+		return pgas.Errorf(pgas.ErrTransport, -1, "wire send", "%s: %v", t.edge(nd), err)
 	}
 	if len(payload) > 0 {
 		if _, err := p.bw.Write(p.pay[:len(payload)*8]); err != nil {
-			return pgas.Errorf(pgas.ErrTransport, -1, "wire send", "to node %d: %v", nd, err)
+			return pgas.Errorf(pgas.ErrTransport, -1, "wire send", "%s: %v", t.edge(nd), err)
 		}
 	}
 	if flush {
 		p.conn.SetWriteDeadline(time.Now().Add(t.cfg.Timeout))
 		if err := p.bw.Flush(); err != nil {
-			return pgas.Errorf(pgas.ErrTransport, -1, "wire send", "flush to node %d: %v", nd, err)
+			class := pgas.ErrTransport
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				class = pgas.ErrTimeout
+			}
+			return pgas.Errorf(class, -1, "wire send", "flush %s: %v", t.edge(nd), err)
 		}
 	}
 	return nil
+}
+
+// sendFailed classifies a failed write to seat. A deadline is a wedged but
+// live peer and keeps the sticky-abort contract; a broken connection without
+// a GOODBYE is the write side of crash detection — the reader's EOF may not
+// have landed yet when a send to a freshly dead peer fails, and the writer
+// must not poison the cluster for a death the survivors can recover from.
+// It returns the error the caller surfaces.
+func (t *Transport) sendFailed(seat int, err error) error {
+	if errors.Is(err, pgas.ErrTimeout) || t.departed[seat].Load() {
+		t.Abort(err.Error())
+		return err
+	}
+	t.peerCrashed(seat, err)
+	t.rdvMu.Lock()
+	defer t.rdvMu.Unlock()
+	return t.evictErrLocked(seat)
 }
 
 // sendStatus is sendFrame for responses, which carry a status code.
@@ -370,39 +563,39 @@ func (t *Transport) sendStatus(nd int, typ uint8, status uint16, count int64, re
 	binary.LittleEndian.PutUint64(hdr[28:36], reqID)
 	binary.LittleEndian.PutUint32(hdr[36:40], crc)
 	if _, err := p.bw.Write(hdr); err != nil {
-		return pgas.Errorf(pgas.ErrTransport, -1, "wire send", "to node %d: %v", nd, err)
+		return pgas.Errorf(pgas.ErrTransport, -1, "wire send", "%s: %v", t.edge(nd), err)
 	}
 	if len(payload) > 0 {
 		if _, err := p.bw.Write(p.pay[:len(payload)*8]); err != nil {
-			return pgas.Errorf(pgas.ErrTransport, -1, "wire send", "to node %d: %v", nd, err)
+			return pgas.Errorf(pgas.ErrTransport, -1, "wire send", "%s: %v", t.edge(nd), err)
 		}
 	}
 	p.conn.SetWriteDeadline(time.Now().Add(t.cfg.Timeout))
 	if err := p.bw.Flush(); err != nil {
-		return pgas.Errorf(pgas.ErrTransport, -1, "wire send", "flush to node %d: %v", nd, err)
+		return pgas.Errorf(pgas.ErrTransport, -1, "wire send", "flush %s: %v", t.edge(nd), err)
 	}
 	return nil
 }
 
-func (t *Transport) register() (uint64, chan wireResp) {
+func (t *Transport) register(seat int) (uint64, chan wireResp) {
 	ch := make(chan wireResp, 1)
 	t.pendMu.Lock()
 	t.reqSeq++
 	id := t.reqSeq
-	t.pend[id] = ch
+	t.pend[id] = pendReq{ch: ch, seat: seat}
 	t.pendMu.Unlock()
 	return id, ch
 }
 
 func (t *Transport) resolve(id uint64, r wireResp) {
 	t.pendMu.Lock()
-	ch, ok := t.pend[id]
+	pr, ok := t.pend[id]
 	if ok {
 		delete(t.pend, id)
 	}
 	t.pendMu.Unlock()
 	if ok {
-		ch <- r
+		pr.ch <- r
 	}
 }
 
@@ -428,23 +621,60 @@ func (t *Transport) abortErr(th *pgas.Thread, op string) error {
 	return pgas.Errorf(pgas.ErrTransport, tid(th), op, "transport aborted: %s", cause)
 }
 
-// Get reads len(dst) elements of node's window w starting at off.
+// evictErrLocked builds the EvictionError for dead seats under the current
+// virtual numbering: only original seat `only` when only >= 0, else every
+// non-alive seat still in the view. Caller holds rdvMu.
+func (t *Transport) evictErrLocked(only int) error {
+	vs := t.liveView.Load()
+	var ths []int
+	for v, s := range vs.seats {
+		if only >= 0 {
+			if s != only {
+				continue
+			}
+		} else if t.gone[s] == seatAlive {
+			continue
+		}
+		for k := 0; k < t.tpn; k++ {
+			ths = append(ths, v*t.tpn+k)
+		}
+	}
+	return &pgas.EvictionError{Threads: ths}
+}
+
+// crashedFast resolves an operation against a crashed seat without waiting
+// out a deadline. Leaving seats (named in a proposal but still draining)
+// keep serving, so they do not fail fast.
+func (t *Transport) crashedFast(seat int) error {
+	t.rdvMu.Lock()
+	defer t.rdvMu.Unlock()
+	if t.gone[seat] == seatCrashed {
+		return t.evictErrLocked(seat)
+	}
+	return nil
+}
+
+// Get reads len(dst) elements of virtual node's window w starting at off.
 func (t *Transport) Get(th *pgas.Thread, node int, w pgas.Win, off int64, dst []int64) error {
 	const op = "wire Get"
-	if node == t.cfg.Node {
+	vs := t.liveView.Load()
+	if node == vs.vnode {
 		return t.localGet(th, op, w, off, dst)
 	}
-	if node < 0 || node >= t.cfg.Nodes {
-		return pgas.Errorf(pgas.ErrMisuse, tid(th), op, "node %d out of range [0,%d)", node, t.cfg.Nodes)
+	if node < 0 || node >= len(vs.seats) {
+		return pgas.Errorf(pgas.ErrMisuse, tid(th), op, "node %d out of range [0,%d)", node, len(vs.seats))
 	}
+	seat := vs.seats[node]
 	if t.aborted() {
 		return t.abortErr(th, op)
 	}
-	id, ch := t.register()
-	if err := t.sendFrame(node, frGet, w, off, int64(len(dst)), id, nil, true); err != nil {
-		t.drop(id)
-		t.Abort(err.Error())
+	if err := t.crashedFast(seat); err != nil {
 		return err
+	}
+	id, ch := t.register(seat)
+	if err := t.sendFrame(seat, frGet, w, off, int64(len(dst)), id, nil, true); err != nil {
+		t.drop(id)
+		return t.sendFailed(seat, err)
 	}
 	select {
 	case r := <-ch:
@@ -462,51 +692,62 @@ func (t *Transport) Get(th *pgas.Thread, node int, w pgas.Win, off int64, dst []
 		return t.abortErr(th, op)
 	case <-time.After(t.cfg.Timeout):
 		t.drop(id)
+		if ee := t.crashedFast(seat); ee != nil {
+			return ee
+		}
 		err := pgas.Errorf(pgas.ErrTimeout, tid(th), op,
-			"no response from node %d within %v", node, t.cfg.Timeout)
+			"%s: no response within %v", t.edge(seat), t.cfg.Timeout)
 		t.Abort(err.Error())
 		return err
 	}
 }
 
-// Put writes src into node's window w starting at off. The frame is
+// Put writes src into virtual node's window w starting at off. The frame is
 // buffered on the destination's connection and flushed by the next
-// ordering frame (GET, PUTMIN, BARRIER, ABORT) to that node.
+// ordering frame (GET, PUTMIN, BARRIER, EVICT, ABORT) to that node.
 func (t *Transport) Put(th *pgas.Thread, node int, w pgas.Win, off int64, src []int64) error {
 	const op = "wire Put"
-	if node == t.cfg.Node {
+	vs := t.liveView.Load()
+	if node == vs.vnode {
 		return t.localPut(th, op, w, off, src)
 	}
-	if node < 0 || node >= t.cfg.Nodes {
-		return pgas.Errorf(pgas.ErrMisuse, tid(th), op, "node %d out of range [0,%d)", node, t.cfg.Nodes)
+	if node < 0 || node >= len(vs.seats) {
+		return pgas.Errorf(pgas.ErrMisuse, tid(th), op, "node %d out of range [0,%d)", node, len(vs.seats))
 	}
+	seat := vs.seats[node]
 	if t.aborted() {
 		return t.abortErr(th, op)
 	}
-	if err := t.sendFrame(node, frPut, w, off, int64(len(src)), 0, src, false); err != nil {
-		t.Abort(err.Error())
+	if err := t.crashedFast(seat); err != nil {
 		return err
+	}
+	if err := t.sendFrame(seat, frPut, w, off, int64(len(src)), 0, src, false); err != nil {
+		return t.sendFailed(seat, err)
 	}
 	return nil
 }
 
-// PutMin atomically lowers node's window element to v if smaller.
+// PutMin atomically lowers virtual node's window element to v if smaller.
 func (t *Transport) PutMin(th *pgas.Thread, node int, w pgas.Win, off int64, v int64) (bool, error) {
 	const op = "wire PutMin"
-	if node == t.cfg.Node {
+	vs := t.liveView.Load()
+	if node == vs.vnode {
 		return t.localPutMin(th, op, w, off, v)
 	}
-	if node < 0 || node >= t.cfg.Nodes {
-		return false, pgas.Errorf(pgas.ErrMisuse, tid(th), op, "node %d out of range [0,%d)", node, t.cfg.Nodes)
+	if node < 0 || node >= len(vs.seats) {
+		return false, pgas.Errorf(pgas.ErrMisuse, tid(th), op, "node %d out of range [0,%d)", node, len(vs.seats))
 	}
+	seat := vs.seats[node]
 	if t.aborted() {
 		return false, t.abortErr(th, op)
 	}
-	id, ch := t.register()
-	if err := t.sendFrame(node, frPutMin, w, off, 1, id, []int64{v}, true); err != nil {
-		t.drop(id)
-		t.Abort(err.Error())
+	if err := t.crashedFast(seat); err != nil {
 		return false, err
+	}
+	id, ch := t.register(seat)
+	if err := t.sendFrame(seat, frPutMin, w, off, 1, id, []int64{v}, true); err != nil {
+		t.drop(id)
+		return false, t.sendFailed(seat, err)
 	}
 	select {
 	case r := <-ch:
@@ -523,58 +764,113 @@ func (t *Transport) PutMin(th *pgas.Thread, node int, w pgas.Win, off int64, v i
 		return false, t.abortErr(th, op)
 	case <-time.After(t.cfg.Timeout):
 		t.drop(id)
+		if ee := t.crashedFast(seat); ee != nil {
+			return false, ee
+		}
 		err := pgas.Errorf(pgas.ErrTimeout, tid(th), op,
-			"no response from node %d within %v", node, t.cfg.Timeout)
+			"%s: no response within %v", t.edge(seat), t.cfg.Timeout)
 		t.Abort(err.Error())
 		return false, err
 	}
 }
 
-// rdvGet returns generation gen's accumulator, creating it on first touch
-// from either side (a fast peer's arrival may precede the local call).
-// Caller holds rdvMu.
-func (t *Transport) rdvGet(gen uint64) *rdvState {
-	st, ok := t.rdv[gen]
+// rdvGetLocked returns generation k's accumulator, creating it on first
+// touch from either side (a fast peer's arrival may precede the local
+// call). Caller holds rdvMu.
+func (t *Transport) rdvGetLocked(k rdvKey) *rdvState {
+	st, ok := t.rdv[k]
 	if !ok {
 		st = &rdvState{max: math.Inf(-1), done: make(chan struct{})}
-		if t.cfg.Nodes == 1 {
-			close(st.done)
-		}
-		t.rdv[gen] = st
+		t.rdv[k] = st
 	}
 	return st
+}
+
+// rdvCheckLocked completes a generation once every live peer of its epoch
+// has arrived. Future-epoch accumulations wait for the epoch to commit
+// (the commit sweeps them). Caller holds rdvMu.
+func (t *Transport) rdvCheckLocked(k rdvKey, st *rdvState) {
+	if st.closed || k.epoch != t.epoch {
+		return
+	}
+	if st.got >= len(t.liveView.Load().seats)-1 {
+		st.closed = true
+		close(st.done)
+	}
+}
+
+// failRdvLocked closes every open generation of the current epoch with the
+// eviction error naming the currently-dead seats: a generation cannot
+// complete once a participant is gone. Caller holds rdvMu.
+func (t *Transport) failRdvLocked() {
+	var err error
+	for k, st := range t.rdv {
+		if k.epoch != t.epoch || st.closed {
+			continue
+		}
+		if err == nil {
+			err = t.evictErrLocked(-1)
+		}
+		st.err = err
+		st.closed = true
+		close(st.done)
+	}
 }
 
 // Rendezvous is the cross-process barrier leg: broadcast the local clock
 // maximum under the next generation number (every process calls Rendezvous
 // in the same SPMD sequence, so generations align without negotiation),
-// wait for all peers, and fold the global maximum.
+// wait for all live peers, and fold the global maximum. When a participant
+// is dead — crashed, or named in an eviction proposal — the rendezvous
+// fails promptly with *pgas.EvictionError instead of waiting out the
+// deadline, and the transport stays usable for the membership agreement.
 func (t *Transport) Rendezvous(localMax float64) (float64, error) {
 	const op = "wire Rendezvous"
 	if t.aborted() {
 		return 0, t.abortErr(nil, op)
 	}
 	t.rdvMu.Lock()
+	vs := t.liveView.Load()
+	for _, s := range vs.seats {
+		if s != t.cfg.Node && t.gone[s] != seatAlive {
+			err := t.evictErrLocked(-1)
+			t.rdvMu.Unlock()
+			return 0, err
+		}
+	}
 	t.rdvGen++
 	gen := t.rdvGen
-	st := t.rdvGet(gen)
+	k := rdvKey{epoch: t.epoch, gen: gen}
+	st := t.rdvGetLocked(k)
+	t.rdvCheckLocked(k, st)
 	t.rdvMu.Unlock()
 
-	for nd := range t.peers {
-		if nd == t.cfg.Node {
+	for _, s := range vs.seats {
+		if s == t.cfg.Node {
 			continue
 		}
-		if err := t.sendFrame(nd, frBarrier, pgas.Win{}, int64(gen), 0, math.Float64bits(localMax), nil, true); err != nil {
-			t.Abort(err.Error())
-			return 0, err
+		if err := t.sendFrame(s, frBarrier, pgas.Win{ID: uint32(k.epoch)}, int64(gen), 0, math.Float64bits(localMax), nil, true); err != nil {
+			if errors.Is(err, pgas.ErrTimeout) || t.departed[s].Load() {
+				t.Abort(err.Error())
+				return 0, err
+			}
+			// Write-side crash detection: the crash path fails the
+			// registered generation; wait on it below so every caller
+			// observes the same classified error.
+			t.peerCrashed(s, err)
+			continue
 		}
 	}
 	select {
 	case <-st.done:
 		t.rdvMu.Lock()
+		ferr := st.err
 		g := st.max
-		delete(t.rdv, gen)
+		delete(t.rdv, k)
 		t.rdvMu.Unlock()
+		if ferr != nil {
+			return 0, ferr
+		}
 		if localMax > g {
 			g = localMax
 		}
@@ -582,11 +878,254 @@ func (t *Transport) Rendezvous(localMax float64) (float64, error) {
 	case <-t.abortCh:
 		return 0, t.abortErr(nil, op)
 	case <-time.After(t.cfg.Timeout):
+		t.rdvMu.Lock()
+		var goneErr error
+		for _, s := range vs.seats {
+			if s != t.cfg.Node && t.gone[s] != seatAlive {
+				goneErr = t.evictErrLocked(-1)
+				break
+			}
+		}
+		got := st.got
+		t.rdvMu.Unlock()
+		if goneErr != nil {
+			return 0, goneErr
+		}
 		err := pgas.Errorf(pgas.ErrTimeout, -1, op,
-			"rendezvous gen %d incomplete after %v (%d of %d peers)", gen, t.cfg.Timeout, st.got, t.cfg.Nodes-1)
+			"node %d: rendezvous gen %d incomplete after %v (%d of %d peers)",
+			t.cfg.Node, gen, t.cfg.Timeout, got, len(vs.seats)-1)
 		t.Abort(err.Error())
 		return 0, err
 	}
+}
+
+// evGetLocked returns epoch's agreement accumulator, creating it on first
+// touch from either side. Caller holds rdvMu.
+func (t *Transport) evGetLocked(epoch uint64) *evState {
+	st, ok := t.evs[epoch]
+	if !ok {
+		st = &evState{
+			epoch:   epoch,
+			union:   make([]bool, t.cfg.Nodes),
+			arrived: make([]bool, t.cfg.Nodes),
+			done:    make(chan struct{}),
+		}
+		t.evs[epoch] = st
+	}
+	return st
+}
+
+// markLeavingLocked marks every union-named live seat as leaving and fails
+// the current epoch's open rendezvous generations, so local waiters unwind
+// with EvictionError at their next barrier instead of a deadline. Caller
+// holds rdvMu.
+func (t *Transport) markLeavingLocked(st *evState) {
+	vs := t.liveView.Load()
+	marked := false
+	for _, s := range vs.seats {
+		if s != t.cfg.Node && st.union[s] && t.gone[s] == seatAlive {
+			t.gone[s] = seatLeaving
+			marked = true
+		}
+	}
+	if marked {
+		t.failRdvLocked()
+	}
+}
+
+// evCheckLocked commits the next membership epoch once this node has
+// proposed and every live seat has either proposed, been proposed dead, or
+// crashed. The agreed set is the union of proposals plus crash-detected
+// seats; the view shrinks, rendezvous generations restart, and pre-arrived
+// new-epoch barrier frames are re-checked for completion. Caller holds
+// rdvMu.
+func (t *Transport) evCheckLocked() {
+	st := t.evs[t.epoch+1]
+	if st == nil || st.closed || !st.self {
+		return
+	}
+	vs := t.liveView.Load()
+	me := t.cfg.Node
+	for _, s := range vs.seats {
+		if s == me || st.arrived[s] || st.union[s] || t.gone[s] == seatCrashed {
+			continue
+		}
+		return
+	}
+	var agreed, newSeats []int
+	selfOut := false
+	for _, s := range vs.seats {
+		if st.union[s] || t.gone[s] == seatCrashed {
+			agreed = append(agreed, s)
+			if s == me {
+				selfOut = true
+			}
+		} else {
+			newSeats = append(newSeats, s)
+		}
+	}
+	st.agreed = agreed
+	t.epoch = st.epoch
+	t.rdvGen = 0
+	for k := range t.rdv {
+		if k.epoch < t.epoch {
+			delete(t.rdv, k)
+		}
+	}
+	if selfOut {
+		t.selfEvicted = true
+	} else {
+		vnode := 0
+		for i, s := range newSeats {
+			if s == me {
+				vnode = i
+			}
+		}
+		t.liveView.Store(&viewState{seats: newSeats, vnode: vnode})
+	}
+	st.closed = true
+	close(st.done)
+	delete(t.evs, st.epoch)
+	// A fast survivor's first new-epoch barrier frames may already have
+	// accumulated; complete them against the shrunk view.
+	for k, rst := range t.rdv {
+		if k.epoch == t.epoch {
+			t.rdvCheckLocked(k, rst)
+		}
+	}
+}
+
+// EvictNodes proposes the given virtual node ids (under the current view)
+// as dead and blocks until the cluster commits the next membership epoch.
+// It returns the agreed dead set in the same pre-agreement virtual
+// numbering — possibly a superset of the proposal, when other survivors or
+// crash detection contributed more seats. A node evicting itself proposes
+// its own seat, keeps serving reads until the commit so survivors drain
+// deterministically, and must call Fail afterwards.
+func (t *Transport) EvictNodes(dead []int) ([]int, error) {
+	const op = "wire EvictNodes"
+	if t.aborted() {
+		return nil, t.abortErr(nil, op)
+	}
+	t.rdvMu.Lock()
+	vs := t.liveView.Load()
+	epoch := t.epoch + 1
+	st := t.evGetLocked(epoch)
+	for _, v := range dead {
+		if v < 0 || v >= len(vs.seats) {
+			t.rdvMu.Unlock()
+			return nil, pgas.Errorf(pgas.ErrMisuse, -1, op,
+				"node %d out of range [0,%d)", v, len(vs.seats))
+		}
+		st.union[vs.seats[v]] = true
+	}
+	// Fold in every seat this node independently knows is gone, so the
+	// agreement converges even when survivors detected different deaths.
+	for _, s := range vs.seats {
+		if s != t.cfg.Node && t.gone[s] != seatAlive {
+			st.union[s] = true
+		}
+	}
+	st.self = true
+	t.markLeavingLocked(st)
+	words := make([]int64, (t.cfg.Nodes+63)/64)
+	for s, dead := range st.union {
+		if dead {
+			words[s/64] |= 1 << (s % 64)
+		}
+	}
+	var targets []int
+	for _, s := range vs.seats {
+		if s != t.cfg.Node && t.gone[s] != seatCrashed {
+			targets = append(targets, s)
+		}
+	}
+	t.evCheckLocked()
+	t.rdvMu.Unlock()
+
+	for _, s := range targets {
+		if err := t.sendFrame(s, frEvict, pgas.Win{}, int64(epoch), int64(len(words)), 0, words, true); err != nil {
+			if errors.Is(err, pgas.ErrTimeout) || t.departed[s].Load() {
+				t.Abort(err.Error())
+				return nil, err
+			}
+			t.peerCrashed(s, err) // raced with its death; accounts the seat
+			continue
+		}
+	}
+	select {
+	case <-st.done:
+		t.rdvMu.Lock()
+		agreed := st.agreed
+		t.rdvMu.Unlock()
+		out := make([]int, 0, len(agreed))
+		for _, s := range agreed {
+			for v, orig := range vs.seats {
+				if orig == s {
+					out = append(out, v)
+				}
+			}
+		}
+		return out, nil
+	case <-t.abortCh:
+		return nil, t.abortErr(nil, op)
+	case <-time.After(t.cfg.Timeout):
+		err := pgas.Errorf(pgas.ErrTimeout, -1, op,
+			"node %d: membership epoch %d incomplete after %v", t.cfg.Node, epoch, t.cfg.Timeout)
+		t.Abort(err.Error())
+		return nil, err
+	}
+}
+
+// applyEvict folds a peer's membership proposal for the given epoch.
+func (t *Transport) applyEvict(nd int, epoch uint64, words []int64) {
+	t.rdvMu.Lock()
+	defer t.rdvMu.Unlock()
+	if epoch <= t.epoch {
+		return // stale duplicate of an already-committed epoch
+	}
+	st := t.evGetLocked(epoch)
+	for s := 0; s < t.cfg.Nodes; s++ {
+		if s/64 < len(words) && words[s/64]&(1<<(s%64)) != 0 {
+			st.union[s] = true
+		}
+	}
+	st.arrived[nd] = true
+	t.markLeavingLocked(st)
+	t.evCheckLocked()
+}
+
+// peerCrashed classifies a dead connection: mark the seat crashed, fail the
+// open rendezvous generations and every pending request to that seat with
+// EvictionError, and re-check a waiting membership agreement (a crash
+// during the agreement counts as that seat's accounting).
+func (t *Transport) peerCrashed(seat int, cause error) {
+	t.rdvMu.Lock()
+	vs := t.liveView.Load()
+	inView := false
+	for _, s := range vs.seats {
+		if s == seat {
+			inView = true
+		}
+	}
+	if !inView || t.gone[seat] == seatCrashed || t.selfEvicted {
+		t.rdvMu.Unlock()
+		return
+	}
+	t.gone[seat] = seatCrashed
+	t.failRdvLocked()
+	evErr := t.evictErrLocked(seat)
+	t.evCheckLocked()
+	t.rdvMu.Unlock()
+
+	t.pendMu.Lock()
+	for id, pr := range t.pend {
+		if pr.seat == seat {
+			delete(t.pend, id)
+			pr.ch <- wireResp{err: evErr}
+		}
+	}
+	t.pendMu.Unlock()
 }
 
 // Abort poisons the transport: local waiters unblock with ErrTransport and
@@ -617,8 +1156,8 @@ func (t *Transport) Abort(cause string) {
 // Close tears the mesh down: announce a clean departure to every peer
 // (best effort), then close the sockets. The GOODBYE lets a peer that is
 // still draining its final frames tell an orderly end-of-trial shutdown
-// apart from a crash — EOF after GOODBYE is silence, EOF without it is a
-// dead process and poisons the peer's cluster.
+// apart from a crash — EOF after GOODBYE is silence, EOF without it marks
+// the seat crashed and evictable.
 func (t *Transport) Close() error {
 	t.closed.Store(true)
 	for nd, p := range t.peers {
@@ -626,6 +1165,28 @@ func (t *Transport) Close() error {
 			_ = t.sendFrame(nd, frGoodbye, pgas.Win{}, 0, 0, 0, nil, true)
 		}
 	}
+	if t.ln != nil {
+		t.ln.Close()
+	}
+	for nd, p := range t.peers {
+		if nd != t.cfg.Node && p != nil {
+			p.conn.Close()
+		}
+	}
+	return nil
+}
+
+// Fail hard-closes the mesh without a GOODBYE: the deliberate teardown of a
+// node that has been evicted. Peers classify the EOF as a crash and resolve
+// their operations with EvictionError. An evicted node that already
+// completed the membership agreement cooperatively (EvictNodes on its own
+// seat) calls Fail afterwards; survivors have moved to the new epoch and
+// ignore the dead edge.
+func (t *Transport) Fail() error {
+	t.rdvMu.Lock()
+	t.selfEvicted = true
+	t.rdvMu.Unlock()
+	t.closed.Store(true)
 	if t.ln != nil {
 		t.ln.Close()
 	}
@@ -707,14 +1268,15 @@ func minWin(data []int64, off, v int64) bool {
 	}
 }
 
-// connDown handles a broken mesh edge: silent after our own Close or the
-// peer's announced departure, otherwise the cluster is poisoned — a
-// missing peer can never rendezvous again.
+// connDown handles a broken mesh edge: silent after our own Close/Fail or
+// the peer's announced departure; silent for a peer already evicted out of
+// the view; otherwise the peer process died without a GOODBYE and the seat
+// is classified as crashed.
 func (t *Transport) connDown(nd int, err error) {
 	if t.closed.Load() || t.departed[nd].Load() {
 		return
 	}
-	t.Abort(fmt.Sprintf("connection to node %d down: %v", nd, err))
+	t.peerCrashed(nd, err)
 }
 
 // readLoop drains one mesh edge. Every frame is applied under rmu; answers
@@ -742,10 +1304,11 @@ func (t *Transport) readLoop(nd int, p *peerConn) {
 		crc := binary.LittleEndian.Uint32(hdr[36:40])
 
 		var payload []int64
-		hasPayload := typ == frPut || typ == frPutMin || typ == frAbort || (typ == frGetResp && count > 0)
+		hasPayload := typ == frPut || typ == frPutMin || typ == frAbort || typ == frEvict ||
+			(typ == frGetResp && count > 0)
 		if hasPayload {
 			if count < 0 || count > (1<<31) {
-				t.connDown(nd, fmt.Errorf("frame type %d count %d out of range", typ, count))
+				t.Abort(fmt.Sprintf("%s: frame type %d count %d out of range", t.edge(nd), typ, count))
 				return
 			}
 			n := int(count)
@@ -776,7 +1339,9 @@ func (t *Transport) readLoop(nd int, p *peerConn) {
 		case frPutMinResp:
 			t.resolve(reqID, wireResp{status: status})
 		case frBarrier:
-			t.applyBarrier(uint64(off), math.Float64frombits(reqID))
+			t.applyBarrier(uint64(w.ID), uint64(off), math.Float64frombits(reqID))
+		case frEvict:
+			t.applyEvict(nd, uint64(off), payload)
 		case frAbort:
 			b := make([]byte, len(payload)*8)
 			for j, v := range payload {
@@ -790,11 +1355,11 @@ func (t *Transport) readLoop(nd int, p *peerConn) {
 		case frGoodbye:
 			t.departed[nd].Store(true)
 		case frHello:
-			// Late HELLO is a protocol violation.
-			t.connDown(nd, fmt.Errorf("unexpected HELLO"))
+			// Late HELLO is a protocol violation, not a crash.
+			t.Abort(fmt.Sprintf("%s: unexpected HELLO", t.edge(nd)))
 			return
 		default:
-			t.connDown(nd, fmt.Errorf("unknown frame type %d", typ))
+			t.Abort(fmt.Sprintf("%s: unknown frame type %d", t.edge(nd), typ))
 			return
 		}
 	}
@@ -806,7 +1371,7 @@ func (t *Transport) readLoop(nd int, p *peerConn) {
 // lost and the region cannot be trusted.
 func (t *Transport) frameCorrupt(nd int, typ uint8, reqID uint64) {
 	err := pgas.Errorf(pgas.ErrCorrupt, -1, "wire recv",
-		"checksum mismatch on frame type %d from node %d", typ, nd)
+		"checksum mismatch on frame type %d from node %d at node %d", typ, nd, t.cfg.Node)
 	if typ == frGetResp {
 		t.resolve(reqID, wireResp{err: err})
 		return
@@ -822,7 +1387,7 @@ func (t *Transport) applyPut(nd int, w pgas.Win, off int64, src []int64) {
 	}
 	t.rmu.Unlock()
 	if !ok {
-		t.Abort(fmt.Sprintf("node %d put to unexposed window %+v [%d,%d)", nd, w, off, off+int64(len(src))))
+		t.Abort(fmt.Sprintf("node %d put to unexposed window %+v [%d,%d) at node %d", nd, w, off, off+int64(len(src)), t.cfg.Node))
 	}
 }
 
@@ -865,17 +1430,25 @@ func (t *Transport) servePutMin(nd int, w pgas.Win, off int64, payload []int64, 
 	}()
 }
 
-func (t *Transport) applyBarrier(gen uint64, v float64) {
+func (t *Transport) applyBarrier(epoch, gen uint64, v float64) {
 	t.rdvMu.Lock()
-	st := t.rdvGet(gen)
+	if epoch < t.epoch {
+		// Straggler from a committed epoch; its generation was already
+		// failed and cleaned up.
+		t.rdvMu.Unlock()
+		return
+	}
+	k := rdvKey{epoch: epoch, gen: gen}
+	st := t.rdvGetLocked(k)
 	if v > st.max {
 		st.max = v
 	}
 	st.got++
-	if st.got == t.cfg.Nodes-1 {
-		close(st.done)
-	}
+	t.rdvCheckLocked(k, st)
 	t.rdvMu.Unlock()
 }
 
-var _ pgas.Transport = (*Transport)(nil)
+var (
+	_ pgas.Transport   = (*Transport)(nil)
+	_ pgas.NodeEvictor = (*Transport)(nil)
+)

@@ -2,6 +2,8 @@ package wiretransport
 
 import (
 	"errors"
+	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -192,18 +194,277 @@ func TestAbortUnblocksPeer(t *testing.T) {
 	}
 }
 
-// TestConnDownAborts: a closed peer process poisons the survivors with a
-// classified error rather than leaving them to hang.
-func TestConnDownAborts(t *testing.T) {
-	trs := connectMesh(t, 2, 2*time.Second)
-	trs[1].closed.Store(false) // ensure the hard close is seen as a failure
-	for _, p := range trs[1].peers {
-		if p != nil {
-			p.conn.Close()
+// TestCrashEvicts: an EOF without a GOODBYE is a dead peer. The survivor's
+// rendezvous resolves promptly with an EvictionError naming the dead node's
+// threads — it does not poison the transport and does not wait out the
+// deadline.
+func TestCrashEvicts(t *testing.T) {
+	trs := connectMesh(t, 2, 10*time.Second)
+	start := time.Now()
+	trs[1].Fail() // hard close, no GOODBYE
+	_, err := trs[0].Rendezvous(0)
+	if !errors.Is(err, pgas.ErrEvicted) {
+		t.Fatalf("rendezvous against crashed peer: %v, want ErrEvicted", err)
+	}
+	if ths := pgas.Evicted(err); len(ths) != 1 || ths[0] != 1 {
+		t.Fatalf("evicted threads %v, want [1]", pgas.Evicted(err))
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("crash detection waited out the deadline (%v)", time.Since(start))
+	}
+	if trs[0].aborted() {
+		t.Fatal("peer crash poisoned the transport; crashes must stay recoverable")
+	}
+}
+
+// TestGoodbyeIsSilent: an EOF after a GOODBYE is an orderly departure, not a
+// crash — the survivor never classifies the peer as evicted.
+func TestGoodbyeIsSilent(t *testing.T) {
+	trs := connectMesh(t, 2, 700*time.Millisecond)
+	trs[1].Close() // GOODBYE then close
+	time.Sleep(100 * time.Millisecond)
+	_, err := trs[0].Rendezvous(0)
+	if errors.Is(err, pgas.ErrEvicted) {
+		t.Fatalf("clean goodbye classified as eviction: %v", err)
+	}
+	if !errors.Is(err, pgas.ErrTimeout) && !errors.Is(err, pgas.ErrTransport) {
+		t.Fatalf("rendezvous after peer goodbye: %v, want ErrTimeout/ErrTransport", err)
+	}
+}
+
+// TestCrashAgreementAndRemap: 3-node mesh, node 2 dies without a goodbye.
+// The survivors detect the crash, agree on the dead set, and continue on the
+// shrunk 2-node geometry — data plane and rendezvous — in virtual numbering.
+func TestCrashAgreementAndRemap(t *testing.T) {
+	trs := connectMesh(t, 3, 10*time.Second)
+	trs[2].Fail()
+
+	// Each survivor observes the eviction at its next rendezvous.
+	for _, nd := range []int{0, 1} {
+		if _, err := trs[nd].Rendezvous(0); !errors.Is(err, pgas.ErrEvicted) {
+			t.Fatalf("node %d: rendezvous after crash: %v, want ErrEvicted", nd, err)
 		}
 	}
-	_, err := trs[0].Rendezvous(0)
-	if !errors.Is(err, pgas.ErrTransport) && !errors.Is(err, pgas.ErrTimeout) {
-		t.Fatalf("rendezvous against dead peer: %v, want classified", err)
+
+	// Both survivors propose; the agreement commits the shrunk view.
+	agreedBy := make([][]int, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for i, nd := range []int{0, 1} {
+		wg.Add(1)
+		go func(i, nd int) {
+			defer wg.Done()
+			agreedBy[i], errs[i] = trs[nd].EvictNodes([]int{2})
+		}(i, nd)
+	}
+	wg.Wait()
+	for i, nd := range []int{0, 1} {
+		if errs[i] != nil {
+			t.Fatalf("node %d: EvictNodes: %v", nd, errs[i])
+		}
+		if len(agreedBy[i]) != 1 || agreedBy[i][0] != 2 {
+			t.Fatalf("node %d: agreed %v, want [2]", nd, agreedBy[i])
+		}
+		if trs[nd].Nodes() != 2 || trs[nd].Node() != nd {
+			t.Fatalf("node %d: post-eviction identity %d/%d", nd, trs[nd].Node(), trs[nd].Nodes())
+		}
+		if trs[nd].SelfEvicted() {
+			t.Fatalf("node %d: survivor claims self-eviction", nd)
+		}
+	}
+
+	// The data plane works in the new virtual numbering.
+	w := pgas.Win{Kind: pgas.WinArray, ID: 8}
+	trs[1].Expose(w, []int64{41, 42})
+	dst := make([]int64, 1)
+	if err := trs[0].Get(nil, 1, w, 1, dst); err != nil || dst[0] != 42 {
+		t.Fatalf("post-eviction Get: %v err=%v", dst, err)
+	}
+	// And the rendezvous spans exactly the survivors.
+	got := make([]float64, 2)
+	for i, nd := range []int{0, 1} {
+		wg.Add(1)
+		go func(i, nd int) {
+			defer wg.Done()
+			got[i], errs[i] = trs[nd].Rendezvous(float64(10 + nd))
+		}(i, nd)
+	}
+	wg.Wait()
+	for i, nd := range []int{0, 1} {
+		if errs[i] != nil || got[i] != 11 {
+			t.Fatalf("node %d: post-eviction rendezvous %v err=%v, want 11", nd, got[i], errs[i])
+		}
+	}
+}
+
+// TestCooperativeSelfEviction: a node that must die proposes its own seat,
+// participates in the agreement so the survivors commit deterministically,
+// and only then hard-closes. The survivors agree without relying on crash
+// detection at all.
+func TestCooperativeSelfEviction(t *testing.T) {
+	trs := connectMesh(t, 3, 10*time.Second)
+	agreed := make([][]int, 3)
+	errs := make([]error, 3)
+	var wg sync.WaitGroup
+	for nd := 0; nd < 3; nd++ {
+		wg.Add(1)
+		go func(nd int) {
+			defer wg.Done()
+			agreed[nd], errs[nd] = trs[nd].EvictNodes([]int{1})
+			if nd == 1 {
+				trs[1].Fail()
+			}
+		}(nd)
+	}
+	wg.Wait()
+	for nd := 0; nd < 3; nd++ {
+		if errs[nd] != nil {
+			t.Fatalf("node %d: EvictNodes: %v", nd, errs[nd])
+		}
+		if len(agreed[nd]) != 1 || agreed[nd][0] != 1 {
+			t.Fatalf("node %d: agreed %v, want [1]", nd, agreed[nd])
+		}
+	}
+	if !trs[1].SelfEvicted() {
+		t.Fatal("evicted node does not report SelfEvicted")
+	}
+	if trs[0].SelfEvicted() || trs[2].SelfEvicted() {
+		t.Fatal("survivor reports SelfEvicted")
+	}
+	// Survivors renumber densely: original seat 2 is now virtual node 1.
+	if trs[0].Nodes() != 2 || trs[0].Node() != 0 || trs[2].Nodes() != 2 || trs[2].Node() != 1 {
+		t.Fatalf("post-eviction identities %d/%d and %d/%d",
+			trs[0].Node(), trs[0].Nodes(), trs[2].Node(), trs[2].Nodes())
+	}
+	w := pgas.Win{Kind: pgas.WinArray, ID: 9}
+	trs[2].Expose(w, []int64{7})
+	dst := make([]int64, 1)
+	if err := trs[0].Get(nil, 1, w, 0, dst); err != nil || dst[0] != 7 {
+		t.Fatalf("Get across renumbered mesh: %v err=%v", dst, err)
+	}
+}
+
+// TestAbortFirstCauseWins: the sticky abort keeps its first cause across
+// later local and remote abort attempts, and the cause propagates to peers.
+func TestAbortFirstCauseWins(t *testing.T) {
+	trs := connectMesh(t, 2, 10*time.Second)
+	trs[0].Abort("boom-alpha")
+	deadline := time.Now().Add(5 * time.Second)
+	for !trs[1].aborted() {
+		if time.Now().After(deadline) {
+			t.Fatal("abort never reached the peer")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	trs[1].Abort("boom-beta") // must lose: first cause wins
+	_, err := trs[1].Rendezvous(0)
+	if !errors.Is(err, pgas.ErrTransport) {
+		t.Fatalf("rendezvous on aborted transport: %v, want ErrTransport", err)
+	}
+	if !strings.Contains(err.Error(), "boom-alpha") {
+		t.Fatalf("abort cause lost: %v, want the first cause (boom-alpha)", err)
+	}
+	if strings.Contains(err.Error(), "boom-beta") {
+		t.Fatalf("later abort overwrote the first cause: %v", err)
+	}
+	if !strings.Contains(err.Error(), "node 0") {
+		t.Fatalf("remote abort cause does not name the origin node: %v", err)
+	}
+}
+
+// TestErrorsNamePeerAndAddress: every wire timeout/transport error names the
+// originating node, the remote node, and the remote address, so an abort
+// cause says which edge failed.
+func TestErrorsNamePeerAndAddress(t *testing.T) {
+	trs := connectMesh(t, 2, 700*time.Millisecond)
+	w := pgas.Win{Kind: pgas.WinArray, ID: 4}
+	trs[1].Expose(w, []int64{1})
+	// Wedge the serve path on node 1 so node 0's Get misses its deadline.
+	trs[1].rmu.Lock()
+	defer trs[1].rmu.Unlock()
+	err := trs[0].Get(nil, 1, w, 0, make([]int64, 1))
+	if !errors.Is(err, pgas.ErrTimeout) {
+		t.Fatalf("Get against wedged peer: %v, want ErrTimeout", err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "node 0 -> node 1") {
+		t.Fatalf("timeout does not name the edge: %q", msg)
+	}
+	if !strings.Contains(msg, trs[0].cfg.addr(1)) {
+		t.Fatalf("timeout does not name the remote address: %q", msg)
+	}
+}
+
+// TestTCPMesh: the same mesh assembles over TCP loopback with the same
+// semantics — identity, data plane, rendezvous.
+func TestTCPMesh(t *testing.T) {
+	const n = 2
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("reserve port: %v", err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	trs := make([]*Transport, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for nd := 0; nd < n; nd++ {
+		wg.Add(1)
+		go func(nd int) {
+			defer wg.Done()
+			trs[nd], errs[nd] = Connect(Config{
+				Nodes: n, Node: nd, Network: "tcp", Addrs: addrs, Timeout: 10 * time.Second,
+			})
+		}(nd)
+	}
+	wg.Wait()
+	for nd, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: tcp Connect: %v", nd, err)
+		}
+	}
+	defer func() {
+		for _, tr := range trs {
+			tr.Close()
+		}
+	}()
+	w := pgas.Win{Kind: pgas.WinArray, ID: 2}
+	trs[1].Expose(w, []int64{5, 6})
+	dst := make([]int64, 2)
+	if err := trs[0].Get(nil, 1, w, 0, dst); err != nil || dst[0] != 5 || dst[1] != 6 {
+		t.Fatalf("tcp Get: %v err=%v", dst, err)
+	}
+	got := make([]float64, n)
+	for nd := 0; nd < n; nd++ {
+		wg.Add(1)
+		go func(nd int) {
+			defer wg.Done()
+			got[nd], errs[nd] = trs[nd].Rendezvous(float64(nd))
+		}(nd)
+	}
+	wg.Wait()
+	for nd := 0; nd < n; nd++ {
+		if errs[nd] != nil || got[nd] != 1 {
+			t.Fatalf("node %d: tcp rendezvous %v err=%v", nd, got[nd], errs[nd])
+		}
+	}
+}
+
+// TestTCPConfigValidation: a TCP mesh without a full address list is misuse.
+func TestTCPConfigValidation(t *testing.T) {
+	_, err := Connect(Config{Nodes: 2, Node: 0, Network: "tcp", Addrs: []string{"127.0.0.1:1"}})
+	if !errors.Is(err, pgas.ErrMisuse) {
+		t.Fatalf("tcp with short addr list: %v, want ErrMisuse", err)
+	}
+	_, err = Connect(Config{Nodes: 2, Node: 0, Network: "quic", Dir: t.TempDir()})
+	if !errors.Is(err, pgas.ErrMisuse) {
+		t.Fatalf("unknown network: %v, want ErrMisuse", err)
 	}
 }

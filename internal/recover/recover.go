@@ -1,7 +1,10 @@
 // Package recover drives eviction recovery for the PGAS runtime: the
 // rollback / remap / re-execute loop that turns a permanently lost thread
-// (pgas.ErrEvicted, injected by the chaos layer's Kill fault or standing
-// in for a real node death) into a degraded-but-correct completion.
+// (pgas.ErrEvicted, injected by the chaos layer's Kill fault or — on a
+// wire transport — detected as a real peer-process death) into a
+// degraded-but-correct completion. The loop is transport-agnostic: on a
+// wire cluster Evict runs the epoch-stamped membership agreement, so every
+// surviving process's supervisor converges on the same shrunk geometry.
 //
 // The state machine per attempt:
 //
@@ -153,9 +156,14 @@ func Run(rt *pgas.Runtime, cfg *Config, body Body) (*Report, error) {
 			nrt.ArmChaos(ccfg)
 		}
 		ck.Rebind(nrt)
+		// Record what Evict actually removed, not just the local proposal:
+		// on a wire transport the cluster-wide agreement may widen the dead
+		// set (peers fold in their own detections), and the remapped
+		// runtime's ledger is the authority. In-process the delta equals
+		// dead exactly.
+		rep.Evicted = append(rep.Evicted, nrt.EvictedThreads()[len(rt.EvictedThreads()):]...)
 		rt, comm = nrt, collective.NewComm(nrt)
 		rep.Rollbacks++
-		rep.Evicted = append(rep.Evicted, dead...)
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"pgasgraph/internal/collective"
 	"pgasgraph/internal/pgas"
 	"pgasgraph/internal/pgas/wiretransport"
+	recovery "pgasgraph/internal/recover"
 	"pgasgraph/internal/xrand"
 )
 
@@ -61,10 +62,11 @@ func runWireNode(t *Trial, ccfg *pgas.ChaosConfig, dir string, nd int, timeout t
 	host func(node int, rt *pgas.Runtime, comm *collective.Comm) error) (err error) {
 	defer recoverCheck(&err)
 	tr, err := wiretransport.Connect(wiretransport.Config{
-		Nodes:   t.Machine.Nodes,
-		Node:    nd,
-		Dir:     dir,
-		Timeout: timeout,
+		Nodes:          t.Machine.Nodes,
+		Node:           nd,
+		ThreadsPerNode: t.Machine.ThreadsPerNode,
+		Dir:            dir,
+		Timeout:        timeout,
 	})
 	if err != nil {
 		return err
@@ -137,6 +139,28 @@ func RunWireCheckChaos(c Check, t *Trial, ccfg pgas.ChaosConfig, timeout time.Du
 	return stats, firstNodeError(errs)
 }
 
+// RunWireKillRecover runs one supervised recovery trial on a hosted wire
+// cluster: every node drives the eviction-recovery supervisor around the
+// check body with a kill-capable chaos schedule armed. A killed thread
+// takes its whole node down (wire eviction is node-granular): the dying
+// node proposes its own seat, participates in the membership agreement so
+// the survivors commit deterministically, then fails its endpoint; the
+// survivors roll back to the last committed checkpoint, remap onto the
+// shrunk geometry, and re-execute. Returns each node's recovery report and
+// error slot.
+func RunWireKillRecover(c Check, t *Trial, ccfg pgas.ChaosConfig, rcfg *recovery.Config, timeout time.Duration) ([]*recovery.Report, []error) {
+	reps := make([]*recovery.Report, t.Machine.Nodes)
+	errs := RunWireCluster(t, nil, timeout, func(node int, rt *pgas.Runtime, comm *collective.Comm) error {
+		rt.ArmChaos(ccfg)
+		rep, err := recovery.Run(rt, rcfg, func(rt *pgas.Runtime, comm *collective.Comm) error {
+			return c.Run(t, rt, comm)
+		})
+		reps[node] = rep
+		return err
+	})
+	return reps, errs
+}
+
 // firstNodeError picks the reported failure deterministically: the lowest
 // node with a non-transport error (the node that originated the region
 // failure), else the lowest node error of any class. Peer nodes of a failed
@@ -164,6 +188,10 @@ type WireRunConfig struct {
 	Rounds int
 	// ChaosTrials is the number of dual-backend chaos conformance trials.
 	ChaosTrials int
+	// KillTrials is the number of supervised wire-kill recovery trials
+	// (chaos schedules with permanent thread kills enabled, every node
+	// under the recovery supervisor). Zero disables the kill rotation.
+	KillTrials int
 	// MaxN bounds sampled input sizes.
 	MaxN int64
 	// Timeout bounds each wire operation. Defaults to WireTimeout.
@@ -187,13 +215,23 @@ type WireReport struct {
 	Mismatches int
 	// Hangs counts wire trials that outran the watchdog.
 	Hangs int
+	// KillRuns counts supervised wire-kill recovery trials; KillRecovered
+	// the ones the survivors completed (KillRollbacks totals their
+	// rollback rounds — a completion with rollbacks is the
+	// recovered-by-rollback outcome); KillClassified the ones that failed
+	// loudly within budget; KillFailures the ones that failed wrongly
+	// (unclassified error, wrong answer, or survivors disagreeing).
+	KillRuns, KillRecovered, KillRollbacks, KillClassified, KillFailures int
+	// KillDigest folds every kill trial's replay-stable outcome fields;
+	// two sweeps of the same seed must produce the same digest.
+	KillDigest uint64
 	// Failures describes every failing trial.
 	Failures []string
 }
 
 // OK reports whether every backend pair agreed and nothing hung.
 func (r *WireReport) OK() bool {
-	return r.CleanFailures == 0 && r.Mismatches == 0 && r.Hangs == 0
+	return r.CleanFailures == 0 && r.Mismatches == 0 && r.Hangs == 0 && r.KillFailures == 0
 }
 
 // wireGeometry forces a genuinely multi-process shape onto a sampled
@@ -215,10 +253,12 @@ func wireGeometry(t *Trial, round int) *Trial {
 // backends under identical schedules, requiring matching outcomes and —
 // on recovered trials — bit-identical fault counters.
 func WireRun(cfg WireRunConfig) *WireReport {
-	if cfg.Rounds <= 0 {
+	// Zero means the default sweep size; negative disables that phase (so
+	// a kill-only sweep can skip the clean and chaos rotations).
+	if cfg.Rounds == 0 {
 		cfg.Rounds = 8
 	}
-	if cfg.ChaosTrials <= 0 {
+	if cfg.ChaosTrials == 0 {
 		cfg.ChaosTrials = 16
 	}
 	if cfg.MaxN <= 0 {
@@ -320,7 +360,136 @@ func WireRun(cfg WireRunConfig) *WireReport {
 				round, c.Name, t.Machine.Nodes, t.Machine.ThreadsPerNode, verdict)
 		}
 	}
+
+	// Kill rotation: chaos schedules with permanent kills enabled, every
+	// node under the recovery supervisor. MinThreads 1 because wire
+	// eviction is node-granular — losing one node of a small hosted
+	// cluster can halve the geometry.
+	h := uint64(0x9E3779B97F4A7C15)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 0x100000001B3
+		h ^= h >> 29
+	}
+	killGeoms := [][2]int{{3, 1}, {2, 2}, {4, 1}}
+	for round := 0; round < cfg.KillTrials; round++ {
+		rng := xrand.New(cfg.Seed).Split(0x417c1 ^ uint64(round))
+		g := killGeoms[round%len(killGeoms)]
+		t := SampleTrial(rng, round, cfg.MaxN).WithMachine(g[0], g[1])
+		t.Scheme = pgas.SchemeBlock
+		ccfg := sampleChaosConfig(rng, true)
+		c := battery[round%len(battery)]
+		if !c.Applicable(t) {
+			continue
+		}
+		rep.KillRuns++
+		rcfg := &recovery.Config{MinThreads: 1}
+		var reps []*recovery.Report
+		var errsByNode []error
+		_, hung := underWatchdog(cfg.Watchdog, func() error {
+			reps, errsByNode = RunWireKillRecover(c, t, ccfg, rcfg, cfg.Timeout)
+			return nil
+		})
+		mix(uint64(round))
+		for _, ch := range c.Name {
+			mix(uint64(ch))
+		}
+		if hung {
+			rep.Hangs++
+			rep.Failures = append(rep.Failures,
+				fmt.Sprintf("kill %d %s: hang after %v", round, c.Name, cfg.Watchdog))
+			mix(uint64(ChaosHang))
+			continue
+		}
+		outcome, detail := wireKillOutcome(reps, errsByNode)
+		mix(uint64(outcome))
+		switch outcome {
+		case ChaosRecovered:
+			rep.KillRecovered++
+		case ChaosRecoveredByRollback:
+			rep.KillRecovered++
+			// Every survivor agreed on the same rollback history; mix it.
+			for nd, e := range errsByNode {
+				if e == nil {
+					rep.KillRollbacks += reps[nd].Rollbacks
+					mix(uint64(reps[nd].Rollbacks))
+					for _, id := range reps[nd].Evicted {
+						mix(uint64(id) + 1)
+					}
+					break
+				}
+			}
+		case ChaosClassified:
+			rep.KillClassified++
+		default:
+			rep.KillFailures++
+			rep.Failures = append(rep.Failures,
+				fmt.Sprintf("kill %d %s: %s: %s", round, c.Name, outcome, detail))
+		}
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "wire kill %d: %s %dx%d kill=%g %s %s\n",
+				round, c.Name, t.Machine.Nodes, t.Machine.ThreadsPerNode,
+				ccfg.KillRate, outcome, detail)
+		}
+	}
+	rep.KillDigest = h
 	return rep
+}
+
+// wireKillOutcome folds one kill trial's per-node results onto the chaos
+// outcome ladder. The survivors are authoritative: the lowest node that
+// completed names the outcome (rollbacks make it recovered-by-rollback),
+// and every other survivor must agree on the rollback history — the
+// membership agreement makes the evicted set exact, so disagreement is a
+// determinism bug, not noise. A trial with no survivors is classified when
+// every node failed loudly (budget exhausted, self-evicted, or unwound by
+// a peer's abort) and a wrong answer otherwise.
+func wireKillOutcome(reps []*recovery.Report, errs []error) (ChaosOutcome, string) {
+	survivor := -1
+	for nd, e := range errs {
+		if e == nil {
+			survivor = nd
+			break
+		}
+	}
+	if survivor < 0 {
+		for nd, e := range errs {
+			if !classifiedErr(e) {
+				return ChaosWrongAnswer, fmt.Sprintf("node %d failed unclassified: %v", nd, e)
+			}
+		}
+		return ChaosClassified, fmt.Sprintf("no survivors: %v", errs[0])
+	}
+	ref := reps[survivor]
+	for nd, e := range errs {
+		if nd == survivor || e != nil {
+			if e != nil && !classifiedErr(e) {
+				return ChaosWrongAnswer, fmt.Sprintf("node %d failed unclassified: %v", nd, e)
+			}
+			continue
+		}
+		if reps[nd].Rollbacks != ref.Rollbacks || !equalInts(reps[nd].Evicted, ref.Evicted) {
+			return ChaosWrongAnswer, fmt.Sprintf(
+				"survivors diverge: node %d rollbacks=%d evicted=%v vs node %d rollbacks=%d evicted=%v",
+				survivor, ref.Rollbacks, ref.Evicted, nd, reps[nd].Rollbacks, reps[nd].Evicted)
+		}
+	}
+	if ref.Rollbacks > 0 {
+		return ChaosRecoveredByRollback, fmt.Sprintf("rollbacks=%d evicted=%v", ref.Rollbacks, ref.Evicted)
+	}
+	return ChaosRecovered, "no kills fired"
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // underWatchdog runs f, reporting a hang when it outlives the budget.

@@ -11,6 +11,7 @@ import (
 	"pgasgraph/internal/collective"
 	"pgasgraph/internal/mst"
 	"pgasgraph/internal/pgas"
+	recovery "pgasgraph/internal/recover"
 	"pgasgraph/internal/xrand"
 )
 
@@ -114,6 +115,118 @@ func eq64(a, b []int64) bool {
 		}
 	}
 	return true
+}
+
+// TestWireKillRecovery: a chaos kill on a 3-node wire cluster evicts the
+// whole node that hosted the dead thread; the survivors agree on the dead
+// set, roll back to the last committed checkpoint, remap, and complete
+// with the correct answer (the check's own oracle runs on the degraded
+// geometry). The dying node self-evicts. Re-running the same seed must
+// reproduce the identical rollback history on every survivor.
+func TestWireKillRecovery(t *testing.T) {
+	var c Check
+	for _, wc := range WireChecks() {
+		if wc.Name == "cc/coalesced" {
+			c = wc
+			break
+		}
+	}
+	if c.Name == "" {
+		t.Fatal("cc/coalesced missing from the wire battery")
+	}
+	run := func(seed uint64) ([]*recovery.Report, []error, *Trial) {
+		tr := wireTrial(seed, 1, 200, 3, 1)
+		tr.Scheme = pgas.SchemeBlock
+		ccfg := pgas.ChaosConfig{Seed: seed, KillRate: 0.05}
+		reps, errs := RunWireKillRecover(c, tr, ccfg, &recovery.Config{MinThreads: 1}, WireTimeout)
+		return reps, errs, tr
+	}
+	// Scan a few seeds for the interesting shape: at least one survivor
+	// completing after a rollback. High kill rates can also take every
+	// node down (a legitimate classified outcome), so not every seed
+	// qualifies.
+	for seed := uint64(1); seed <= 24; seed++ {
+		reps, errs, _ := run(seed)
+		survivor := -1
+		for nd, e := range errs {
+			if e == nil && reps[nd].Rollbacks > 0 {
+				survivor = nd
+				break
+			}
+		}
+		if survivor < 0 {
+			continue
+		}
+		ref := reps[survivor]
+		if len(ref.Evicted) == 0 {
+			t.Fatalf("seed %d: rollback with empty evicted set", seed)
+		}
+		// Some node must have been taken out of the cluster: either it
+		// self-evicted, or it failed loudly.
+		deadNodes := 0
+		for nd, e := range errs {
+			if e != nil {
+				if !classifiedErr(e) {
+					t.Fatalf("seed %d: node %d failed unclassified: %v", seed, nd, e)
+				}
+				deadNodes++
+			}
+		}
+		if deadNodes == 0 {
+			t.Fatalf("seed %d: rollback but every node completed", seed)
+		}
+		// Determinism: the same seed replays the same rollback history.
+		reps2, errs2, _ := run(seed)
+		for nd := range errs {
+			if (errs[nd] == nil) != (errs2[nd] == nil) {
+				t.Fatalf("seed %d: node %d outcome not replay-stable: %v vs %v",
+					seed, nd, errs[nd], errs2[nd])
+			}
+			if errs[nd] == nil {
+				if reps2[nd].Rollbacks != reps[nd].Rollbacks || !equalInts(reps2[nd].Evicted, reps[nd].Evicted) {
+					t.Fatalf("seed %d: node %d history not replay-stable: rollbacks %d/%d evicted %v/%v",
+						seed, nd, reps[nd].Rollbacks, reps2[nd].Rollbacks, reps[nd].Evicted, reps2[nd].Evicted)
+				}
+			}
+		}
+		// Survivors agree with each other.
+		for nd, e := range errs {
+			if e == nil && (reps[nd].Rollbacks != ref.Rollbacks || !equalInts(reps[nd].Evicted, ref.Evicted)) {
+				t.Fatalf("seed %d: survivors diverge: node %d %d/%v vs node %d %d/%v",
+					seed, nd, reps[nd].Rollbacks, reps[nd].Evicted, survivor, ref.Rollbacks, ref.Evicted)
+			}
+		}
+		return
+	}
+	t.Fatal("no seed in 1..24 produced a survivor-completes-after-rollback trial")
+}
+
+// TestWireKillSweepDigest: the kill rotation's digest is replay-stable —
+// two sweeps of the same seed walk the same trials to the same outcomes.
+func TestWireKillSweepDigest(t *testing.T) {
+	sweep := func() *WireReport {
+		return WireRun(WireRunConfig{
+			Seed:        0x4b11,
+			Rounds:      -1, // kill rotation only
+			ChaosTrials: -1,
+			KillTrials:  3,
+			MaxN:        160,
+		})
+	}
+	a := sweep()
+	if !a.OK() {
+		t.Fatalf("kill sweep failed: %v", a.Failures)
+	}
+	if a.KillRuns == 0 {
+		t.Fatal("kill sweep ran no trials")
+	}
+	b := sweep()
+	if a.KillDigest != b.KillDigest {
+		t.Fatalf("kill digest not replay-stable: %#x vs %#x", a.KillDigest, b.KillDigest)
+	}
+	if a.KillRecovered != b.KillRecovered || a.KillRollbacks != b.KillRollbacks || a.KillClassified != b.KillClassified {
+		t.Fatalf("kill outcomes not replay-stable: %+v vs %+v", a, b)
+	}
 }
 
 // TestWireChaosConformance is the transport conformance soak: the same
